@@ -1,0 +1,135 @@
+// Shared infrastructure for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper and
+// prints the corresponding rows/series.  Budgets are scaled by the
+// AXC_BENCH_SCALE environment variable (default 1.0 keeps the whole suite
+// in the ~10 minute range; the paper's full budgets correspond to >> 10).
+// Trained float networks are cached under ./axc_cache/ so the NN benches
+// share one training run.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/digits.h"
+#include "nn/models.h"
+#include "nn/trainer.h"
+
+namespace axc::bench {
+
+inline double scale() {
+  if (const char* s = std::getenv("AXC_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t base) {
+  const auto v = static_cast<std::size_t>(static_cast<double>(base) * scale());
+  return v > 0 ? v : 1;
+}
+
+/// Banner shared by all benches.
+inline void banner(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("(scale=%.2g; set AXC_BENCH_SCALE to trade time for fidelity)\n",
+              scale());
+  std::printf("==============================================================\n");
+}
+
+// ---------------------------------------------------------------------------
+// Dataset + model caching
+// ---------------------------------------------------------------------------
+
+struct classification_task {
+  data::digit_dataset train_set;
+  data::digit_dataset test_set;
+  std::vector<nn::tensor> train_x;
+  std::vector<nn::tensor> test_x;
+};
+
+inline classification_task make_mnist_task() {
+  classification_task t;
+  t.train_set = data::make_mnist_like(scaled(2400), 1001);
+  t.test_set = data::make_mnist_like(scaled(600), 1002);
+  t.train_x = data::to_tensors(t.train_set);
+  t.test_x = data::to_tensors(t.test_set);
+  return t;
+}
+
+inline classification_task make_svhn_task() {
+  classification_task t;
+  t.train_set = data::make_svhn_like(scaled(2000), 2001);
+  t.test_set = data::make_svhn_like(scaled(500), 2002);
+  t.train_x = data::to_tensors(t.train_set);
+  t.test_x = data::to_tensors(t.test_set);
+  return t;
+}
+
+/// LeNet channel scale used by default (0.5 keeps the CNN benches fast;
+/// raise AXC_BENCH_SCALE to >= 2 for the full-width network).
+inline double lenet_channel_scale() { return scale() >= 2.0 ? 1.0 : 0.5; }
+
+inline std::string cache_path(const std::string& name) {
+  std::filesystem::create_directories("axc_cache");
+  return "axc_cache/" + name + ".bin";
+}
+
+/// Trains (or loads from cache) the MLP on the MNIST-like task.
+inline nn::network mnist_mlp(const classification_task& task) {
+  nn::network net = nn::make_mlp(4242);
+  const std::string path =
+      cache_path("mlp_" + std::to_string(task.train_x.size()));
+  if (std::ifstream in(path, std::ios::binary); in && net.load_weights(in)) {
+    return net;
+  }
+  nn::train_config cfg;
+  cfg.epochs = scaled(4);
+  cfg.learning_rate = 0.08f;
+  cfg.seed = 99;
+  nn::train(net, task.train_x, task.train_set.labels, cfg);
+  std::ofstream out(path, std::ios::binary);
+  net.save_weights(out);
+  return net;
+}
+
+/// Trains (or loads from cache) the LeNet-5 on the SVHN-like task.
+inline nn::network svhn_lenet(const classification_task& task) {
+  nn::network net = nn::make_lenet5(7777, lenet_channel_scale());
+  const std::string path =
+      cache_path("lenet_" + std::to_string(task.train_x.size()) + "_" +
+                 std::to_string(static_cast<int>(lenet_channel_scale() * 100)));
+  if (std::ifstream in(path, std::ios::binary); in && net.load_weights(in)) {
+    return net;
+  }
+  nn::train_config cfg;
+  cfg.epochs = scaled(8);
+  cfg.learning_rate = 0.02f;  // LeNet diverges at MLP-style rates
+  cfg.lr_decay = 0.95f;
+  cfg.seed = 55;
+  nn::train(net, task.train_x, task.train_set.labels, cfg);
+  std::ofstream out(path, std::ios::binary);
+  net.save_weights(out);
+  return net;
+}
+
+/// Deep-copies weights from `src` into a freshly built architecture (the
+/// fine-tuning benches mutate per-level copies of the trained network).
+inline nn::network clone_into(const nn::network& src, nn::network fresh) {
+  std::stringstream blob;
+  src.save_weights(blob);
+  if (!fresh.load_weights(blob)) {
+    std::fprintf(stderr, "clone_into: architecture mismatch\n");
+    std::abort();
+  }
+  return fresh;
+}
+
+}  // namespace axc::bench

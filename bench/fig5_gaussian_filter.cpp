@@ -1,0 +1,67 @@
+// Fig. 5 — average PSNR of an approximate 3x3 Gaussian image filter vs the
+// power of the multipliers it employs.  Multipliers evolved for D2 (mass on
+// small operands, like the filter's coefficients 1/2/4) should give the
+// best PSNR-per-power trade-off; D1- and Du-evolved multipliers trail.
+// PSNR is the mean over 25 noisy synthetic images, as in the paper.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/design_flow.h"
+#include "core/wmed_approximator.h"
+#include "imgproc/gaussian_filter.h"
+#include "mult/multipliers.h"
+
+int main() {
+  using namespace axc;
+  bench::banner("Fig. 5", "Gaussian-filter PSNR vs multiplier power");
+
+  const metrics::mult_spec spec{8, false};
+  const dist::pmf dists[3] = {dist::pmf::normal(256, 127.0, 32.0),
+                              dist::pmf::half_normal(256, 64.0),
+                              dist::pmf::uniform(256)};
+  const char* names[3] = {"proposed-D1", "proposed-D2", "proposed-Du"};
+
+  const std::vector<double> targets{0.0001, 0.0003, 0.001, 0.003, 0.01};
+  const std::size_t iterations = bench::scaled(3000);
+  const std::size_t image_count = bench::scaled(25);
+  const circuit::netlist seed = mult::unsigned_multiplier(8);
+
+  std::printf("%-14s %10s %12s %12s %10s\n", "series", "target%", "power_uW",
+              "mean_PSNR", "min_PSNR");
+
+  for (int di = 0; di < 3; ++di) {
+    core::approximation_config cfg;
+    cfg.spec = spec;
+    cfg.distribution = dists[di];
+    cfg.iterations = iterations;
+    cfg.extra_columns = 64;
+    cfg.rng_seed = 500 + static_cast<std::uint64_t>(di);
+    const core::wmed_approximator approximator(cfg);
+
+    for (const double target : targets) {
+      const auto design = approximator.approximate(seed, target);
+      const mult::product_lut lut(design.netlist, spec);
+      // Power under the filter's operand statistics (coefficients 1/2/4).
+      std::vector<double> w(256, 0.0);
+      w[1] = 4;
+      w[2] = 8;
+      w[4] = 4;
+      const auto power = core::characterize_multiplier(
+          design.netlist, spec, dist::pmf::from_weights(w),
+          tech::cell_library::nangate45_like(), 2048);
+      const auto quality =
+          imgproc::evaluate_filter_quality(lut, image_count, 64);
+      std::printf("%-14s %10.4f %12.2f %12.2f %10.2f\n", names[di],
+                  100.0 * target, power.power_uw, quality.mean_psnr_db,
+                  quality.min_psnr_db);
+    }
+  }
+
+  std::printf(
+      "\nPaper reference (shape): proposed(D2) reaches the highest PSNR at\n"
+      "a given power because the Gaussian kernel's coefficients are small\n"
+      "values, exactly where D2 concentrates its weight; Du trails, D1 is\n"
+      "worst at low power.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Fig. 6 — top: histograms of trained-network weights (SVHN-like CNN and
+// MNIST-like MLP) that define the WMED weights of case study 2;
+// bottom: box plots of the relative power-delay product of multipliers
+// evolved for each WMED level (paper: 25 independent runs; default here is
+// scaled down, see AXC_BENCH_SCALE).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/design_flow.h"
+#include "core/wmed_approximator.h"
+#include "mult/multipliers.h"
+#include "nn/quantize.h"
+
+namespace {
+
+using namespace axc;
+
+void print_weight_histogram(const char* name,
+                            const std::vector<std::int8_t>& weights) {
+  std::printf("\nWeight distribution: %s (%zu weights)\n", name,
+              weights.size());
+  // 16 bins over the signed range -128..127.
+  std::vector<std::size_t> bins(16, 0);
+  for (const std::int8_t w : weights) {
+    bins[static_cast<std::size_t>((static_cast<int>(w) + 128) / 16)]++;
+  }
+  for (std::size_t b = 0; b < 16; ++b) {
+    const double frac =
+        static_cast<double>(bins[b]) / static_cast<double>(weights.size());
+    std::printf("  [%4d..%4d] %7.3f%% ", static_cast<int>(b) * 16 - 128,
+                static_cast<int>(b) * 16 - 113, 100.0 * frac);
+    for (int k = 0; k < static_cast<int>(frac * 120) && k < 50; ++k) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+  std::size_t near_zero = 0;
+  for (const std::int8_t w : weights) {
+    if (w >= -16 && w <= 16) ++near_zero;
+  }
+  std::printf("  fraction within [-16, 16]: %.1f%%\n",
+              100.0 * static_cast<double>(near_zero) /
+                  static_cast<double>(weights.size()));
+}
+
+struct box {
+  double min, q1, median, q3, max;
+};
+
+box box_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const auto q = [&](double p) {
+    const double idx = p * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const double t = idx - static_cast<double>(lo);
+    return lo + 1 < v.size() ? v[lo] * (1 - t) + v[lo + 1] * t : v[lo];
+  };
+  return {v.front(), q(0.25), q(0.5), q(0.75), v.back()};
+}
+
+void pdp_boxplots(const char* name, const dist::pmf& weight_dist,
+                  unsigned acc_width) {
+  const metrics::mult_spec spec{8, true};
+  const circuit::netlist seed = mult::signed_multiplier(8);
+  const auto& lib = tech::cell_library::nangate45_like();
+
+  const double exact_pdp =
+      core::characterize_mac(seed, spec, weight_dist, acc_width, lib).pdp_fj;
+
+  const std::vector<double> levels{0.0005, 0.002, 0.01, 0.05};
+  const std::size_t runs = std::max<std::size_t>(3, bench::scaled(5));
+  const std::size_t iterations = bench::scaled(800);
+
+  std::printf("\nRelative MAC PDP, %s (exact MAC PDP = %.1f fJ, %zu runs "
+              "per level)\n",
+              name, exact_pdp, runs);
+  std::printf("  %-8s %8s %8s %8s %8s %8s\n", "WMED%", "min", "q1", "median",
+              "q3", "max");
+
+  core::approximation_config cfg;
+  cfg.spec = spec;
+  cfg.distribution = weight_dist;
+  cfg.iterations = iterations;
+  cfg.extra_columns = 64;
+  cfg.rng_seed = 600;
+  const core::wmed_approximator approximator(cfg);
+
+  for (const double level : levels) {
+    std::vector<double> rel;
+    for (std::size_t run = 0; run < runs; ++run) {
+      const auto design = approximator.approximate(seed, level, run);
+      const double pdp =
+          core::characterize_mac(design.netlist, spec, weight_dist,
+                                 acc_width, lib)
+              .pdp_fj;
+      rel.push_back(100.0 * pdp / exact_pdp);
+    }
+    const box b = box_of(rel);
+    std::printf("  %-8.3f %8.1f %8.1f %8.1f %8.1f %8.1f\n", 100.0 * level,
+                b.min, b.q1, b.median, b.q3, b.max);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 6", "weight histograms + relative PDP box plots");
+
+  // --- top: weight distributions of the two trained networks ---
+  const auto svhn = bench::make_svhn_task();
+  nn::network lenet = bench::svhn_lenet(svhn);
+  nn::quantized_network q_lenet(
+      lenet, std::span<const nn::tensor>(svhn.train_x).subspan(0, 64));
+  const auto lenet_weights = q_lenet.quantized_weights();
+  print_weight_histogram("LeNet-5 on SVHN-like", lenet_weights);
+
+  const auto mnist = bench::make_mnist_task();
+  nn::network mlp = bench::mnist_mlp(mnist);
+  nn::quantized_network q_mlp(
+      mlp, std::span<const nn::tensor>(mnist.train_x).subspan(0, 64));
+  const auto mlp_weights = q_mlp.quantized_weights();
+  print_weight_histogram("MLP on MNIST-like", mlp_weights);
+
+  // --- bottom: relative PDP of evolved multipliers inside MAC units ---
+  // Accumulator widths follow Sec. V-B: product width + log2(d) guard bits
+  // (d = 784 inputs for the MLP's first layer, d = 400 for the CNN's
+  // largest kernel).
+  pdp_boxplots("LeNet-5 / SVHN-like weights",
+               dist::pmf::from_int8_samples(lenet_weights), 25);
+  pdp_boxplots("MLP / MNIST-like weights",
+               dist::pmf::from_int8_samples(mlp_weights), 26);
+
+  std::printf(
+      "\nPaper reference (shape): SVHN weights ~ zero-mean normal; MNIST\n"
+      "weights concentrate ~92%% in a narrow band around zero.  Median\n"
+      "relative PDP drops with the allowed WMED (e.g. ~50%% at 0.2%% for\n"
+      "LeNet-5/SVHN in the paper).\n");
+  return 0;
+}

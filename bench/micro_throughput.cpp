@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark): throughput of the primitives the
+// reproduction's wall-clock behaviour depends on — bit-parallel simulation,
+// exhaustive evaluation, WMED scoring, CGP mutation/decoding, LUT-based
+// quantized inference and the Gaussian filter.
+#include <benchmark/benchmark.h>
+
+#include "cgp/genotype.h"
+#include "circuit/activity.h"
+#include "circuit/simulator.h"
+#include "data/digits.h"
+#include "dist/pmf.h"
+#include "imgproc/gaussian_filter.h"
+#include "metrics/wmed_evaluator.h"
+#include "mult/lut.h"
+#include "mult/multipliers.h"
+#include "nn/models.h"
+#include "nn/quantize.h"
+#include "nn/trainer.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace axc;
+
+void bm_simulate_block(benchmark::State& state) {
+  const circuit::netlist nl = mult::unsigned_multiplier(8);
+  std::vector<std::uint64_t> in(16), out(16), scratch(nl.num_signals());
+  for (std::size_t i = 0; i < 16; ++i) {
+    in[i] = circuit::exhaustive_input_word(i, 3);
+  }
+  for (auto _ : state) {
+    circuit::simulate_block(nl, in, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(bm_simulate_block);
+
+void bm_evaluate_exhaustive_8bit(benchmark::State& state) {
+  const circuit::netlist nl = mult::unsigned_multiplier(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::evaluate_exhaustive(nl));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          65536);
+}
+BENCHMARK(bm_evaluate_exhaustive_8bit);
+
+void bm_wmed_evaluate(benchmark::State& state) {
+  const metrics::mult_spec spec{8, false};
+  metrics::wmed_evaluator evaluator(spec, dist::pmf::half_normal(256, 64.0));
+  const circuit::netlist nl = mult::truncated_multiplier(8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(nl));
+  }
+}
+BENCHMARK(bm_wmed_evaluate);
+
+void bm_wmed_evaluate_with_abort(benchmark::State& state) {
+  const metrics::mult_spec spec{8, false};
+  metrics::wmed_evaluator evaluator(spec, dist::pmf::half_normal(256, 64.0));
+  const circuit::netlist nl = mult::truncated_multiplier(8, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(nl, 1e-5));
+  }
+}
+BENCHMARK(bm_wmed_evaluate_with_abort);
+
+void bm_cgp_mutate_decode(benchmark::State& state) {
+  cgp::parameters params;
+  params.num_inputs = 16;
+  params.num_outputs = 16;
+  params.columns = 400;
+  params.rows = 1;
+  params.levels_back = 400;
+  params.function_set.assign(circuit::default_function_set().begin(),
+                             circuit::default_function_set().end());
+  rng gen(1);
+  cgp::genotype g = cgp::genotype::random(params, gen);
+  for (auto _ : state) {
+    g.mutate(gen);
+    benchmark::DoNotOptimize(g.decode());
+  }
+}
+BENCHMARK(bm_cgp_mutate_decode);
+
+void bm_lut_multiply(benchmark::State& state) {
+  const mult::product_lut lut =
+      mult::product_lut::exact(metrics::mult_spec{8, true});
+  rng gen(2);
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    acc += lut.multiply(static_cast<std::int32_t>(gen.below(256)) - 128,
+                        static_cast<std::int32_t>(gen.below(256)) - 128);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(bm_lut_multiply);
+
+void bm_quantized_mlp_inference(benchmark::State& state) {
+  const auto ds = data::make_mnist_like(64, 5);
+  const auto x = data::to_tensors(ds);
+  nn::network mlp = nn::make_mlp(3, 28 * 28, 64);
+  nn::quantized_network qnet(mlp, std::span<const nn::tensor>(x).subspan(0, 8));
+  const auto lut = mult::product_lut::exact(metrics::mult_spec{8, true});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qnet.predict_class(x[i++ % x.size()], lut));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_quantized_mlp_inference);
+
+void bm_gaussian_filter_approx(benchmark::State& state) {
+  const imgproc::image img = imgproc::make_test_scene(64, 64, 1);
+  const mult::product_lut lut(mult::truncated_multiplier(8, 4),
+                              metrics::mult_spec{8, false});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(imgproc::gaussian_filter_approx(img, lut));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          64 * 64);
+}
+BENCHMARK(bm_gaussian_filter_approx);
+
+void bm_activity_profile(benchmark::State& state) {
+  const circuit::netlist nl = mult::signed_multiplier(8);
+  rng gen(3);
+  std::vector<std::uint64_t> stream(2048);
+  for (auto& v : stream) v = gen.below(1u << 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::profile_activity(nl, stream));
+  }
+}
+BENCHMARK(bm_activity_profile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

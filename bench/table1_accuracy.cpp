@@ -1,0 +1,122 @@
+// Table I — classification accuracy of the approximate networks before and
+// after fine-tuning, plus MAC-unit PDP/power/area, per WMED level, for both
+// case-study networks.  All numbers are relative to the quantized network
+// with exact 8-bit multipliers, matching the paper's convention (negative =
+// degradation).
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/design_flow.h"
+#include "core/wmed_approximator.h"
+#include "mult/multipliers.h"
+#include "nn/finetune.h"
+#include "nn/quantize.h"
+
+namespace {
+
+using namespace axc;
+
+struct row {
+  double level;
+  double init_acc_delta;
+  double tuned_acc_delta;
+  double pdp_delta;
+  double power_delta;
+  double area_delta;
+};
+
+void run_case(const char* name, const bench::classification_task& task,
+              const std::function<nn::network()>& build,
+              const nn::network& trained, unsigned acc_width) {
+  const metrics::mult_spec spec{8, true};
+  const auto& lib = tech::cell_library::nangate45_like();
+  const circuit::netlist seed = mult::signed_multiplier(8);
+  const auto exact_lut = mult::product_lut::exact(spec);
+
+  // Reference: quantized accuracy with exact multipliers.
+  nn::network reference = bench::clone_into(trained, build());
+  nn::quantized_network q_ref(
+      reference, std::span<const nn::tensor>(task.train_x).subspan(0, 64));
+  const double ref_acc =
+      q_ref.accuracy(task.test_x, task.test_set.labels, exact_lut);
+  const dist::pmf weight_dist =
+      dist::pmf::from_int8_samples(q_ref.quantized_weights());
+  const auto exact_mac =
+      core::characterize_mac(seed, spec, weight_dist, acc_width, lib);
+
+  core::approximation_config cfg;
+  cfg.spec = spec;
+  cfg.distribution = weight_dist;
+  cfg.iterations = bench::scaled(1600);
+  cfg.extra_columns = 64;
+  cfg.rng_seed = 700;
+  const core::wmed_approximator approximator(cfg);
+
+  nn::finetune_config ft;
+  ft.epochs = bench::scaled(3);  // paper: 10 iterations
+  ft.learning_rate = 0.004f;     // gentle: forward path is saturating
+
+  const std::vector<double> levels{0.0,    0.00005, 0.0001, 0.0005, 0.001,
+                                   0.005,  0.01,    0.02,   0.05,   0.1};
+
+  std::printf("\n=== %s (reference quantized accuracy %.2f%%) ===\n", name,
+              100.0 * ref_acc);
+  std::printf("%-8s %12s %12s %8s %8s %8s\n", "WMED%", "init_acc", "tuned_acc",
+              "PDP%", "Power%", "Area%");
+
+  for (const double level : levels) {
+    // Best of two independent runs (the paper reports its best multipliers).
+    auto design = approximator.approximate(seed, level, 0);
+    if (const auto second = approximator.approximate(seed, level, 1);
+        second.area_um2 < design.area_um2) {
+      design = second;
+    }
+    const mult::product_lut lut(design.netlist, spec);
+
+    // Fresh copy of the trained network per level (fine-tuning mutates it).
+    nn::network net = bench::clone_into(trained, build());
+    nn::quantized_network qnet(
+        net, std::span<const nn::tensor>(task.train_x).subspan(0, 64));
+
+    const double init_acc =
+        qnet.accuracy(task.test_x, task.test_set.labels, lut);
+    nn::finetune(qnet, task.train_x, task.train_set.labels, lut, ft);
+    const double tuned_acc =
+        qnet.accuracy(task.test_x, task.test_set.labels, lut);
+
+    const auto mac = core::characterize_mac(design.netlist, spec,
+                                            weight_dist, acc_width, lib);
+    std::printf("%-8.3f %11.2f%% %11.2f%% %7.0f%% %7.0f%% %7.0f%%\n",
+                100.0 * level, 100.0 * (init_acc - ref_acc),
+                100.0 * (tuned_acc - ref_acc),
+                100.0 * (mac.pdp_fj / exact_mac.pdp_fj - 1.0),
+                100.0 * (mac.power_uw / exact_mac.power_uw - 1.0),
+                100.0 * (mac.area_um2 / exact_mac.area_um2 - 1.0));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table I", "accuracy vs WMED before/after fine-tuning");
+
+  const auto svhn = bench::make_svhn_task();
+  const nn::network lenet = bench::svhn_lenet(svhn);
+  run_case("LeNet-5 on SVHN-like", svhn,
+           [] { return nn::make_lenet5(7777, bench::lenet_channel_scale()); },
+           lenet, 25);
+
+  const auto mnist = bench::make_mnist_task();
+  const nn::network mlp = bench::mnist_mlp(mnist);
+  run_case("MLP on MNIST-like", mnist, [] { return nn::make_mlp(4242); },
+           mlp, 26);
+
+  std::printf(
+      "\nPaper reference (shape): accuracy unchanged for WMED <= 0.5%% with\n"
+      "PDP reduced ~55%%; at 2%% a small drop appears (larger for MNIST)\n"
+      "that fine-tuning mostly recovers; at 5-10%% the un-tuned network\n"
+      "collapses and fine-tuning recovers most of the loss.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Case-study-2 workflow end to end on a small scale: train a digit
+// classifier, quantize it to 8-bit (Ristretto-style), derive the WMED
+// weights from the trained weight histogram, evolve an approximate signed
+// multiplier, and measure classification accuracy before and after
+// approximate-aware fine-tuning.
+#include <cstdio>
+
+#include "core/design_flow.h"
+#include "data/digits.h"
+#include "mult/multipliers.h"
+#include "nn/finetune.h"
+#include "nn/models.h"
+#include "nn/quantize.h"
+#include "nn/trainer.h"
+
+int main() {
+  using namespace axc;
+
+  // 1. Data + float training.
+  const auto train_set = data::make_mnist_like(2000, 1);
+  const auto test_set = data::make_mnist_like(500, 2);
+  const auto train_x = data::to_tensors(train_set);
+  const auto test_x = data::to_tensors(test_set);
+
+  nn::network mlp = nn::make_mlp(/*seed=*/7, 28 * 28, 100);
+  nn::train_config tcfg;
+  tcfg.epochs = 4;
+  tcfg.learning_rate = 0.08f;
+  nn::train(mlp, train_x, train_set.labels, tcfg);
+  std::printf("float accuracy:      %.2f%%\n",
+              100.0 * nn::accuracy(mlp, test_x, test_set.labels));
+
+  // 2. 8-bit quantization + exact-multiplier reference.
+  nn::quantized_network qnet(
+      mlp, std::span<const nn::tensor>(train_x).subspan(0, 64));
+  const auto exact_lut =
+      mult::product_lut::exact(metrics::mult_spec{8, true});
+  const double quant_acc =
+      qnet.accuracy(test_x, test_set.labels, exact_lut);
+  std::printf("quantized accuracy:  %.2f%% (exact 8-bit multipliers)\n",
+              100.0 * quant_acc);
+
+  // 3. WMED weights from the trained network's weight histogram, floored
+  //    with 10 % uniform mass so rare-but-critical operands (output-layer
+  //    weights) keep some protection — the recommended recipe (README).
+  const auto weights = qnet.quantized_weights();
+  const dist::pmf weight_dist =
+      dist::pmf::from_int8_samples(weights).blend(dist::pmf::uniform(256),
+                                                  0.1);
+  std::printf("weight distribution: stddev %.1f (patterns), entropy %.2f "
+              "bits over %zu weights\n",
+              weight_dist.stddev(), weight_dist.entropy_bits(),
+              weights.size());
+
+  // 4. Evolve a tailored approximate multiplier at WMED <= 0.1%.
+  core::approximation_config cfg;
+  cfg.spec = metrics::mult_spec{8, true};
+  cfg.iterations = 2500;
+  cfg.distribution = weight_dist;
+  const core::wmed_approximator approximator(cfg);
+  const auto design =
+      approximator.approximate(mult::signed_multiplier(8), 0.001);
+  std::printf("evolved multiplier:  WMED %.3f%%, %zu gates (seed had %zu)\n",
+              100.0 * design.wmed, design.netlist.active_gate_count(),
+              mult::signed_multiplier(8).num_gates());
+
+  // 5. Accuracy with the approximate multiplier, before/after fine-tuning.
+  const mult::product_lut approx_lut(design.netlist, cfg.spec);
+  const double before =
+      qnet.accuracy(test_x, test_set.labels, approx_lut);
+  nn::finetune_config ft;
+  ft.epochs = 3;
+  ft.learning_rate = 0.002f;  // gentle: the forward path saturates
+  nn::finetune(qnet, train_x, train_set.labels, approx_lut, ft);
+  const double after = qnet.accuracy(test_x, test_set.labels, approx_lut);
+
+  std::printf("approx accuracy:     %.2f%% before / %.2f%% after "
+              "fine-tuning (delta vs quantized: %+.2f%% / %+.2f%%)\n",
+              100.0 * before, 100.0 * after, 100.0 * (before - quant_acc),
+              100.0 * (after - quant_acc));
+
+  // 6. MAC-unit electrical summary.
+  const auto exact_mac = core::characterize_mac(
+      mult::signed_multiplier(8), cfg.spec, weight_dist, 26,
+      tech::cell_library::nangate45_like());
+  const auto approx_mac = core::characterize_mac(
+      design.netlist, cfg.spec, weight_dist, 26,
+      tech::cell_library::nangate45_like());
+  std::printf("MAC PDP: %.1f -> %.1f fJ (%.0f%%), power %.1f -> %.1f uW\n",
+              exact_mac.pdp_fj, approx_mac.pdp_fj,
+              100.0 * (approx_mac.pdp_fj / exact_mac.pdp_fj - 1.0),
+              exact_mac.power_uw, approx_mac.power_uw);
+  return 0;
+}

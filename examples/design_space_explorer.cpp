@@ -1,0 +1,71 @@
+// Design-space exploration with the library's building blocks alone (no
+// evolution): enumerate truncated, broken-array and zero-exact multiplier
+// configurations, characterize error (four metrics) and hardware cost, and
+// print the Pareto-optimal set.  Useful as a fast baseline study and as a
+// template for plugging in custom generators via filtered_multiplier().
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/design_flow.h"
+#include "core/pareto.h"
+#include "metrics/error_metrics.h"
+#include "mult/multipliers.h"
+
+int main() {
+  using namespace axc;
+  const metrics::mult_spec spec{8, false};
+  const auto exact = metrics::exact_product_table(spec);
+  const dist::pmf d = dist::pmf::half_normal(256, 64.0);
+  const auto& lib = tech::cell_library::nangate45_like();
+
+  struct row {
+    std::string name;
+    double wmed, wce, mre, er, area, power, pdp;
+  };
+  std::vector<row> rows;
+
+  const auto add = [&](const std::string& name,
+                       const circuit::netlist& nl) {
+    const auto table = metrics::product_table(nl, spec);
+    const auto hw = core::characterize_multiplier(nl, spec, d, lib, 2048);
+    rows.push_back({name, metrics::wmed(exact, table, spec, d),
+                    metrics::worst_case_error(exact, table, spec),
+                    metrics::mean_relative_error(exact, table),
+                    metrics::error_rate(exact, table), hw.area_um2,
+                    hw.power_uw, hw.pdp_fj});
+  };
+
+  add("exact", mult::unsigned_multiplier(8));
+  add("exact-wallace", mult::unsigned_multiplier(8, mult::schedule::wallace));
+  for (const unsigned k : {2u, 4u, 6u, 8u, 10u}) {
+    add("trunc-" + std::to_string(k), mult::truncated_multiplier(8, k));
+  }
+  for (const auto [h, v] : {std::pair{1u, 4u}, std::pair{2u, 6u},
+                            std::pair{2u, 10u}, std::pair{3u, 8u}}) {
+    add("bam-h" + std::to_string(h) + "v" + std::to_string(v),
+        mult::broken_array_multiplier(8, h, v));
+  }
+  for (const unsigned k : {6u, 8u}) {
+    add("zx-trunc-" + std::to_string(k),
+        mult::zero_exact_wrapper(mult::truncated_multiplier(8, k), 8));
+  }
+
+  std::printf("%-14s %9s %8s %8s %7s %9s %9s %9s\n", "design", "WMED%",
+              "WCE%", "MRE%", "ER%", "area", "power_uW", "PDP_fJ");
+  for (const row& r : rows) {
+    std::printf("%-14s %9.4f %8.3f %8.2f %7.1f %9.1f %9.2f %9.1f\n",
+                r.name.c_str(), 100 * r.wmed, 100 * r.wce, 100 * r.mre,
+                100 * r.er, r.area, r.power, r.pdp);
+  }
+
+  std::vector<core::pareto_point> points;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    points.push_back({rows[i].wmed, rows[i].pdp, i});
+  }
+  std::printf("\nPareto-optimal (WMED vs PDP):\n");
+  for (const auto& p : core::pareto_front(points)) {
+    std::printf("  %s\n", rows[p.index].name.c_str());
+  }
+  return 0;
+}

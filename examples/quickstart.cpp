@@ -1,0 +1,61 @@
+// Quickstart: evolve an application-tailored approximate multiplier in
+// ~20 lines of API use.
+//
+//   1. describe the operand distribution your application produces,
+//   2. pick WMED targets,
+//   3. hand a conventional multiplier to the approximator,
+//   4. get back smaller circuits + LUTs + electrical estimates.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <fstream>
+
+#include "circuit/export.h"
+#include "core/design_flow.h"
+#include "mult/multipliers.h"
+
+int main() {
+  using namespace axc;
+
+  // An 8-bit unsigned multiplier whose first operand is usually small
+  // (half-normal distribution) — e.g. a filter coefficient input.
+  core::approximation_config config;
+  config.spec = metrics::mult_spec{8, /*is_signed=*/false};
+  config.iterations = 2000;  // raise for better results (paper: ~1 h/run)
+
+  const dist::pmf operand_dist = dist::pmf::half_normal(256, 48.0);
+  const std::vector<double> wmed_targets{0.0001, 0.001, 0.01};
+  const circuit::netlist seed = mult::unsigned_multiplier(8);
+
+  std::printf("Evolving approximate 8x8 multipliers (seed: %zu gates)...\n",
+              seed.num_gates());
+  const auto designs = core::design_for_distribution(
+      operand_dist, config, wmed_targets, seed);
+
+  std::printf("%-10s %10s %10s %10s %12s\n", "target%", "WMED%", "area_um2",
+              "power_uW", "gates");
+  for (const auto& d : designs) {
+    std::printf("%-10.4f %10.4f %10.1f %10.2f %12zu\n",
+                100.0 * d.design.target, 100.0 * d.design.wmed,
+                d.multiplier_power.area_um2, d.multiplier_power.power_uw,
+                d.design.netlist.active_gate_count());
+  }
+
+  // Use the LUT in software.  Operand A carries the distribution: the
+  // evolved circuit is accurate where the application actually multiplies
+  // (small A) and sloppy where it never looks (large A).
+  const auto& mid = designs[1];
+  std::printf("\nLUT check (design @%.2f%% WMED):\n",
+              100.0 * mid.design.target);
+  std::printf("  likely operand:  9 x 200 = %6d (exact 1800)\n",
+              mid.lut.multiply(9, 200));
+  std::printf("  rare operand:  200 x   9 = %6d (exact 1800)\n",
+              mid.lut.multiply(200, 9));
+
+  // ...and the netlist in hardware.
+  std::ofstream verilog("quickstart_multiplier.v");
+  circuit::write_verilog(verilog, designs.back().design.netlist,
+                         "approx_mult_8x8");
+  std::printf("Wrote quickstart_multiplier.v (structural Verilog).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "cgp/evolver.h"
+
+#include <utility>
+
+#include "support/assert.h"
+
+namespace axc::cgp {
+
+bool better(const evaluation& a, const evaluation& b) {
+  if (a.feasible != b.feasible) return a.feasible;
+  if (a.feasible) return a.area < b.area;
+  return a.error < b.error;
+}
+
+bool not_worse(const evaluation& a, const evaluation& b) {
+  return !better(b, a);
+}
+
+evolver::run_result evolver::run(const genotype& seed,
+                                 const evaluate_fn& evaluate,
+                                 const options& opts, rng& gen) {
+  AXC_EXPECTS(evaluate != nullptr);
+
+  run_result result{seed, evaluate(seed.decode()), 0, 1, 0, 0};
+  genotype parent = seed;
+  evaluation parent_eval = result.best_eval;
+  const std::size_t lambda = parent.params().lambda;
+
+  // Strict ordering used to pick the best offspring and to decide
+  // acceptance; optionally refines Eq. 1 with an error tie-break.
+  const auto strictly_better = [&opts](const evaluation& a,
+                                       const evaluation& b) {
+    if (better(a, b)) return true;
+    if (opts.error_tiebreak && !better(b, a)) {
+      // Equal under Eq. 1: compare errors.
+      return a.error < b.error;
+    }
+    return false;
+  };
+  const auto acceptable = [&](const evaluation& a, const evaluation& b) {
+    if (!opts.neutral_drift) return strictly_better(a, b);
+    if (opts.error_tiebreak) {
+      return strictly_better(a, b) || (!better(b, a) && a.error <= b.error);
+    }
+    return not_worse(a, b);
+  };
+
+  for (std::size_t iter = 0; iter < opts.iterations; ++iter) {
+    genotype best_child = parent;
+    evaluation best_child_eval{};
+    bool have_child = false;
+
+    for (std::size_t k = 0; k < lambda; ++k) {
+      genotype child = parent;
+      child.mutate(gen);
+      const evaluation child_eval = evaluate(child.decode());
+      ++result.evaluations;
+      if (!have_child || strictly_better(child_eval, best_child_eval)) {
+        best_child = std::move(child);
+        best_child_eval = child_eval;
+        have_child = true;
+      }
+    }
+
+    const bool accept = acceptable(best_child_eval, parent_eval);
+    if (accept) {
+      const bool improved = better(best_child_eval, parent_eval);
+      parent = std::move(best_child);
+      parent_eval = best_child_eval;
+      if (improved) {
+        ++result.improvements;
+        if (opts.on_improvement) opts.on_improvement(iter, parent_eval);
+      } else {
+        ++result.neutral_moves;
+      }
+    }
+    ++result.iterations;
+  }
+
+  result.best = std::move(parent);
+  result.best_eval = parent_eval;
+  return result;
+}
+
+}  // namespace axc::cgp

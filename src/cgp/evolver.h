@@ -1,0 +1,69 @@
+// (1 + lambda) evolution strategy over CGP genotypes (Sec. III-C).
+//
+// Each generation creates lambda mutants of the parent; the best mutant
+// replaces the parent if it is *not worse* — accepting equal fitness is
+// CGP's neutral drift and is essential for escaping plateaus.  Fitness
+// follows the paper's Eq. 1: a candidate is feasible when its error is
+// within the target threshold, feasible candidates are ranked by area, and
+// infeasible ones rank below every feasible candidate (ranked among
+// themselves by error so a search seeded out of the feasible region can
+// climb back in).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cgp/genotype.h"
+#include "circuit/netlist.h"
+#include "support/rng.h"
+
+namespace axc::cgp {
+
+/// Outcome of evaluating one candidate.
+struct evaluation {
+  double error{0.0};  ///< e.g. WMED; only ordering matters when infeasible
+  double area{0.0};   ///< minimization objective when feasible
+  bool feasible{false};
+};
+
+/// Strict-weak "a is strictly better than b" per Eq. 1 (+ error tie-break).
+[[nodiscard]] bool better(const evaluation& a, const evaluation& b);
+
+/// "a can replace b" — better or equal (neutral drift acceptance).
+[[nodiscard]] bool not_worse(const evaluation& a, const evaluation& b);
+
+class evolver {
+ public:
+  using evaluate_fn = std::function<evaluation(const circuit::netlist&)>;
+  /// Called whenever the parent strictly improves.
+  using progress_fn =
+      std::function<void(std::size_t iteration, const evaluation&)>;
+
+  struct options {
+    std::size_t iterations{10000};
+    bool neutral_drift{true};
+    /// Among feasible candidates of equal area, prefer lower error.  Eq. 1
+    /// leaves equal-fitness ordering open; biasing the neutral drift toward
+    /// low error keeps the error budget spent on many small deviations
+    /// instead of a few catastrophic ones, which matters at short search
+    /// budgets (see DESIGN.md ablations).
+    bool error_tiebreak{false};
+    progress_fn on_improvement{};
+  };
+
+  struct run_result {
+    genotype best;
+    evaluation best_eval;
+    std::size_t iterations{0};
+    std::size_t evaluations{0};
+    std::size_t improvements{0};
+    std::size_t neutral_moves{0};
+  };
+
+  /// Runs the (1 + lambda) ES from `seed`; lambda and mutation strength
+  /// come from the genotype's parameters.
+  static run_result run(const genotype& seed, const evaluate_fn& evaluate,
+                        const options& opts, rng& gen);
+};
+
+}  // namespace axc::cgp

@@ -1,0 +1,137 @@
+#include "cgp/genotype.h"
+
+#include <string>
+
+#include "support/assert.h"
+
+namespace axc::cgp {
+
+std::string parameters::validate() const {
+  if (num_inputs == 0) return "num_inputs must be positive";
+  if (num_outputs == 0) return "num_outputs must be positive";
+  if (columns == 0 || rows == 0) return "grid must be non-empty";
+  if (levels_back == 0) return "levels_back must be positive";
+  if (function_set.empty()) return "function set must not be empty";
+  if (max_mutations == 0) return "max_mutations must be positive";
+  if (lambda == 0) return "lambda must be positive";
+  return {};
+}
+
+genotype::genotype(parameters params)
+    : params_(std::move(params)),
+      nodes_(params_.node_count(), node_genes{0, 0, 0}),
+      outputs_(params_.num_outputs, 0) {
+  AXC_EXPECTS(params_.validate().empty());
+}
+
+std::uint32_t genotype::random_source(std::size_t column, rng& gen) const {
+  const std::size_t ni = params_.num_inputs;
+  const std::size_t r = params_.rows;
+  const std::size_t first_col =
+      column > params_.levels_back ? column - params_.levels_back : 0;
+  const std::size_t reachable_nodes = r * (column - first_col);
+  const std::uint64_t pick = gen.below(ni + reachable_nodes);
+  if (pick < ni) return static_cast<std::uint32_t>(pick);
+  return static_cast<std::uint32_t>(ni + first_col * r + (pick - ni));
+}
+
+genotype genotype::random(parameters params, rng& gen) {
+  genotype g(std::move(params));
+  const parameters& p = g.params_;
+  for (std::size_t k = 0; k < p.node_count(); ++k) {
+    const std::size_t column = k / p.rows;
+    g.nodes_[k].in0 = g.random_source(column, gen);
+    g.nodes_[k].in1 = g.random_source(column, gen);
+    g.nodes_[k].fn =
+        static_cast<std::uint32_t>(gen.below(p.function_set.size()));
+  }
+  for (auto& out : g.outputs_) {
+    out = static_cast<std::uint32_t>(
+        gen.below(p.num_inputs + p.node_count()));
+  }
+  return g;
+}
+
+genotype genotype::from_netlist(parameters params, const circuit::netlist& nl,
+                                rng& gen) {
+  AXC_EXPECTS(params.rows == 1);
+  AXC_EXPECTS(nl.num_inputs() == params.num_inputs);
+  AXC_EXPECTS(nl.num_outputs() == params.num_outputs);
+  AXC_EXPECTS(nl.num_gates() <= params.node_count());
+
+  genotype g = random(std::move(params), gen);
+  const parameters& p = g.params_;
+
+  for (std::size_t k = 0; k < nl.num_gates(); ++k) {
+    const circuit::gate_node& gate = nl.gate(k);
+    std::uint32_t fn_index = 0;
+    bool found = false;
+    for (std::size_t f = 0; f < p.function_set.size(); ++f) {
+      if (p.function_set[f] == gate.fn) {
+        fn_index = static_cast<std::uint32_t>(f);
+        found = true;
+        break;
+      }
+    }
+    AXC_EXPECTS(found);  // the seed must only use functions from the set
+    g.nodes_[k] = node_genes{gate.in0, gate.in1, fn_index};
+  }
+  for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+    g.outputs_[o] = nl.output(o);
+  }
+  return g;
+}
+
+void genotype::mutate(rng& gen) {
+  const parameters& p = params_;
+  const std::size_t node_gene_count = p.node_count() * 3;
+  const std::size_t total = p.gene_count();
+  const auto changes = 1 + gen.below(p.max_mutations);
+
+  for (std::uint64_t m = 0; m < changes; ++m) {
+    const std::uint64_t g = gen.below(total);
+    if (g < node_gene_count) {
+      const std::size_t k = g / 3;
+      const std::size_t column = k / p.rows;
+      switch (g % 3) {
+        case 0: nodes_[k].in0 = random_source(column, gen); break;
+        case 1: nodes_[k].in1 = random_source(column, gen); break;
+        default:
+          nodes_[k].fn =
+              static_cast<std::uint32_t>(gen.below(p.function_set.size()));
+      }
+    } else {
+      outputs_[g - node_gene_count] = static_cast<std::uint32_t>(
+          gen.below(p.num_inputs + p.node_count()));
+    }
+  }
+}
+
+circuit::netlist genotype::decode() const {
+  const parameters& p = params_;
+  circuit::netlist nl(p.num_inputs, p.num_outputs);
+  for (const node_genes& n : nodes_) {
+    nl.add_gate(p.function_set[n.fn], n.in0, n.in1);
+  }
+  for (std::size_t o = 0; o < outputs_.size(); ++o) {
+    nl.set_output(o, outputs_[o]);
+  }
+  return nl;
+}
+
+std::size_t genotype::distance(const genotype& other) const {
+  AXC_EXPECTS(other.nodes_.size() == nodes_.size());
+  AXC_EXPECTS(other.outputs_.size() == outputs_.size());
+  std::size_t diff = 0;
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    if (nodes_[k].in0 != other.nodes_[k].in0) ++diff;
+    if (nodes_[k].in1 != other.nodes_[k].in1) ++diff;
+    if (nodes_[k].fn != other.nodes_[k].fn) ++diff;
+  }
+  for (std::size_t o = 0; o < outputs_.size(); ++o) {
+    if (outputs_[o] != other.outputs_[o]) ++diff;
+  }
+  return diff;
+}
+
+}  // namespace axc::cgp

@@ -1,0 +1,97 @@
+// Cartesian Genetic Programming genotype (Miller [9], as used by the paper).
+//
+// A candidate circuit is an r x c grid of two-input programmable nodes plus
+// no output genes; every node is encoded by three integers (in0, in1,
+// function index), giving the paper's S = r*c*(na+1) + no genes.  Node
+// inputs may reference primary inputs or nodes up to `levels_back` columns
+// to the left, so decoded circuits are combinational by construction.
+// Redundant (inactive) nodes are part of the encoding — they are the raw
+// material of CGP's neutral drift.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+#include "circuit/netlist.h"
+#include "support/rng.h"
+
+namespace axc::cgp {
+
+struct parameters {
+  std::size_t num_inputs{0};
+  std::size_t num_outputs{0};
+  std::size_t columns{0};
+  std::size_t rows{1};
+  /// How many columns to the left a node may read from; `columns` means
+  /// "any previous column" (the paper's setting for r = 1).
+  std::size_t levels_back{0};
+  std::vector<circuit::gate_fn> function_set;
+  /// h: a mutation changes up to this many genes.
+  unsigned max_mutations{5};
+  /// lambda of the (1 + lambda) evolution strategy.
+  std::size_t lambda{4};
+
+  [[nodiscard]] std::size_t node_count() const { return rows * columns; }
+  /// S = r*c*(na+1) + no.
+  [[nodiscard]] std::size_t gene_count() const {
+    return node_count() * 3 + num_outputs;
+  }
+  /// Validates consistency; returns an error description or empty string.
+  [[nodiscard]] std::string validate() const;
+
+  friend bool operator==(const parameters&, const parameters&) = default;
+};
+
+class genotype {
+ public:
+  /// All-zero genotype (every node computes function_set[0] over input 0).
+  explicit genotype(parameters params);
+
+  /// Uniformly random genotype.
+  static genotype random(parameters params, rng& gen);
+
+  /// Seeds the genotype with an existing netlist (requires rows == 1 and
+  /// netlist gates <= columns).  Gate k becomes node k; the remaining
+  /// columns are filled with random (initially inactive) nodes, giving the
+  /// search spare material without changing the seeded function.
+  static genotype from_netlist(parameters params, const circuit::netlist& nl,
+                               rng& gen);
+
+  /// Point mutation: picks 1..h genes uniformly and re-randomizes each
+  /// within its legal range.  Always produces a valid genotype.
+  void mutate(rng& gen);
+
+  /// Decodes to the netlist IR (includes inactive nodes; netlist-level
+  /// analyses mask them out).
+  [[nodiscard]] circuit::netlist decode() const;
+
+  [[nodiscard]] const parameters& params() const { return params_; }
+
+  struct node_genes {
+    std::uint32_t in0, in1, fn;
+    friend bool operator==(const node_genes&, const node_genes&) = default;
+  };
+  [[nodiscard]] const std::vector<node_genes>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& output_genes() const {
+    return outputs_;
+  }
+
+  /// Number of genes differing from `other` (same parameters required).
+  [[nodiscard]] std::size_t distance(const genotype& other) const;
+
+  friend bool operator==(const genotype&, const genotype&) = default;
+
+ private:
+  /// First legal source address for a node in `column` (always 0) and one
+  /// past the last: sources are primary inputs plus nodes in columns
+  /// [column - levels_back, column).
+  [[nodiscard]] std::uint32_t random_source(std::size_t column, rng& gen) const;
+
+  parameters params_;
+  std::vector<node_genes> nodes_;
+  std::vector<std::uint32_t> outputs_;
+};
+
+}  // namespace axc::cgp

@@ -1,0 +1,76 @@
+#include "circuit/activity.h"
+
+#include <bit>
+
+#include "circuit/simulator.h"
+#include "support/assert.h"
+
+namespace axc::circuit {
+
+activity_profile profile_activity(
+    const netlist& nl, std::span<const std::uint64_t> input_values) {
+  AXC_EXPECTS(input_values.size() >= 2);
+  const std::size_t ni = nl.num_inputs();
+  const std::size_t ng = nl.num_gates();
+
+  activity_profile profile;
+  profile.gate_toggle_rate.assign(ng, 0.0);
+  profile.input_toggle_rate.assign(ni, 0.0);
+  profile.gate_one_probability.assign(ng, 0.0);
+  profile.cycles = input_values.size();
+
+  std::vector<std::uint64_t> in_words(ni);
+  std::vector<std::uint64_t> scratch(nl.num_signals());
+  // Last sample of the previous block, per signal, for boundary transitions.
+  std::vector<std::uint64_t> prev_bit(nl.num_signals(), 0);
+
+  std::vector<std::uint64_t> toggles(nl.num_signals(), 0);
+  std::vector<std::uint64_t> ones(ng, 0);
+  bool first_block = true;
+
+  for (std::size_t base = 0; base < input_values.size(); base += 64) {
+    const std::size_t limit =
+        input_values.size() - base < 64 ? input_values.size() - base : 64;
+    for (std::size_t i = 0; i < ni; ++i) {
+      std::uint64_t plane = 0;
+      for (std::size_t t = 0; t < limit; ++t) {
+        plane |= ((input_values[base + t] >> i) & 1) << t;
+      }
+      in_words[i] = plane;
+    }
+    // simulate_block fills scratch with every signal's word.
+    std::vector<std::uint64_t> out_words(nl.num_outputs());
+    simulate_block(nl, in_words, out_words, scratch);
+
+    const std::uint64_t valid_mask =
+        limit == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << limit) - 1);
+
+    for (std::size_t s = 0; s < nl.num_signals(); ++s) {
+      const std::uint64_t w = scratch[s] & valid_mask;
+      // Transitions inside the block: between bit t and bit t+1.
+      std::uint64_t trans = (w ^ (w >> 1)) & (valid_mask >> 1);
+      std::uint64_t count = static_cast<std::uint64_t>(std::popcount(trans));
+      // Boundary transition from the previous block's last sample.
+      if (!first_block) count += (w & 1) != prev_bit[s] ? 1 : 0;
+      toggles[s] += count;
+      prev_bit[s] = (w >> (limit - 1)) & 1;
+      if (s >= ni) {
+        ones[s - ni] += static_cast<std::uint64_t>(std::popcount(w));
+      }
+    }
+    first_block = false;
+  }
+
+  const double cycles = static_cast<double>(input_values.size());
+  for (std::size_t i = 0; i < ni; ++i) {
+    profile.input_toggle_rate[i] = static_cast<double>(toggles[i]) / cycles;
+  }
+  for (std::size_t k = 0; k < ng; ++k) {
+    profile.gate_toggle_rate[k] =
+        static_cast<double>(toggles[ni + k]) / cycles;
+    profile.gate_one_probability[k] = static_cast<double>(ones[k]) / cycles;
+  }
+  return profile;
+}
+
+}  // namespace axc::circuit

@@ -1,0 +1,25 @@
+// Netlist exporters: structural Verilog (for external synthesis/inspection)
+// and Graphviz DOT (for documentation figures).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace axc::circuit {
+
+/// Writes a self-contained structural Verilog module.  Inactive gates are
+/// omitted; signals are named in[i], g<k>, out[o].
+void write_verilog(std::ostream& os, const netlist& nl,
+                   const std::string& module_name);
+
+std::string to_verilog(const netlist& nl, const std::string& module_name);
+
+/// Writes a Graphviz digraph of the active cone.
+void write_dot(std::ostream& os, const netlist& nl,
+               const std::string& graph_name);
+
+std::string to_dot(const netlist& nl, const std::string& graph_name);
+
+}  // namespace axc::circuit

@@ -1,0 +1,53 @@
+#include "circuit/gate.h"
+
+namespace axc::circuit {
+
+std::string_view gate_name(gate_fn fn) {
+  switch (fn) {
+    case gate_fn::const0:  return "const0";
+    case gate_fn::const1:  return "const1";
+    case gate_fn::buf_a:   return "buf_a";
+    case gate_fn::not_a:   return "not_a";
+    case gate_fn::buf_b:   return "buf_b";
+    case gate_fn::not_b:   return "not_b";
+    case gate_fn::and2:    return "and";
+    case gate_fn::nand2:   return "nand";
+    case gate_fn::or2:     return "or";
+    case gate_fn::nor2:    return "nor";
+    case gate_fn::xor2:    return "xor";
+    case gate_fn::xnor2:   return "xnor";
+    case gate_fn::andn_ab: return "andn_ab";
+    case gate_fn::andn_ba: return "andn_ba";
+    case gate_fn::orn_ab:  return "orn_ab";
+    case gate_fn::orn_ba:  return "orn_ba";
+  }
+  return "invalid";
+}
+
+namespace {
+
+constexpr std::array kDefaultSet = {
+    gate_fn::const0, gate_fn::const1, gate_fn::buf_a,   gate_fn::not_a,
+    gate_fn::and2,   gate_fn::nand2,  gate_fn::or2,     gate_fn::nor2,
+    gate_fn::xor2,   gate_fn::xnor2,  gate_fn::andn_ab, gate_fn::orn_ba,
+};
+
+constexpr std::array kBasicSet = {
+    gate_fn::buf_a, gate_fn::not_a, gate_fn::and2, gate_fn::nand2,
+    gate_fn::or2,   gate_fn::nor2,  gate_fn::xor2, gate_fn::xnor2,
+};
+
+constexpr std::array kFullSet = {
+    gate_fn::const0,  gate_fn::const1,  gate_fn::buf_a,   gate_fn::not_a,
+    gate_fn::buf_b,   gate_fn::not_b,   gate_fn::and2,    gate_fn::nand2,
+    gate_fn::or2,     gate_fn::nor2,    gate_fn::xor2,    gate_fn::xnor2,
+    gate_fn::andn_ab, gate_fn::andn_ba, gate_fn::orn_ab,  gate_fn::orn_ba,
+};
+
+}  // namespace
+
+std::span<const gate_fn> default_function_set() { return kDefaultSet; }
+std::span<const gate_fn> basic_function_set() { return kBasicSet; }
+std::span<const gate_fn> full_function_set() { return kFullSet; }
+
+}  // namespace axc::circuit

@@ -1,0 +1,104 @@
+// Gate function set for the gate-level netlist IR.
+//
+// All sixteen two-input Boolean functions are representable; the paper's CGP
+// setup ("all standard two-input gates") corresponds to default_function_set()
+// below.  Constants and single-input functions are modelled as two-input
+// functions that ignore one operand, which keeps the CGP genotype encoding
+// uniform (na = 2 for every node).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace axc::circuit {
+
+enum class gate_fn : std::uint8_t {
+  const0,   ///< 0
+  const1,   ///< 1
+  buf_a,    ///< a
+  not_a,    ///< ~a
+  buf_b,    ///< b
+  not_b,    ///< ~b
+  and2,     ///< a & b
+  nand2,    ///< ~(a & b)
+  or2,      ///< a | b
+  nor2,     ///< ~(a | b)
+  xor2,     ///< a ^ b
+  xnor2,    ///< ~(a ^ b)
+  andn_ab,  ///< a & ~b   (inhibition)
+  andn_ba,  ///< ~a & b
+  orn_ab,   ///< a | ~b   (implication b->a)
+  orn_ba,   ///< ~a | b   (implication a->b)
+};
+
+inline constexpr std::size_t gate_fn_count = 16;
+
+/// Word-parallel evaluation: applies `fn` bitwise to 64 assignments at once.
+constexpr std::uint64_t eval_gate(gate_fn fn, std::uint64_t a,
+                                  std::uint64_t b) {
+  switch (fn) {
+    case gate_fn::const0:  return 0;
+    case gate_fn::const1:  return ~std::uint64_t{0};
+    case gate_fn::buf_a:   return a;
+    case gate_fn::not_a:   return ~a;
+    case gate_fn::buf_b:   return b;
+    case gate_fn::not_b:   return ~b;
+    case gate_fn::and2:    return a & b;
+    case gate_fn::nand2:   return ~(a & b);
+    case gate_fn::or2:     return a | b;
+    case gate_fn::nor2:    return ~(a | b);
+    case gate_fn::xor2:    return a ^ b;
+    case gate_fn::xnor2:   return ~(a ^ b);
+    case gate_fn::andn_ab: return a & ~b;
+    case gate_fn::andn_ba: return ~a & b;
+    case gate_fn::orn_ab:  return a | ~b;
+    case gate_fn::orn_ba:  return ~a | b;
+  }
+  return 0;  // unreachable for valid gate_fn
+}
+
+/// 4-bit truth table of `fn`: bit (2*a + b) holds the output for inputs a,b.
+constexpr std::uint8_t gate_truth_table(gate_fn fn) {
+  std::uint8_t table = 0;
+  for (unsigned a = 0; a < 2; ++a) {
+    for (unsigned b = 0; b < 2; ++b) {
+      const std::uint64_t av = a ? ~std::uint64_t{0} : 0;
+      const std::uint64_t bv = b ? ~std::uint64_t{0} : 0;
+      if (eval_gate(fn, av, bv) & 1) {
+        table = static_cast<std::uint8_t>(table | (1u << (2 * a + b)));
+      }
+    }
+  }
+  return table;
+}
+
+/// True when the function's output depends on operand a (respectively b).
+constexpr bool depends_on_a(gate_fn fn) {
+  const std::uint8_t t = gate_truth_table(fn);
+  return ((t >> 2) & 0b11) != (t & 0b11);
+}
+constexpr bool depends_on_b(gate_fn fn) {
+  const std::uint8_t t = gate_truth_table(fn);
+  const std::uint8_t a0 = static_cast<std::uint8_t>(t & 0b101);
+  const std::uint8_t a1 = static_cast<std::uint8_t>((t >> 1) & 0b101);
+  return a0 != a1;
+}
+
+/// Short mnemonic used in exports and logs.
+std::string_view gate_name(gate_fn fn);
+
+/// The paper's function set Γ = "all standard two-input gates":
+/// {BUF, NOT, AND, NAND, OR, NOR, XOR, XNOR} plus the inhibition/implication
+/// forms that standard cell libraries offer as single cells.
+std::span<const gate_fn> default_function_set();
+
+/// Minimal set {AND, OR, XOR, NAND, NOR, XNOR, NOT, BUF} without the
+/// inhibition/implication forms; matches EvoApprox-style setups.
+std::span<const gate_fn> basic_function_set();
+
+/// All sixteen two-input Boolean functions.
+std::span<const gate_fn> full_function_set();
+
+}  // namespace axc::circuit

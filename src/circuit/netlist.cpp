@@ -1,0 +1,143 @@
+#include "circuit/netlist.h"
+
+#include <limits>
+#include <string>
+
+#include "support/assert.h"
+
+namespace axc::circuit {
+
+netlist::netlist(std::size_t num_inputs, std::size_t num_outputs)
+    : num_inputs_(num_inputs), outputs_(num_outputs, 0) {
+  AXC_EXPECTS(num_outputs > 0);
+}
+
+std::uint32_t netlist::add_gate(gate_fn fn, std::uint32_t in0,
+                                std::uint32_t in1) {
+  const auto address = static_cast<std::uint32_t>(num_signals());
+  AXC_EXPECTS(in0 < address && in1 < address);
+  gates_.push_back(gate_node{fn, in0, in1});
+  return address;
+}
+
+void netlist::set_output(std::size_t index, std::uint32_t address) {
+  AXC_EXPECTS(index < outputs_.size());
+  AXC_EXPECTS(address < num_signals());
+  outputs_[index] = address;
+}
+
+std::size_t netlist::gate_index(std::uint32_t address) const {
+  AXC_EXPECTS(address >= num_inputs_ && address < num_signals());
+  return address - num_inputs_;
+}
+
+std::vector<bool> netlist::active_mask() const {
+  std::vector<bool> active(gates_.size(), false);
+  // Reverse topological sweep: outputs seed the cone, each active gate
+  // activates its operands.  Functions that ignore an operand do not pull
+  // that operand into the cone.
+  for (const std::uint32_t out : outputs_) {
+    if (out >= num_inputs_) active[out - num_inputs_] = true;
+  }
+  for (std::size_t k = gates_.size(); k-- > 0;) {
+    if (!active[k]) continue;
+    const gate_node& g = gates_[k];
+    if (depends_on_a(g.fn) && g.in0 >= num_inputs_) {
+      active[g.in0 - num_inputs_] = true;
+    }
+    if (depends_on_b(g.fn) && g.in1 >= num_inputs_) {
+      active[g.in1 - num_inputs_] = true;
+    }
+  }
+  return active;
+}
+
+std::size_t netlist::active_gate_count() const {
+  const std::vector<bool> active = active_mask();
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < gates_.size(); ++k) {
+    if (!active[k]) continue;
+    const gate_fn fn = gates_[k].fn;
+    // Wires and constant ties are free in any technology.
+    if (fn == gate_fn::buf_a || fn == gate_fn::buf_b ||
+        fn == gate_fn::const0 || fn == gate_fn::const1) {
+      continue;
+    }
+    ++count;
+  }
+  return count;
+}
+
+netlist netlist::compacted() const {
+  const std::vector<bool> active = active_mask();
+  netlist out(num_inputs_, outputs_.size());
+
+  // Old address -> new address.  Inputs keep their addresses.
+  std::vector<std::uint32_t> remap(num_signals(),
+                                   std::numeric_limits<std::uint32_t>::max());
+  for (std::uint32_t i = 0; i < num_inputs_; ++i) remap[i] = i;
+
+  for (std::size_t k = 0; k < gates_.size(); ++k) {
+    if (!active[k]) continue;
+    const gate_node& g = gates_[k];
+    // Inactive operands (possible when the function ignores them) are
+    // rewired to address 0 so the compacted netlist stays well-formed.
+    const std::uint32_t a =
+        remap[g.in0] != std::numeric_limits<std::uint32_t>::max() ? remap[g.in0]
+                                                                  : 0;
+    const std::uint32_t b =
+        remap[g.in1] != std::numeric_limits<std::uint32_t>::max() ? remap[g.in1]
+                                                                  : 0;
+    remap[num_inputs_ + k] = out.add_gate(g.fn, a, b);
+  }
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    const std::uint32_t mapped = remap[outputs_[i]];
+    out.set_output(i, mapped != std::numeric_limits<std::uint32_t>::max()
+                          ? mapped
+                          : 0);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> graft(netlist& dst, const netlist& src,
+                                 std::span<const std::uint32_t> input_signals) {
+  AXC_EXPECTS(input_signals.size() == src.num_inputs());
+  for (const std::uint32_t s : input_signals) {
+    AXC_EXPECTS(s < dst.num_signals());
+  }
+
+  // src address -> dst address.
+  std::vector<std::uint32_t> remap(src.num_signals());
+  for (std::size_t i = 0; i < src.num_inputs(); ++i) {
+    remap[i] = input_signals[i];
+  }
+  for (std::size_t k = 0; k < src.num_gates(); ++k) {
+    const gate_node& g = src.gate(k);
+    remap[src.num_inputs() + k] =
+        dst.add_gate(g.fn, remap[g.in0], remap[g.in1]);
+  }
+
+  std::vector<std::uint32_t> outputs(src.num_outputs());
+  for (std::size_t o = 0; o < src.num_outputs(); ++o) {
+    outputs[o] = remap[src.output(o)];
+  }
+  return outputs;
+}
+
+std::string netlist::validate() const {
+  for (std::size_t k = 0; k < gates_.size(); ++k) {
+    const auto self = static_cast<std::uint32_t>(num_inputs_ + k);
+    const gate_node& g = gates_[k];
+    if (g.in0 >= self || g.in1 >= self) {
+      return "gate " + std::to_string(k) + " references a forward address";
+    }
+  }
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    if (outputs_[i] >= num_signals()) {
+      return "output " + std::to_string(i) + " references a missing signal";
+    }
+  }
+  return {};
+}
+
+}  // namespace axc::circuit

@@ -1,0 +1,114 @@
+// Gate-level netlist intermediate representation.
+//
+// A netlist is a feed-forward (combinational) network of two-input gates over
+// `num_inputs` primary inputs.  Signals are identified by *addresses* exactly
+// as in Cartesian Genetic Programming:
+//
+//   address 0 .. num_inputs-1              : primary inputs
+//   address num_inputs + k  (k-th gate)    : output of gate k
+//
+// Gates are stored in topological order by construction: a gate may only
+// reference addresses smaller than its own.  This invariant makes simulation,
+// cone extraction and timing analysis single linear passes and is the same
+// constraint CGP imposes on genotypes, so a decoded CGP phenotype maps 1:1
+// onto this IR.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+
+namespace axc::circuit {
+
+/// One two-input gate instance.
+struct gate_node {
+  gate_fn fn{gate_fn::const0};
+  std::uint32_t in0{0};
+  std::uint32_t in1{0};
+
+  friend bool operator==(const gate_node&, const gate_node&) = default;
+};
+
+class netlist {
+ public:
+  /// Creates an empty netlist with the given interface.  All outputs are
+  /// initially tied to address 0 (or constant-0 behaviour when there are no
+  /// inputs); callers are expected to set them explicitly.
+  netlist(std::size_t num_inputs, std::size_t num_outputs);
+
+  /// Appends a gate; both operand addresses must already exist.
+  /// Returns the address of the new gate's output signal.
+  std::uint32_t add_gate(gate_fn fn, std::uint32_t in0, std::uint32_t in1);
+
+  /// Convenience for single-operand functions (second operand unused).
+  std::uint32_t add_unary(gate_fn fn, std::uint32_t in0) {
+    return add_gate(fn, in0, in0);
+  }
+
+  /// Binds primary output `index` to signal `address`.
+  void set_output(std::size_t index, std::uint32_t address);
+
+  [[nodiscard]] std::size_t num_inputs() const { return num_inputs_; }
+  [[nodiscard]] std::size_t num_outputs() const { return outputs_.size(); }
+  [[nodiscard]] std::size_t num_gates() const { return gates_.size(); }
+  /// Total number of addressable signals (inputs + gates).
+  [[nodiscard]] std::size_t num_signals() const {
+    return num_inputs_ + gates_.size();
+  }
+
+  [[nodiscard]] const gate_node& gate(std::size_t k) const {
+    return gates_[k];
+  }
+  [[nodiscard]] std::span<const gate_node> gates() const { return gates_; }
+  [[nodiscard]] std::uint32_t output(std::size_t index) const {
+    return outputs_[index];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> outputs() const {
+    return outputs_;
+  }
+
+  [[nodiscard]] bool is_input_address(std::uint32_t address) const {
+    return address < num_inputs_;
+  }
+
+  /// Gate index for a gate-output address.
+  [[nodiscard]] std::size_t gate_index(std::uint32_t address) const;
+
+  /// Marks every gate in the transitive fan-in cone of any primary output.
+  /// Entry k corresponds to gate k.  Gates outside the cone do not influence
+  /// circuit function (CGP "inactive nodes").
+  [[nodiscard]] std::vector<bool> active_mask() const;
+
+  /// Number of gates that influence at least one output, not counting
+  /// wire-only functions (buf_a/buf_b) and constant ties (const0/const1),
+  /// which synthesis implements for free.
+  [[nodiscard]] std::size_t active_gate_count() const;
+
+  /// Structural copy with inactive gates removed and addresses renumbered.
+  /// Function is preserved; gate order remains topological.
+  [[nodiscard]] netlist compacted() const;
+
+  /// Checks the structural invariants (operand addresses precede gate,
+  /// outputs reference existing signals).  Returns a description of the
+  /// first violation, or an empty string when the netlist is well-formed.
+  [[nodiscard]] std::string validate() const;
+
+  friend bool operator==(const netlist&, const netlist&) = default;
+
+ private:
+  std::size_t num_inputs_;
+  std::vector<gate_node> gates_;
+  std::vector<std::uint32_t> outputs_;
+};
+
+/// Instantiates `src` inside `dst`: src's primary input i is driven by
+/// dst signal `input_signals[i]`; all of src's gates are copied.  Returns
+/// the dst addresses corresponding to src's primary outputs.  This is the
+/// composition primitive used to build MAC units and wrapper circuits.
+std::vector<std::uint32_t> graft(netlist& dst, const netlist& src,
+                                 std::span<const std::uint32_t> input_signals);
+
+}  // namespace axc::circuit

@@ -1,0 +1,182 @@
+#include "circuit/rewrite.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace axc::circuit {
+
+gate_fn gate_fn_from_table(std::uint8_t table) {
+  for (const gate_fn fn : full_function_set()) {
+    if (gate_truth_table(fn) == table) return fn;
+  }
+  AXC_ASSERT(false);  // all 16 tables are covered
+  return gate_fn::const0;
+}
+
+namespace {
+
+/// Value class of a signal in the rewritten netlist: a constant, or a
+/// (possibly inverted) reference to a new-netlist signal.
+struct value_class {
+  enum class kind : std::uint8_t { const0, const1, signal };
+  kind k{kind::const0};
+  std::uint32_t root{0};  ///< new-netlist address (kind::signal only)
+  bool inverted{false};
+
+  static value_class constant(bool one) {
+    return {one ? kind::const1 : kind::const0, 0, false};
+  }
+  static value_class of(std::uint32_t root, bool inverted = false) {
+    return {kind::signal, root, inverted};
+  }
+};
+
+/// 2-bit truth table helpers for single-variable reduction:
+/// bit v = output when the remaining variable is v.
+value_class reduce_single(std::uint8_t table2, const value_class& x) {
+  switch (table2 & 0b11) {
+    case 0b00: return value_class::constant(false);
+    case 0b11: return value_class::constant(true);
+    case 0b10: return x;  // identity
+    default: {             // 0b01: negation
+      value_class inv = x;
+      if (inv.k == value_class::kind::signal) {
+        inv.inverted = !inv.inverted;
+        return inv;
+      }
+      return value_class::constant(inv.k == value_class::kind::const0);
+    }
+  }
+}
+
+struct pair_hash {
+  std::size_t operator()(const std::uint64_t key) const {
+    return std::hash<std::uint64_t>{}(key);
+  }
+};
+
+class rewriter {
+ public:
+  explicit rewriter(const netlist& src)
+      : src_(src), out_(src.num_inputs(), src.num_outputs()) {
+    classes_.reserve(src.num_signals());
+    for (std::uint32_t i = 0; i < src.num_inputs(); ++i) {
+      classes_.push_back(value_class::of(i));
+    }
+  }
+
+  netlist run() {
+    for (std::size_t k = 0; k < src_.num_gates(); ++k) {
+      classes_.push_back(rewrite_gate(src_.gate(k)));
+    }
+    for (std::size_t o = 0; o < src_.num_outputs(); ++o) {
+      out_.set_output(o, materialize(classes_[src_.output(o)]));
+    }
+    return out_.compacted();
+  }
+
+ private:
+  value_class rewrite_gate(const gate_node& g) {
+    std::uint8_t table = gate_truth_table(g.fn);
+    // Operands the function ignores are treated as constant 0 so they do
+    // not constrain folding.
+    value_class a = depends_on_a(g.fn) ? classes_[g.in0]
+                                       : value_class::constant(false);
+    value_class b = depends_on_b(g.fn) ? classes_[g.in1]
+                                       : value_class::constant(false);
+
+    // Fold operand inversions into the function's truth table.
+    if (a.k == value_class::kind::signal && a.inverted) {
+      table = static_cast<std::uint8_t>(((table & 0b0011) << 2) |
+                                        ((table & 0b1100) >> 2));
+      a.inverted = false;
+    }
+    if (b.k == value_class::kind::signal && b.inverted) {
+      table = static_cast<std::uint8_t>(((table & 0b0101) << 1) |
+                                        ((table & 0b1010) >> 1));
+      b.inverted = false;
+    }
+
+    // Constant substitution.
+    if (a.k != value_class::kind::signal) {
+      const unsigned av = a.k == value_class::kind::const1 ? 1 : 0;
+      const std::uint8_t t2 = static_cast<std::uint8_t>(
+          (((table >> (2 * av + 1)) & 1) << 1) | ((table >> (2 * av)) & 1));
+      return reduce_single(t2, b);
+    }
+    if (b.k != value_class::kind::signal) {
+      const unsigned bv = b.k == value_class::kind::const1 ? 1 : 0;
+      const std::uint8_t t2 = static_cast<std::uint8_t>(
+          (((table >> (2 + bv)) & 1) << 1) | ((table >> bv) & 1));
+      return reduce_single(t2, a);
+    }
+
+    // Same-root operands: f(x, x) is single-variable.
+    if (a.root == b.root) {
+      const std::uint8_t t2 = static_cast<std::uint8_t>(
+          (((table >> 3) & 1) << 1) | (table & 1));
+      return reduce_single(t2, a);
+    }
+
+    // Degenerate tables that became constant or single-variable after
+    // inversion folding.
+    switch (table) {
+      case 0b0000: return value_class::constant(false);
+      case 0b1111: return value_class::constant(true);
+      case 0b1100: return a;
+      case 0b0011: return value_class::of(a.root, true);
+      case 0b1010: return b;
+      case 0b0101: return value_class::of(b.root, true);
+      default: break;
+    }
+
+    const gate_fn fn = gate_fn_from_table(table);
+    // Structural hashing: reuse an identical gate if one already exists.
+    const std::uint64_t key = (static_cast<std::uint64_t>(table) << 56) |
+                              (static_cast<std::uint64_t>(a.root) << 28) |
+                              b.root;
+    if (const auto it = cse_.find(key); it != cse_.end()) {
+      return value_class::of(it->second);
+    }
+    const std::uint32_t address = out_.add_gate(fn, a.root, b.root);
+    cse_.emplace(key, address);
+    return value_class::of(address);
+  }
+
+  std::uint32_t materialize(const value_class& c) {
+    switch (c.k) {
+      case value_class::kind::const0:
+        if (!const0_) const0_ = out_.add_gate(gate_fn::const0, 0, 0);
+        return *const0_;
+      case value_class::kind::const1:
+        if (!const1_) const1_ = out_.add_gate(gate_fn::const1, 0, 0);
+        return *const1_;
+      case value_class::kind::signal:
+        if (!c.inverted) return c.root;
+        if (const auto it = inverters_.find(c.root); it != inverters_.end()) {
+          return it->second;
+        }
+        return inverters_[c.root] =
+                   out_.add_gate(gate_fn::not_a, c.root, c.root);
+    }
+    return 0;
+  }
+
+  const netlist& src_;
+  netlist out_;
+  std::vector<value_class> classes_;
+  std::unordered_map<std::uint64_t, std::uint32_t, pair_hash> cse_;
+  std::unordered_map<std::uint32_t, std::uint32_t> inverters_;
+  std::optional<std::uint32_t> const0_;
+  std::optional<std::uint32_t> const1_;
+};
+
+}  // namespace
+
+netlist simplify(const netlist& nl) { return rewriter(nl).run(); }
+
+}  // namespace axc::circuit

@@ -1,0 +1,30 @@
+// Function-preserving netlist simplification.
+//
+// CGP-evolved netlists carry removable structure: constant inputs, gates
+// whose operands are the same signal, inverter chains, wire buffers and
+// structurally duplicate gates.  simplify() cleans all of that up in one
+// topological pass:
+//
+//  - constant propagation (const0/const1 folded through truth tables),
+//  - single-variable reduction (f(x, x), f(x, const), f(~x, x), ...),
+//  - inverter absorption: with all sixteen two-input functions available,
+//    an inverted operand is folded into the consuming gate's function,
+//  - structural hashing (CSE): identical (fn, in0, in1) gates are merged,
+//  - dead-gate removal (via netlist::compacted).
+//
+// The result computes the same function (property-tested) but may use gate
+// functions outside the set the input was built from — relevant only if
+// the output is fed back into a restricted-Γ CGP run.
+#pragma once
+
+#include "circuit/netlist.h"
+
+namespace axc::circuit {
+
+netlist simplify(const netlist& nl);
+
+/// Finds the two-input function with the given 4-bit truth table
+/// (bit (2a + b) = output).  Total: every table corresponds to a gate_fn.
+gate_fn gate_fn_from_table(std::uint8_t table);
+
+}  // namespace axc::circuit

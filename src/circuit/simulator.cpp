@@ -1,0 +1,119 @@
+#include "circuit/simulator.h"
+
+#include <array>
+#include <bit>
+
+#include "support/assert.h"
+
+namespace axc::circuit {
+
+void simulate_block(const netlist& nl, std::span<const std::uint64_t> inputs,
+                    std::span<std::uint64_t> outputs,
+                    std::span<std::uint64_t> scratch) {
+  AXC_EXPECTS(inputs.size() == nl.num_inputs());
+  AXC_EXPECTS(outputs.size() == nl.num_outputs());
+  AXC_EXPECTS(scratch.size() >= nl.num_signals());
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) scratch[i] = inputs[i];
+
+  const std::size_t ni = nl.num_inputs();
+  const std::span<const gate_node> gates = nl.gates();
+  for (std::size_t k = 0; k < gates.size(); ++k) {
+    const gate_node& g = gates[k];
+    scratch[ni + k] = eval_gate(g.fn, scratch[g.in0], scratch[g.in1]);
+  }
+  for (std::size_t o = 0; o < outputs.size(); ++o) {
+    outputs[o] = scratch[nl.output(o)];
+  }
+}
+
+std::uint64_t exhaustive_input_word(std::size_t input_index,
+                                    std::size_t block) {
+  // Inputs 0..5 have period 2,4,...,64 inside a word; the repeating patterns
+  // are compile-time constants.  Input i >= 6 is bit (i - 6) of the block
+  // index, replicated across the word.
+  static constexpr std::array<std::uint64_t, 6> kWithinWord = {
+      0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL, 0xf0f0f0f0f0f0f0f0ULL,
+      0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL,
+  };
+  if (input_index < kWithinWord.size()) return kWithinWord[input_index];
+  return (block >> (input_index - 6)) & 1 ? ~std::uint64_t{0} : 0;
+}
+
+std::vector<std::uint64_t> evaluate_exhaustive(const netlist& nl) {
+  const std::size_t ni = nl.num_inputs();
+  const std::size_t no = nl.num_outputs();
+  AXC_EXPECTS(ni >= 1 && ni <= 26);
+  AXC_EXPECTS(no >= 1 && no <= 64);
+
+  const std::size_t total = std::size_t{1} << ni;
+  const std::size_t blocks = (total + 63) / 64;
+  std::vector<std::uint64_t> result(total, 0);
+
+  std::vector<std::uint64_t> in_words(ni);
+  std::vector<std::uint64_t> out_words(no);
+  std::vector<std::uint64_t> scratch(nl.num_signals());
+
+  for (std::size_t block = 0; block < blocks; ++block) {
+    for (std::size_t i = 0; i < ni; ++i) {
+      in_words[i] = exhaustive_input_word(i, block);
+    }
+    simulate_block(nl, in_words, out_words, scratch);
+
+    // Transpose: bit t of out_words[o] becomes bit o of result[block*64+t].
+    const std::size_t base = block * 64;
+    const std::size_t limit = total - base < 64 ? total - base : 64;
+    for (std::size_t o = 0; o < no; ++o) {
+      std::uint64_t w = out_words[o];
+      while (w != 0) {
+        const int t = std::countr_zero(w);
+        w &= w - 1;
+        if (static_cast<std::size_t>(t) < limit) {
+          result[base + static_cast<std::size_t>(t)] |= std::uint64_t{1} << o;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> simulate_words(
+    const netlist& nl, std::span<const std::uint64_t> input_values) {
+  const std::size_t ni = nl.num_inputs();
+  const std::size_t no = nl.num_outputs();
+  AXC_EXPECTS(ni <= 64 && no <= 64);
+
+  std::vector<std::uint64_t> result(input_values.size(), 0);
+  std::vector<std::uint64_t> in_words(ni);
+  std::vector<std::uint64_t> out_words(no);
+  std::vector<std::uint64_t> scratch(nl.num_signals());
+
+  for (std::size_t base = 0; base < input_values.size(); base += 64) {
+    const std::size_t limit =
+        input_values.size() - base < 64 ? input_values.size() - base : 64;
+
+    // Transpose assignment values into per-input bit planes.
+    for (std::size_t i = 0; i < ni; ++i) {
+      std::uint64_t plane = 0;
+      for (std::size_t t = 0; t < limit; ++t) {
+        plane |= ((input_values[base + t] >> i) & 1) << t;
+      }
+      in_words[i] = plane;
+    }
+    simulate_block(nl, in_words, out_words, scratch);
+
+    for (std::size_t o = 0; o < no; ++o) {
+      std::uint64_t w = out_words[o];
+      while (w != 0) {
+        const int t = std::countr_zero(w);
+        w &= w - 1;
+        if (static_cast<std::size_t>(t) < limit) {
+          result[base + static_cast<std::size_t>(t)] |= std::uint64_t{1} << o;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace axc::circuit

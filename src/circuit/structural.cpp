@@ -1,0 +1,73 @@
+#include "circuit/structural.h"
+
+#include <algorithm>
+
+namespace axc::circuit {
+
+std::vector<std::size_t> logic_levels(const netlist& nl) {
+  const std::vector<bool> active = nl.active_mask();
+  std::vector<std::size_t> level(nl.num_signals(), 0);
+  for (std::size_t k = 0; k < nl.num_gates(); ++k) {
+    if (!active[k]) continue;
+    const gate_node& g = nl.gate(k);
+    std::size_t depth = 0;
+    if (depends_on_a(g.fn)) depth = std::max(depth, level[g.in0]);
+    if (depends_on_b(g.fn)) depth = std::max(depth, level[g.in1]);
+    const bool is_wire = g.fn == gate_fn::buf_a || g.fn == gate_fn::buf_b;
+    level[nl.num_inputs() + k] = depth + (is_wire ? 0 : 1);
+  }
+  return level;
+}
+
+std::vector<std::size_t> fanout_counts(const netlist& nl) {
+  const std::vector<bool> active = nl.active_mask();
+  std::vector<std::size_t> fanout(nl.num_signals(), 0);
+  for (std::size_t k = 0; k < nl.num_gates(); ++k) {
+    if (!active[k]) continue;
+    const gate_node& g = nl.gate(k);
+    if (depends_on_a(g.fn)) ++fanout[g.in0];
+    if (depends_on_b(g.fn)) ++fanout[g.in1];
+  }
+  for (const std::uint32_t out : nl.outputs()) ++fanout[out];
+  return fanout;
+}
+
+structural_stats analyze_structure(const netlist& nl) {
+  structural_stats stats;
+  stats.total_gates = nl.num_gates();
+
+  const std::vector<bool> active = nl.active_mask();
+  for (std::size_t k = 0; k < nl.num_gates(); ++k) {
+    if (!active[k]) continue;
+    const gate_fn fn = nl.gate(k).fn;
+    if (fn == gate_fn::buf_a || fn == gate_fn::buf_b) continue;
+    ++stats.active_gates;
+    ++stats.function_histogram[static_cast<std::size_t>(fn)];
+  }
+
+  const std::vector<std::size_t> levels = logic_levels(nl);
+  for (const std::uint32_t out : nl.outputs()) {
+    stats.logic_depth = std::max(stats.logic_depth, levels[out]);
+  }
+
+  const std::vector<std::size_t> fanout = fanout_counts(nl);
+  std::size_t driven = 0, uses = 0;
+  for (std::size_t s = 0; s < fanout.size(); ++s) {
+    if (fanout[s] == 0) continue;
+    ++driven;
+    uses += fanout[s];
+    stats.max_fanout = std::max(stats.max_fanout, fanout[s]);
+  }
+  stats.average_fanout =
+      driven == 0 ? 0.0
+                  : static_cast<double>(uses) / static_cast<double>(driven);
+
+  // Functional support: inputs reachable backwards from the outputs through
+  // operands the functions actually read.
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    if (fanout[i] > 0) ++stats.support_size;
+  }
+  return stats;
+}
+
+}  // namespace axc::circuit

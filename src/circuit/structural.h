@@ -1,0 +1,38 @@
+// Structural netlist analysis: the quantities an EDA engineer asks of a
+// design besides its function — size, depth, fanout, composition.  Used by
+// the ablation benches to compare evolved circuit structure across
+// configurations, and by reports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace axc::circuit {
+
+struct structural_stats {
+  std::size_t total_gates{0};
+  std::size_t active_gates{0};  ///< excluding wire-only buffers
+  std::size_t logic_depth{0};   ///< unit-delay critical path (gate count)
+  double average_fanout{0.0};   ///< over active signals with fanout > 0
+  std::size_t max_fanout{0};
+  /// Gate-function histogram over active gates, indexed by gate_fn.
+  std::array<std::size_t, gate_fn_count> function_histogram{};
+  /// Number of primary inputs in the functional support (cone of outputs).
+  std::size_t support_size{0};
+};
+
+structural_stats analyze_structure(const netlist& nl);
+
+/// Unit-delay arrival level of every signal (inputs at level 0); inactive
+/// gates get level 0.
+std::vector<std::size_t> logic_levels(const netlist& nl);
+
+/// Fanout count per signal address (uses of each signal as an operand that
+/// the consuming function actually reads, plus primary-output uses),
+/// restricted to active gates.
+std::vector<std::size_t> fanout_counts(const netlist& nl);
+
+}  // namespace axc::circuit

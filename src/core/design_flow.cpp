@@ -1,0 +1,78 @@
+#include "core/design_flow.h"
+
+#include <optional>
+#include <utility>
+
+#include "core/workload.h"
+#include "mult/multipliers.h"
+#include "support/assert.h"
+
+namespace axc::core {
+
+design_power characterize_multiplier(const circuit::netlist& multiplier,
+                                     const metrics::mult_spec& spec,
+                                     const dist::pmf& d,
+                                     const tech::cell_library& lib,
+                                     std::size_t workload_samples,
+                                     std::uint64_t workload_seed) {
+  rng gen(workload_seed);
+  const std::vector<std::uint64_t> workload =
+      make_multiplier_workload(spec, d, workload_samples, gen);
+  const tech::circuit_report report =
+      tech::analyze(multiplier, lib, workload);
+  return design_power{report.area_um2, report.delay_ps,
+                      report.power.total_uw(), report.pdp_fj()};
+}
+
+design_power characterize_mac(const circuit::netlist& multiplier,
+                              const metrics::mult_spec& spec,
+                              const dist::pmf& d, unsigned acc_width,
+                              const tech::cell_library& lib,
+                              std::size_t workload_samples,
+                              std::uint64_t workload_seed) {
+  const circuit::netlist mac =
+      mult::build_mac(multiplier, spec.width, acc_width, spec.is_signed);
+  rng gen(workload_seed);
+  const std::vector<std::uint64_t> workload =
+      make_mac_workload(spec, d, acc_width, workload_samples, gen);
+  const tech::circuit_report report = tech::analyze(mac, lib, workload);
+  return design_power{report.area_um2, report.delay_ps,
+                      report.power.total_uw(), report.pdp_fj()};
+}
+
+std::vector<tailored_multiplier> design_for_distribution(
+    const dist::pmf& d, approximation_config config,
+    std::span<const double> targets, const circuit::netlist& seed) {
+  config.distribution = d;
+  const tech::cell_library& lib = *config.library;
+  const wmed_approximator approximator(std::move(config));
+  const approximation_config& cfg = approximator.config();
+
+  std::vector<tailored_multiplier> result;
+  result.reserve(targets.size());
+  for (const double target : targets) {
+    std::optional<evolved_design> best;
+    for (std::size_t run = 0; run < cfg.runs_per_target; ++run) {
+      evolved_design candidate = approximator.approximate(seed, target, run);
+      if (!best || candidate.area_um2 < best->area_um2) {
+        best = std::move(candidate);
+      }
+    }
+    mult::product_lut lut(best->netlist, cfg.spec);
+    const design_power power =
+        characterize_multiplier(best->netlist, cfg.spec, d, lib);
+    result.push_back(
+        tailored_multiplier{std::move(*best), std::move(lut), power});
+  }
+  return result;
+}
+
+std::vector<tailored_multiplier> design_for_samples(
+    std::span<const std::int8_t> samples, approximation_config config,
+    std::span<const double> targets, const circuit::netlist& seed) {
+  AXC_EXPECTS(config.spec.width == 8);  // int8 samples imply an 8-bit operand
+  const dist::pmf d = dist::pmf::from_int8_samples(samples);
+  return design_for_distribution(d, std::move(config), targets, seed);
+}
+
+}  // namespace axc::core

@@ -1,0 +1,66 @@
+// End-to-end application-tailored design flow (the user-facing API).
+//
+// This ties the whole method together the way the paper's case studies use
+// it:  profile a signal in the application -> build the empirical PMF ->
+// evolve approximate multipliers for a set of WMED targets -> characterize
+// each design (power/delay/PDP under the application's operand statistics)
+// -> hand back LUTs ready to drop into the application model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/wmed_approximator.h"
+#include "dist/pmf.h"
+#include "mult/lut.h"
+#include "tech/analysis.h"
+
+namespace axc::core {
+
+/// Electrical characterization of a design under a given operand workload.
+struct design_power {
+  double area_um2{0.0};
+  double delay_ps{0.0};
+  double power_uw{0.0};
+  double pdp_fj{0.0};
+};
+
+/// Characterizes a multiplier netlist under operands A ~ d, B ~ uniform.
+design_power characterize_multiplier(const circuit::netlist& multiplier,
+                                     const metrics::mult_spec& spec,
+                                     const dist::pmf& d,
+                                     const tech::cell_library& lib,
+                                     std::size_t workload_samples = 4096,
+                                     std::uint64_t workload_seed = 7);
+
+/// Characterizes the full MAC unit (multiplier + acc_width-bit adder), the
+/// granularity at which Table I / Fig. 6 report PDP, power and area.
+design_power characterize_mac(const circuit::netlist& multiplier,
+                              const metrics::mult_spec& spec,
+                              const dist::pmf& d, unsigned acc_width,
+                              const tech::cell_library& lib,
+                              std::size_t workload_samples = 4096,
+                              std::uint64_t workload_seed = 7);
+
+/// One deliverable of the flow: the evolved design plus its LUT and
+/// electrical characterization.
+struct tailored_multiplier {
+  evolved_design design;
+  mult::product_lut lut;
+  design_power multiplier_power;
+};
+
+/// Full flow from raw int8 signal samples (e.g. trained NN weights).
+/// `targets` are WMED fractions; one design (best area over
+/// config.runs_per_target runs) is returned per target.
+std::vector<tailored_multiplier> design_for_samples(
+    std::span<const std::int8_t> samples, approximation_config config,
+    std::span<const double> targets, const circuit::netlist& seed);
+
+/// Same flow starting from an explicit distribution.
+std::vector<tailored_multiplier> design_for_distribution(
+    const dist::pmf& d, approximation_config config,
+    std::span<const double> targets, const circuit::netlist& seed);
+
+}  // namespace axc::core

@@ -1,0 +1,31 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace axc::core {
+
+bool dominates(const pareto_point& a, const pareto_point& b) {
+  return a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y);
+}
+
+std::vector<pareto_point> pareto_front(std::span<const pareto_point> points) {
+  std::vector<pareto_point> sorted(points.begin(), points.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const pareto_point& a, const pareto_point& b) {
+              if (a.x != b.x) return a.x < b.x;
+              return a.y < b.y;
+            });
+
+  std::vector<pareto_point> front;
+  double best_y = std::numeric_limits<double>::infinity();
+  for (const pareto_point& p : sorted) {
+    if (p.y < best_y) {
+      front.push_back(p);
+      best_y = p.y;
+    }
+  }
+  return front;
+}
+
+}  // namespace axc::core

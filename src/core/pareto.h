@@ -1,0 +1,28 @@
+// Two-objective Pareto utilities (error vs. cost), used to assemble the
+// paper's trade-off fronts (Fig. 3/5/7) from sets of evolved designs.
+// Both objectives are minimized.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace axc::core {
+
+struct pareto_point {
+  double x{0.0};  ///< first objective (e.g. WMED)
+  double y{0.0};  ///< second objective (e.g. power, area, PDP)
+  std::size_t index{0};  ///< caller's payload index
+
+  friend bool operator==(const pareto_point&, const pareto_point&) = default;
+};
+
+/// True when a is at least as good in both objectives and better in one.
+[[nodiscard]] bool dominates(const pareto_point& a, const pareto_point& b);
+
+/// Non-dominated subset, sorted by ascending x.  Duplicate points are kept
+/// once.
+[[nodiscard]] std::vector<pareto_point> pareto_front(
+    std::span<const pareto_point> points);
+
+}  // namespace axc::core

@@ -1,0 +1,100 @@
+#include "core/wmed_approximator.h"
+
+#include <cmath>
+#include <utility>
+
+#include "metrics/wmed_evaluator.h"
+#include "support/assert.h"
+#include "tech/analysis.h"
+
+namespace axc::core {
+
+wmed_approximator::wmed_approximator(approximation_config config)
+    : config_(std::move(config)) {
+  AXC_EXPECTS(config_.distribution.size() == config_.spec.operand_count());
+  AXC_EXPECTS(config_.library != nullptr);
+  AXC_EXPECTS(!config_.function_set.empty());
+}
+
+evolved_design wmed_approximator::approximate(const circuit::netlist& seed,
+                                              double target,
+                                              std::size_t run_index) const {
+  AXC_EXPECTS(target >= 0.0 && target <= 1.0);
+  AXC_EXPECTS(seed.num_inputs() == 2 * config_.spec.width);
+  AXC_EXPECTS(seed.num_outputs() == 2 * config_.spec.width);
+
+  cgp::parameters params;
+  params.num_inputs = seed.num_inputs();
+  params.num_outputs = seed.num_outputs();
+  params.columns = seed.num_gates() + config_.extra_columns;
+  params.rows = 1;
+  params.levels_back = params.columns;
+  params.function_set = config_.function_set;
+  params.max_mutations = config_.max_mutations;
+  params.lambda = config_.lambda;
+
+  // Decorrelate runs/targets deterministically from the base seed.
+  std::uint64_t mix = config_.rng_seed;
+  mix ^= 0x9e3779b97f4a7c15ULL * (run_index + 1);
+  mix ^= static_cast<std::uint64_t>(target * 1e12) * 0xd1342543de82ef95ULL;
+  rng gen(splitmix64(mix));
+
+  const cgp::genotype start =
+      cgp::genotype::from_netlist(params, seed, gen);
+
+  metrics::wmed_evaluator wmed(config_.spec, config_.distribution);
+  const tech::cell_library& lib = *config_.library;
+
+  cgp::evolver::evaluate_fn evaluate =
+      [&](const circuit::netlist& nl) -> cgp::evaluation {
+    // Eq. 1: abort the error sweep once the candidate is proven infeasible;
+    // area is only ranked among feasible candidates.
+    const double error = wmed.evaluate(nl, target);
+    cgp::evaluation eval;
+    eval.error = error;
+    eval.feasible = error <= target;
+    eval.area = eval.feasible ? tech::estimate_area(nl, lib) : 0.0;
+    return eval;
+  };
+
+  cgp::evolver::options opts;
+  opts.iterations = config_.iterations;
+  opts.error_tiebreak = config_.error_tiebreak;
+
+  const cgp::evolver::run_result run =
+      cgp::evolver::run(start, evaluate, opts, gen);
+
+  evolved_design design{run.best.decode().compacted(), 0.0, 0.0, target,
+                        run_index, run.evaluations, run.improvements};
+  design.wmed = wmed.evaluate(design.netlist);
+  design.area_um2 = tech::estimate_area(design.netlist, lib);
+  return design;
+}
+
+std::vector<evolved_design> wmed_approximator::sweep(
+    const circuit::netlist& seed, std::span<const double> targets,
+    const std::function<void(const evolved_design&)>& on_design) const {
+  std::vector<evolved_design> designs;
+  designs.reserve(targets.size() * config_.runs_per_target);
+  for (const double target : targets) {
+    for (std::size_t run = 0; run < config_.runs_per_target; ++run) {
+      designs.push_back(approximate(seed, target, run));
+      if (on_design) on_design(designs.back());
+    }
+  }
+  return designs;
+}
+
+std::vector<double> default_wmed_targets() {
+  // 14 log-spaced levels spanning the paper's WMED axis (0.0001 % .. 10 %),
+  // expressed as fractions.
+  std::vector<double> targets;
+  targets.reserve(14);
+  for (int k = 0; k < 14; ++k) {
+    const double exponent = -6.0 + 5.0 * static_cast<double>(k) / 13.0;
+    targets.push_back(std::pow(10.0, exponent));
+  }
+  return targets;
+}
+
+}  // namespace axc::core

@@ -1,0 +1,87 @@
+// The paper's automated approximation method (Sec. III).
+//
+// Given an exact seed multiplier, a data distribution D and a list of target
+// error levels E_i, the approximator runs one CGP search per (target, run)
+// pair, each minimizing circuit area under the constraint WMED_D <= E_i
+// (Eq. 1), and returns the evolved designs.  Assembling a Pareto front from
+// several targets reproduces the paper's design-space exploration
+// methodology ("the design process is repeated for several target
+// approximation errors Ei in order to construct the Pareto front").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cgp/evolver.h"
+#include "cgp/genotype.h"
+#include "circuit/netlist.h"
+#include "dist/pmf.h"
+#include "metrics/mult_spec.h"
+#include "tech/cell_library.h"
+
+namespace axc::core {
+
+struct approximation_config {
+  metrics::mult_spec spec{};
+  /// Distribution of operand A (must have 2^width entries).
+  dist::pmf distribution{dist::pmf::uniform(256)};
+  /// CGP budget per run (generations of the (1+lambda) loop).
+  std::size_t iterations{20000};
+  /// Independent repetitions per target (paper: 10 resp. 25).
+  std::size_t runs_per_target{1};
+  /// Grid slack: columns = seed gate count + extra_columns (gives the
+  /// paper's "c = 320 ... 490 depending on the initial multiplier").
+  std::size_t extra_columns{64};
+  unsigned max_mutations{5};  ///< h
+  std::size_t lambda{4};
+  /// Bias neutral drift toward lower WMED at equal area (see
+  /// cgp::evolver::options::error_tiebreak).  On by default: at practical
+  /// search budgets it steers the error budget into many small deviations,
+  /// which application-level quality rewards.
+  bool error_tiebreak{true};
+  std::vector<circuit::gate_fn> function_set{
+      circuit::default_function_set().begin(),
+      circuit::default_function_set().end()};
+  const tech::cell_library* library{&tech::cell_library::nangate45_like()};
+  std::uint64_t rng_seed{1};
+};
+
+/// One evolved approximate circuit.
+struct evolved_design {
+  circuit::netlist netlist;  ///< compacted (inactive gates removed)
+  double wmed{0.0};          ///< measured WMED_D, fraction in [0,1]
+  double area_um2{0.0};
+  double target{0.0};        ///< the E_i this run was constrained to
+  std::size_t run_index{0};
+  std::size_t evaluations{0};
+  std::size_t improvements{0};
+};
+
+class wmed_approximator {
+ public:
+  explicit wmed_approximator(approximation_config config);
+
+  /// One CGP run at one target.  `run_index` only decorrelates the RNG.
+  [[nodiscard]] evolved_design approximate(const circuit::netlist& seed,
+                                           double target,
+                                           std::size_t run_index = 0) const;
+
+  /// Full sweep: every target x runs_per_target.  `on_design` (optional)
+  /// observes designs as they complete.
+  [[nodiscard]] std::vector<evolved_design> sweep(
+      const circuit::netlist& seed, std::span<const double> targets,
+      const std::function<void(const evolved_design&)>& on_design = {}) const;
+
+  [[nodiscard]] const approximation_config& config() const { return config_; }
+
+ private:
+  approximation_config config_;
+};
+
+/// The 14 log-spaced WMED targets (as fractions) used for case study 1,
+/// spanning the paper's 0.0001 % .. 10 % axis.
+std::vector<double> default_wmed_targets();
+
+}  // namespace axc::core

@@ -1,0 +1,36 @@
+#include "core/workload.h"
+
+#include "support/assert.h"
+
+namespace axc::core {
+
+std::vector<std::uint64_t> make_multiplier_workload(
+    const metrics::mult_spec& spec, const dist::pmf& d, std::size_t samples,
+    rng& gen) {
+  AXC_EXPECTS(d.size() == spec.operand_count());
+  AXC_EXPECTS(samples >= 2);
+  std::vector<std::uint64_t> workload(samples);
+  const std::uint64_t b_mask = (std::uint64_t{1} << spec.width) - 1;
+  for (auto& v : workload) {
+    const std::uint64_t a = d.sample(gen);
+    const std::uint64_t b = gen() & b_mask;
+    v = a | (b << spec.width);
+  }
+  return workload;
+}
+
+std::vector<std::uint64_t> make_mac_workload(const metrics::mult_spec& spec,
+                                             const dist::pmf& d,
+                                             unsigned acc_width,
+                                             std::size_t samples, rng& gen) {
+  AXC_EXPECTS(2 * spec.width + acc_width <= 64);
+  std::vector<std::uint64_t> workload =
+      make_multiplier_workload(spec, d, samples, gen);
+  const std::uint64_t acc_mask = (std::uint64_t{1} << acc_width) - 1;
+  for (auto& v : workload) {
+    v |= (gen() & acc_mask) << (2 * spec.width);
+  }
+  return workload;
+}
+
+}  // namespace axc::core

@@ -1,0 +1,32 @@
+// Operand-stream generation for power estimation.
+//
+// The paper evaluates multipliers under the *application's* operand
+// statistics: operand A (coefficient / NN weight) follows the distribution
+// D, operand B (pixel / activation) is modelled as uniform.  A workload is
+// a sequence of packed input assignments in the simulator convention
+// (operand A in bits 0..w-1, operand B in bits w..2w-1), ready for
+// circuit::profile_activity / tech::analyze.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/pmf.h"
+#include "metrics/mult_spec.h"
+#include "support/rng.h"
+
+namespace axc::core {
+
+/// `samples` operand pairs with A ~ d and B uniform.
+std::vector<std::uint64_t> make_multiplier_workload(
+    const metrics::mult_spec& spec, const dist::pmf& d, std::size_t samples,
+    rng& gen);
+
+/// MAC workload: operands as above plus a uniform accumulator input in bits
+/// 2w .. 2w+acc_width-1 (models the running sum changing every cycle).
+std::vector<std::uint64_t> make_mac_workload(const metrics::mult_spec& spec,
+                                             const dist::pmf& d,
+                                             unsigned acc_width,
+                                             std::size_t samples, rng& gen);
+
+}  // namespace axc::core

@@ -1,0 +1,167 @@
+#include "data/digits.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/font.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace axc::data {
+
+namespace {
+
+void add_noise(std::vector<std::uint8_t>& pixels, double sigma, rng& gen) {
+  for (auto& p : pixels) {
+    const double v = static_cast<double>(p) + gen.normal(0.0, sigma);
+    p = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+  }
+}
+
+/// In-place 3x3 box blur (one pass), weight `strength` in [0,1].
+void blur(std::vector<std::uint8_t>& pixels, std::size_t width,
+          std::size_t height, double strength) {
+  const std::vector<std::uint8_t> src = pixels;
+  auto at = [&](std::int64_t x, std::int64_t y) {
+    x = std::clamp<std::int64_t>(x, 0, static_cast<std::int64_t>(width) - 1);
+    y = std::clamp<std::int64_t>(y, 0, static_cast<std::int64_t>(height) - 1);
+    return static_cast<double>(
+        src[static_cast<std::size_t>(y) * width + static_cast<std::size_t>(x)]);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      double acc = 0.0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          acc += at(static_cast<std::int64_t>(x) + dx,
+                    static_cast<std::int64_t>(y) + dy);
+        }
+      }
+      const double mixed =
+          (1.0 - strength) * at(static_cast<std::int64_t>(x),
+                                static_cast<std::int64_t>(y)) +
+          strength * acc / 9.0;
+      pixels[y * width + x] =
+          static_cast<std::uint8_t>(std::clamp(mixed, 0.0, 255.0));
+    }
+  }
+}
+
+}  // namespace
+
+digit_dataset make_mnist_like(std::size_t count, std::uint64_t seed) {
+  AXC_EXPECTS(count > 0);
+  digit_dataset ds;
+  ds.width = 28;
+  ds.height = 28;
+  ds.images.reserve(count);
+  ds.labels.reserve(count);
+
+  rng gen(seed);
+  for (std::size_t n = 0; n < count; ++n) {
+    const int digit = static_cast<int>(gen.below(10));
+    std::vector<std::uint8_t> pixels(ds.width * ds.height, 0);
+
+    glyph_transform t;
+    t.center_x = 13.5 + gen.uniform(-2.5, 2.5);
+    t.center_y = 13.5 + gen.uniform(-2.5, 2.5);
+    t.height_px = gen.uniform(15.0, 22.0);
+    t.rotation = gen.uniform(-0.18, 0.18);
+    t.shear = gen.uniform(-0.15, 0.15);
+    render_glyph(pixels, ds.width, ds.height, digit, t,
+                 gen.uniform(200.0, 255.0));
+
+    blur(pixels, ds.width, ds.height, gen.uniform(0.2, 0.5));
+    add_noise(pixels, gen.uniform(4.0, 10.0), gen);
+
+    ds.images.push_back(std::move(pixels));
+    ds.labels.push_back(digit);
+  }
+  return ds;
+}
+
+digit_dataset make_svhn_like(std::size_t count, std::uint64_t seed) {
+  AXC_EXPECTS(count > 0);
+  digit_dataset ds;
+  ds.width = 32;
+  ds.height = 32;
+  ds.images.reserve(count);
+  ds.labels.reserve(count);
+
+  rng gen(seed ^ 0x53564e48ULL);
+  for (std::size_t n = 0; n < count; ++n) {
+    const int digit = static_cast<int>(gen.below(10));
+    std::vector<std::uint8_t> pixels(ds.width * ds.height, 0);
+
+    // Textured background: smooth gradient plus low-frequency ripple.
+    const double base = gen.uniform(70.0, 160.0);
+    const double gx = gen.uniform(-0.8, 0.8);
+    const double gy = gen.uniform(-0.8, 0.8);
+    const double ripple = gen.uniform(0.0, 10.0);
+    const double phase = gen.uniform(0.0, 6.28);
+    for (std::size_t y = 0; y < ds.height; ++y) {
+      for (std::size_t x = 0; x < ds.width; ++x) {
+        const double v =
+            base + gx * static_cast<double>(x) + gy * static_cast<double>(y) +
+            ripple * std::sin(0.45 * static_cast<double>(x + 2 * y) + phase);
+        pixels[y * ds.width + x] =
+            static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+      }
+    }
+
+    // Distractor digit fragments at the horizontal borders (street numbers
+    // are multi-digit; neighbours leak into the crop).  Dimmer than the
+    // labelled digit so the task stays learnable, as real SVHN crops are.
+    const double contrast = gen.uniform(85.0, 150.0);
+    const bool dark_digit = gen.chance(0.4);
+    const double digit_intensity =
+        dark_digit ? std::max(0.0, base - contrast)
+                   : std::min(255.0, base + contrast);
+    const double distractor_intensity =
+        dark_digit ? std::max(0.0, base - 0.55 * contrast)
+                   : std::min(255.0, base + 0.55 * contrast);
+    for (const double side : {-1.0, 1.0}) {
+      if (!gen.chance(0.6)) continue;
+      glyph_transform dt;
+      dt.center_x = 16.0 + side * gen.uniform(14.0, 18.0);
+      dt.center_y = 16.0 + gen.uniform(-3.0, 3.0);
+      dt.height_px = gen.uniform(16.0, 24.0);
+      dt.rotation = gen.uniform(-0.25, 0.25);
+      dt.shear = gen.uniform(-0.2, 0.2);
+      render_glyph(pixels, ds.width, ds.height,
+                   static_cast<int>(gen.below(10)), dt,
+                   distractor_intensity);
+    }
+
+    // The labelled digit, centered-ish.
+    glyph_transform t;
+    t.center_x = 15.5 + gen.uniform(-2.0, 2.0);
+    t.center_y = 15.5 + gen.uniform(-2.0, 2.0);
+    t.height_px = gen.uniform(18.0, 26.0);
+    t.rotation = gen.uniform(-0.15, 0.15);
+    t.shear = gen.uniform(-0.18, 0.18);
+    render_glyph(pixels, ds.width, ds.height, digit, t, digit_intensity);
+
+    blur(pixels, ds.width, ds.height, gen.uniform(0.2, 0.5));
+    add_noise(pixels, gen.uniform(4.0, 10.0), gen);
+
+    ds.images.push_back(std::move(pixels));
+    ds.labels.push_back(digit);
+  }
+  return ds;
+}
+
+std::vector<nn::tensor> to_tensors(const digit_dataset& dataset) {
+  std::vector<nn::tensor> tensors;
+  tensors.reserve(dataset.images.size());
+  for (const auto& img : dataset.images) {
+    nn::tensor t(1, dataset.height, dataset.width);
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      t.data()[i] = static_cast<float>(img[i]) / 256.0f;
+    }
+    tensors.push_back(std::move(t));
+  }
+  return tensors;
+}
+
+}  // namespace axc::data

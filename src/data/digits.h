@@ -1,0 +1,37 @@
+// Synthetic digit-classification datasets.
+//
+// This environment ships no MNIST/SVHN corpora (see DESIGN.md
+// substitutions), so the reproduction generates deterministic stand-ins
+// that exercise the identical code paths:
+//
+//  - mnist-like: 28x28 grayscale, bright centered digit on a dark
+//    background with affine jitter and sensor noise — an easy task, like
+//    MNIST (a 784-300-10 MLP reaches high-90s accuracy).
+//  - svhn-like: 32x32 grayscale "street number crops": textured background,
+//    variable digit/background contrast (either polarity), distractor digit
+//    fragments at the borders, blur and noise — a markedly harder task,
+//    like SVHN.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace axc::data {
+
+struct digit_dataset {
+  std::size_t width{0};
+  std::size_t height{0};
+  std::vector<std::vector<std::uint8_t>> images;  ///< row-major, 0..255
+  std::vector<int> labels;                        ///< 0..9
+};
+
+digit_dataset make_mnist_like(std::size_t count, std::uint64_t seed);
+digit_dataset make_svhn_like(std::size_t count, std::uint64_t seed);
+
+/// Converts raw images to NN input tensors (1 x H x W, values pixel/256,
+/// i.e. on the Q0.8 grid the quantizer expects).
+std::vector<nn::tensor> to_tensors(const digit_dataset& dataset);
+
+}  // namespace axc::data

@@ -1,0 +1,103 @@
+#include "data/font.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace axc::data {
+
+namespace {
+
+// Classic 5x7 numerals; bit 4 = leftmost column.
+constexpr std::array<std::array<std::uint8_t, glyph_height>, 10> kGlyphs = {{
+    // 0
+    {{0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110}},
+    // 1
+    {{0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110}},
+    // 2
+    {{0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111}},
+    // 3
+    {{0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110}},
+    // 4
+    {{0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010}},
+    // 5
+    {{0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110}},
+    // 6
+    {{0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110}},
+    // 7
+    {{0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000}},
+    // 8
+    {{0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110}},
+    // 9
+    {{0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100}},
+}};
+
+double glyph_pixel(int digit, int gx, int gy) {
+  if (gx < 0 || gy < 0 || gx >= static_cast<int>(glyph_width) ||
+      gy >= static_cast<int>(glyph_height)) {
+    return 0.0;
+  }
+  const auto& rows = kGlyphs[static_cast<std::size_t>(digit)];
+  return (rows[static_cast<std::size_t>(gy)] >>
+          (glyph_width - 1 - static_cast<std::size_t>(gx))) &
+                 1
+             ? 1.0
+             : 0.0;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, glyph_height> digit_glyph(int digit) {
+  AXC_EXPECTS(digit >= 0 && digit <= 9);
+  return kGlyphs[static_cast<std::size_t>(digit)];
+}
+
+double glyph_sample(int digit, double gx, double gy) {
+  AXC_EXPECTS(digit >= 0 && digit <= 9);
+  const double fx = std::floor(gx);
+  const double fy = std::floor(gy);
+  const double tx = gx - fx;
+  const double ty = gy - fy;
+  const int x0 = static_cast<int>(fx);
+  const int y0 = static_cast<int>(fy);
+  const double v00 = glyph_pixel(digit, x0, y0);
+  const double v10 = glyph_pixel(digit, x0 + 1, y0);
+  const double v01 = glyph_pixel(digit, x0, y0 + 1);
+  const double v11 = glyph_pixel(digit, x0 + 1, y0 + 1);
+  return (1 - tx) * (1 - ty) * v00 + tx * (1 - ty) * v10 +
+         (1 - tx) * ty * v01 + tx * ty * v11;
+}
+
+void render_glyph(std::span<std::uint8_t> pixels, std::size_t width,
+                  std::size_t height, int digit,
+                  const glyph_transform& transform, double intensity) {
+  AXC_EXPECTS(pixels.size() == width * height);
+  const double scale =
+      transform.height_px / static_cast<double>(glyph_height);
+  const double cos_r = std::cos(transform.rotation);
+  const double sin_r = std::sin(transform.rotation);
+
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      // Inverse affine: image -> glyph coordinates.
+      const double dx = static_cast<double>(x) - transform.center_x;
+      const double dy = static_cast<double>(y) - transform.center_y;
+      const double rx = cos_r * dx + sin_r * dy;
+      const double ry = -sin_r * dx + cos_r * dy;
+      const double gx = rx / scale - transform.shear * ry / scale +
+                        static_cast<double>(glyph_width) / 2.0 - 0.5;
+      const double gy =
+          ry / scale + static_cast<double>(glyph_height) / 2.0 - 0.5;
+
+      const double alpha = glyph_sample(digit, gx, gy);
+      if (alpha <= 0.0) continue;
+      auto& p = pixels[y * width + x];
+      const double blended =
+          (1.0 - alpha) * static_cast<double>(p) + alpha * intensity;
+      p = static_cast<std::uint8_t>(std::clamp(blended, 0.0, 255.0));
+    }
+  }
+}
+
+}  // namespace axc::data

@@ -1,0 +1,39 @@
+// 5x7 bitmap digit font and an affine glyph rasterizer.
+//
+// The raw material of the synthetic digit datasets: each glyph is rendered
+// into a target image through a randomized affine map (translate / scale /
+// rotate / shear) with bilinear sampling, which is what gives the datasets
+// their intra-class variability.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace axc::data {
+
+inline constexpr std::size_t glyph_width = 5;
+inline constexpr std::size_t glyph_height = 7;
+
+/// Rows of the glyph for `digit` (0..9); bit 4 is the leftmost pixel.
+std::array<std::uint8_t, glyph_height> digit_glyph(int digit);
+
+/// Continuous-coordinate glyph intensity in [0, 1] with bilinear smoothing;
+/// coordinates outside the glyph return 0.
+double glyph_sample(int digit, double gx, double gy);
+
+struct glyph_transform {
+  double center_x{0.0};  ///< glyph center in image coordinates
+  double center_y{0.0};
+  double height_px{20.0};  ///< rendered glyph height in pixels
+  double rotation{0.0};    ///< radians
+  double shear{0.0};
+};
+
+/// Renders `digit` into `pixels` (row-major, `width` x `height`) by alpha
+/// blending `intensity` (0..255) over the existing content.
+void render_glyph(std::span<std::uint8_t> pixels, std::size_t width,
+                  std::size_t height, int digit,
+                  const glyph_transform& transform, double intensity);
+
+}  // namespace axc::data

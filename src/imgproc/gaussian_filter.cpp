@@ -1,0 +1,87 @@
+#include "imgproc/gaussian_filter.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.h"
+
+namespace axc::imgproc {
+
+namespace {
+
+template <typename multiply_fn>
+image filter_with(const image& src, const gaussian_kernel3& kernel,
+                  multiply_fn&& multiply) {
+  image out(src.width(), src.height());
+  const unsigned total = kernel.total();
+  AXC_EXPECTS(total > 0 && total < 256);
+
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      std::int64_t acc = 0;
+      std::size_t k = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx, ++k) {
+          const std::uint8_t pixel =
+              src.at_clamped(static_cast<std::int64_t>(x) + dx,
+                             static_cast<std::int64_t>(y) + dy);
+          acc += multiply(kernel.coefficients[k], pixel);
+        }
+      }
+      // Rounded division by the coefficient sum, clamped to pixel range
+      // (approximate products can overshoot).
+      const std::int64_t value = (acc + total / 2) / total;
+      out.at(x, y) =
+          static_cast<std::uint8_t>(std::clamp<std::int64_t>(value, 0, 255));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+image gaussian_filter_exact(const image& src, const gaussian_kernel3& kernel) {
+  return filter_with(src, kernel,
+                     [](std::uint8_t c, std::uint8_t p) -> std::int64_t {
+                       return std::int64_t{c} * std::int64_t{p};
+                     });
+}
+
+image gaussian_filter_approx(const image& src,
+                             const mult::product_lut& multiplier,
+                             const gaussian_kernel3& kernel) {
+  AXC_EXPECTS(multiplier.spec().width == 8);
+  AXC_EXPECTS(!multiplier.spec().is_signed);
+  return filter_with(src, kernel,
+                     [&](std::uint8_t c, std::uint8_t p) -> std::int64_t {
+                       return multiplier.by_pattern(c, p);
+                     });
+}
+
+filter_quality evaluate_filter_quality(const mult::product_lut& multiplier,
+                                       std::size_t image_count,
+                                       std::size_t image_size,
+                                       double noise_sigma,
+                                       std::uint64_t seed) {
+  AXC_EXPECTS(image_count > 0);
+  filter_quality quality;
+  quality.min_psnr_db = std::numeric_limits<double>::infinity();
+
+  rng gen(seed);
+  for (std::size_t i = 0; i < image_count; ++i) {
+    const image clean = make_test_scene(image_size, image_size, seed + i);
+    const image noisy = add_gaussian_noise(clean, noise_sigma, gen);
+    // Reference: the *exact* filter on the same noisy input.  This isolates
+    // the error introduced by the approximate multipliers, which is what
+    // Fig. 5 plots.
+    const image reference = gaussian_filter_exact(noisy);
+    const image filtered = gaussian_filter_approx(noisy, multiplier);
+    const double p = psnr_db(reference, filtered);
+    quality.mean_psnr_db += std::min(p, 100.0);  // cap +inf for averaging
+    quality.min_psnr_db = std::min(quality.min_psnr_db, p);
+  }
+  quality.mean_psnr_db /= static_cast<double>(image_count);
+  return quality;
+}
+
+}  // namespace axc::imgproc

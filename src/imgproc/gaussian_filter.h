@@ -1,0 +1,52 @@
+// 3x3 Gaussian smoothing filter with a pluggable multiplier.
+//
+// Matches the paper's Fig. 5 setup: "a standard Gaussian filter
+// implementation in which 3x3 pixels are multiplied by nine constants".
+// The kernel is the integer [1 2 1; 2 4 2; 1 2 1] (coefficients sum to 16 <
+// 256), each pixel-coefficient product goes through the supplied 8-bit
+// multiplier LUT (coefficient = operand A, the distribution-carrying
+// operand), and the accumulated sum is divided by the coefficient total.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "imgproc/image.h"
+#include "mult/lut.h"
+
+namespace axc::imgproc {
+
+struct gaussian_kernel3 {
+  std::array<std::uint8_t, 9> coefficients{1, 2, 1, 2, 4, 2, 1, 2, 1};
+  [[nodiscard]] unsigned total() const {
+    unsigned t = 0;
+    for (const std::uint8_t c : coefficients) t += c;
+    return t;
+  }
+};
+
+/// Filters with exact integer arithmetic (the quality reference).
+image gaussian_filter_exact(const image& src,
+                            const gaussian_kernel3& kernel = {});
+
+/// Filters with every coefficient*pixel product computed by `multiplier`
+/// (an unsigned 8x8 product LUT).  Accumulation stays exact, as in the
+/// paper's hardware model where only multipliers are approximated.
+image gaussian_filter_approx(const image& src,
+                             const mult::product_lut& multiplier,
+                             const gaussian_kernel3& kernel = {});
+
+/// Average PSNR of `filtered vs. gaussian_filter_exact` over a set of noisy
+/// synthetic scenes; reproduces the paper's "mean value from 25 images".
+struct filter_quality {
+  double mean_psnr_db{0.0};
+  double min_psnr_db{0.0};
+};
+
+filter_quality evaluate_filter_quality(const mult::product_lut& multiplier,
+                                       std::size_t image_count = 25,
+                                       std::size_t image_size = 64,
+                                       double noise_sigma = 12.0,
+                                       std::uint64_t seed = 2026);
+
+}  // namespace axc::imgproc

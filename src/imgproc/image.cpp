@@ -1,0 +1,87 @@
+#include "imgproc/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "support/assert.h"
+
+namespace axc::imgproc {
+
+image::image(std::size_t width, std::size_t height, std::uint8_t fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  AXC_EXPECTS(width > 0 && height > 0);
+}
+
+std::uint8_t image::at_clamped(std::int64_t x, std::int64_t y) const {
+  const std::int64_t cx =
+      std::clamp<std::int64_t>(x, 0, static_cast<std::int64_t>(width_) - 1);
+  const std::int64_t cy =
+      std::clamp<std::int64_t>(y, 0, static_cast<std::int64_t>(height_) - 1);
+  return pixels_[static_cast<std::size_t>(cy) * width_ +
+                 static_cast<std::size_t>(cx)];
+}
+
+image make_test_scene(std::size_t width, std::size_t height,
+                      std::uint64_t variant) {
+  image img(width, height);
+  std::uint64_t sm = 0x5ce7e5eedULL + variant;
+  const double gx = 0.3 + 0.7 * static_cast<double>(splitmix64(sm) % 997) / 997.0;
+  const double gy = 0.3 + 0.7 * static_cast<double>(splitmix64(sm) % 991) / 991.0;
+  const double phase = static_cast<double>(splitmix64(sm) % 359);
+  const std::size_t cx = splitmix64(sm) % width;
+  const std::size_t cy = splitmix64(sm) % height;
+  const double radius =
+      4.0 + static_cast<double>(splitmix64(sm) % (width / 2));
+
+  rng texture(splitmix64(sm));
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      // Base gradient.
+      double v = 127.0 + 60.0 * std::sin((gx * static_cast<double>(x) +
+                                          gy * static_cast<double>(y) + phase) *
+                                         0.05);
+      // A bright disc (hard edge, the classic filter stress case).
+      const double dx = static_cast<double>(x) - static_cast<double>(cx);
+      const double dy = static_cast<double>(y) - static_cast<double>(cy);
+      if (dx * dx + dy * dy < radius * radius) v += 70.0;
+      // Fine texture.
+      v += texture.uniform(-12.0, 12.0);
+      img.at(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  return img;
+}
+
+image add_gaussian_noise(const image& src, double sigma, rng& gen) {
+  image out = src;
+  for (std::uint8_t& p : out.pixels()) {
+    const double v = static_cast<double>(p) + gen.normal(0.0, sigma);
+    p = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+  }
+  return out;
+}
+
+double psnr_db(const image& reference, const image& test) {
+  AXC_EXPECTS(reference.width() == test.width());
+  AXC_EXPECTS(reference.height() == test.height());
+  double mse = 0.0;
+  const auto& a = reference.pixels();
+  const auto& b = test.pixels();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.size());
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+void write_pgm(std::ostream& os, const image& img) {
+  os << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+  os.write(reinterpret_cast<const char*>(img.pixels().data()),
+           static_cast<std::streamsize>(img.pixels().size()));
+}
+
+}  // namespace axc::imgproc

@@ -1,0 +1,64 @@
+// 8-bit grayscale images and synthetic scene generation.
+//
+// The paper's Fig. 5 evaluates approximate multipliers inside a Gaussian
+// image filter over 25 images.  We have no image corpus in this environment,
+// so the substrate generates deterministic synthetic scenes (gradients,
+// shapes, texture) that exercise the full intensity range, and injects
+// Gaussian noise for the denoising experiment (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace axc::imgproc {
+
+class image {
+ public:
+  image(std::size_t width, std::size_t height, std::uint8_t fill = 0);
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t height() const { return height_; }
+
+  [[nodiscard]] std::uint8_t at(std::size_t x, std::size_t y) const {
+    return pixels_[y * width_ + x];
+  }
+  std::uint8_t& at(std::size_t x, std::size_t y) {
+    return pixels_[y * width_ + x];
+  }
+  /// Clamped access: coordinates outside the image replicate the border
+  /// (the usual convolution boundary handling).
+  [[nodiscard]] std::uint8_t at_clamped(std::int64_t x, std::int64_t y) const;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const {
+    return pixels_;
+  }
+  std::vector<std::uint8_t>& pixels() { return pixels_; }
+
+  friend bool operator==(const image&, const image&) = default;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Deterministic synthetic test scene: smooth gradients + geometric shapes +
+/// fine texture, exercising the full 0..255 range.  `variant` selects one of
+/// many distinct scenes.
+image make_test_scene(std::size_t width, std::size_t height,
+                      std::uint64_t variant);
+
+/// Additive Gaussian noise, clamped to [0, 255].
+image add_gaussian_noise(const image& src, double sigma, rng& gen);
+
+/// Peak signal-to-noise ratio in dB between a reference and a test image.
+/// Identical images yield +infinity.
+double psnr_db(const image& reference, const image& test);
+
+/// Binary PGM (P5) writer, for eyeballing results outside the harness.
+void write_pgm(std::ostream& os, const image& img);
+
+}  // namespace axc::imgproc

@@ -1,0 +1,54 @@
+#include "metrics/adder_metrics.h"
+
+#include <cstdlib>
+
+#include "circuit/simulator.h"
+#include "support/assert.h"
+
+namespace axc::metrics {
+
+std::vector<std::int64_t> exact_sum_table(const adder_spec& spec) {
+  const std::size_t n = spec.operand_count();
+  std::vector<std::int64_t> table(spec.pair_count());
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t a = 0; a < n; ++a) {
+      table[(b << spec.width) | a] = static_cast<std::int64_t>(a + b);
+    }
+  }
+  return table;
+}
+
+std::vector<std::int64_t> sum_table(const circuit::netlist& nl,
+                                    const adder_spec& spec) {
+  AXC_EXPECTS(nl.num_inputs() == 2 * spec.width);
+  AXC_EXPECTS(nl.num_outputs() == spec.width + 1);
+  const std::vector<std::uint64_t> raw = circuit::evaluate_exhaustive(nl);
+  std::vector<std::int64_t> table(raw.size());
+  for (std::size_t v = 0; v < raw.size(); ++v) {
+    table[v] = static_cast<std::int64_t>(raw[v]);
+  }
+  return table;
+}
+
+double adder_wmed(std::span<const std::int64_t> exact,
+                  std::span<const std::int64_t> approx,
+                  const adder_spec& spec, const dist::pmf& d) {
+  AXC_EXPECTS(exact.size() == spec.pair_count());
+  AXC_EXPECTS(approx.size() == spec.pair_count());
+  AXC_EXPECTS(d.size() == spec.operand_count());
+
+  const std::size_t n = spec.operand_count();
+  double acc = 0.0;
+  for (std::size_t a = 0; a < n; ++a) {
+    if (d[a] == 0.0) continue;
+    double row = 0.0;
+    for (std::size_t b = 0; b < n; ++b) {
+      const std::size_t v = (b << spec.width) | a;
+      row += static_cast<double>(std::llabs(exact[v] - approx[v]));
+    }
+    acc += d[a] * row;
+  }
+  return acc / (static_cast<double>(n) * spec.output_scale());
+}
+
+}  // namespace axc::metrics

@@ -1,0 +1,134 @@
+#include "metrics/error_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace axc::metrics {
+
+namespace {
+
+void check_tables(std::span<const std::int64_t> exact,
+                  std::span<const std::int64_t> approx,
+                  const mult_spec& spec) {
+  AXC_EXPECTS(exact.size() == spec.pair_count());
+  AXC_EXPECTS(approx.size() == spec.pair_count());
+}
+
+}  // namespace
+
+double wmed(std::span<const std::int64_t> exact,
+            std::span<const std::int64_t> approx, const mult_spec& spec,
+            const dist::pmf& d) {
+  check_tables(exact, approx, spec);
+  AXC_EXPECTS(d.size() == spec.operand_count());
+
+  const std::size_t n = spec.operand_count();
+  double acc = 0.0;
+  for (std::size_t a = 0; a < n; ++a) {
+    if (d[a] == 0.0) continue;
+    double row = 0.0;
+    for (std::size_t b = 0; b < n; ++b) {
+      const std::size_t v = (b << spec.width) | a;
+      row += static_cast<double>(std::llabs(exact[v] - approx[v]));
+    }
+    acc += d[a] * row;
+  }
+  return acc / (static_cast<double>(n) * spec.output_scale());
+}
+
+double med(std::span<const std::int64_t> exact,
+           std::span<const std::int64_t> approx, const mult_spec& spec) {
+  return wmed(exact, approx, spec,
+              dist::pmf::uniform(spec.operand_count()));
+}
+
+double mean_absolute_error(std::span<const std::int64_t> exact,
+                           std::span<const std::int64_t> approx) {
+  AXC_EXPECTS(exact.size() == approx.size() && !exact.empty());
+  double acc = 0.0;
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    acc += static_cast<double>(std::llabs(exact[v] - approx[v]));
+  }
+  return acc / static_cast<double>(exact.size());
+}
+
+double worst_case_error(std::span<const std::int64_t> exact,
+                        std::span<const std::int64_t> approx,
+                        const mult_spec& spec) {
+  check_tables(exact, approx, spec);
+  std::int64_t worst = 0;
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    worst = std::max<std::int64_t>(worst, std::llabs(exact[v] - approx[v]));
+  }
+  return static_cast<double>(worst) / spec.output_scale();
+}
+
+double mean_relative_error(std::span<const std::int64_t> exact,
+                           std::span<const std::int64_t> approx) {
+  AXC_EXPECTS(exact.size() == approx.size() && !exact.empty());
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    if (exact[v] == 0) continue;
+    acc += static_cast<double>(std::llabs(exact[v] - approx[v])) /
+           std::abs(static_cast<double>(exact[v]));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : acc / static_cast<double>(counted);
+}
+
+double error_rate(std::span<const std::int64_t> exact,
+                  std::span<const std::int64_t> approx) {
+  AXC_EXPECTS(exact.size() == approx.size() && !exact.empty());
+  std::size_t wrong = 0;
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    if (exact[v] != approx[v]) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(exact.size());
+}
+
+double error_bias(std::span<const std::int64_t> exact,
+                  std::span<const std::int64_t> approx,
+                  const mult_spec& spec) {
+  check_tables(exact, approx, spec);
+  double acc = 0.0;
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    acc += static_cast<double>(approx[v] - exact[v]);
+  }
+  return acc / (static_cast<double>(exact.size()) * spec.output_scale());
+}
+
+std::vector<double> error_map(std::span<const std::int64_t> exact,
+                              std::span<const std::int64_t> approx,
+                              const mult_spec& spec) {
+  check_tables(exact, approx, spec);
+  std::vector<double> map(exact.size());
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    map[v] = static_cast<double>(std::llabs(exact[v] - approx[v])) /
+             spec.output_scale();
+  }
+  return map;
+}
+
+std::vector<double> downsample_error_map(std::span<const double> map,
+                                         const mult_spec& spec,
+                                         std::size_t cells) {
+  AXC_EXPECTS(map.size() == spec.pair_count());
+  const std::size_t n = spec.operand_count();
+  AXC_EXPECTS(cells > 0 && cells <= n && n % cells == 0);
+  const std::size_t block = n / cells;
+
+  std::vector<double> grid(cells * cells, 0.0);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t a = 0; a < n; ++a) {
+      grid[(b / block) * cells + (a / block)] += map[(b << spec.width) | a];
+    }
+  }
+  const double per_cell = static_cast<double>(block * block);
+  for (double& g : grid) g /= per_cell;
+  return grid;
+}
+
+}  // namespace axc::metrics

@@ -1,0 +1,74 @@
+// Error metrics for approximate multipliers.
+//
+// Central definition (the paper, Sec. III-A, with the normalization fixed so
+// that 0 <= WMED <= 1 actually holds — see DESIGN.md "Key reproduction
+// decisions"):
+//
+//   WMED_D(M~) = sum_a D(a) * [ 2^-w * sum_b |a*b - M~(a,b)| ] / 2^(2w)
+//
+// i.e. the D-weighted mean (over operand A) of the mean absolute error over
+// operand B, normalized by the output range.  With D uniform this reduces to
+// the conventional normalized mean error distance, so "WMED under Du" and
+// "MED" coincide by construction.
+//
+// All functions take product tables in the layout of mult_spec
+// (entry[(b << w) | a]).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dist/pmf.h"
+#include "metrics/mult_spec.h"
+
+namespace axc::metrics {
+
+/// Weighted mean error distance in [0, 1].  `d` must have 2^w entries keyed
+/// by operand-A bit pattern.
+double wmed(std::span<const std::int64_t> exact,
+            std::span<const std::int64_t> approx, const mult_spec& spec,
+            const dist::pmf& d);
+
+/// Conventional normalized mean error distance (== wmed with uniform D).
+double med(std::span<const std::int64_t> exact,
+           std::span<const std::int64_t> approx, const mult_spec& spec);
+
+/// Mean absolute error in output LSBs (not normalized).
+double mean_absolute_error(std::span<const std::int64_t> exact,
+                           std::span<const std::int64_t> approx);
+
+/// Worst-case absolute error, normalized by the output range.
+double worst_case_error(std::span<const std::int64_t> exact,
+                        std::span<const std::int64_t> approx,
+                        const mult_spec& spec);
+
+/// Mean relative error; pairs with zero exact product are skipped,
+/// matching common practice (e.g. EvoApprox8b's MRE).
+double mean_relative_error(std::span<const std::int64_t> exact,
+                           std::span<const std::int64_t> approx);
+
+/// Fraction of input pairs with a wrong product.
+double error_rate(std::span<const std::int64_t> exact,
+                  std::span<const std::int64_t> approx);
+
+/// Signed mean error (approx - exact), normalized by output range; reveals
+/// systematic under/over-estimation.
+double error_bias(std::span<const std::int64_t> exact,
+                  std::span<const std::int64_t> approx,
+                  const mult_spec& spec);
+
+/// Per-pair normalized absolute error |exact - approx| / 2^(2w), same layout
+/// as the product tables.  This is the raw material of the paper's Fig. 4
+/// heat maps.
+std::vector<double> error_map(std::span<const std::int64_t> exact,
+                              std::span<const std::int64_t> approx,
+                              const mult_spec& spec);
+
+/// Block-averaged error map (cells x cells grid) for compact textual
+/// rendering of Fig. 4.
+std::vector<double> downsample_error_map(std::span<const double> map,
+                                         const mult_spec& spec,
+                                         std::size_t cells);
+
+}  // namespace axc::metrics

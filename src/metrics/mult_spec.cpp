@@ -1,0 +1,32 @@
+#include "metrics/mult_spec.h"
+
+#include "circuit/simulator.h"
+#include "support/assert.h"
+
+namespace axc::metrics {
+
+std::vector<std::int64_t> exact_product_table(const mult_spec& spec) {
+  const std::size_t n = spec.operand_count();
+  std::vector<std::int64_t> table(spec.pair_count());
+  for (std::size_t b = 0; b < n; ++b) {
+    const std::int64_t vb = spec.operand_value(b);
+    for (std::size_t a = 0; a < n; ++a) {
+      table[(b << spec.width) | a] = spec.operand_value(a) * vb;
+    }
+  }
+  return table;
+}
+
+std::vector<std::int64_t> product_table(const circuit::netlist& nl,
+                                        const mult_spec& spec) {
+  AXC_EXPECTS(nl.num_inputs() == 2 * spec.width);
+  AXC_EXPECTS(nl.num_outputs() == 2 * spec.width);
+  const std::vector<std::uint64_t> raw = circuit::evaluate_exhaustive(nl);
+  std::vector<std::int64_t> table(raw.size());
+  for (std::size_t v = 0; v < raw.size(); ++v) {
+    table[v] = spec.product_value(raw[v]);
+  }
+  return table;
+}
+
+}  // namespace axc::metrics

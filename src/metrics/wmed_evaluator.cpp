@@ -1,0 +1,67 @@
+#include "metrics/wmed_evaluator.h"
+
+#include <bit>
+
+#include "circuit/simulator.h"
+#include "support/assert.h"
+
+namespace axc::metrics {
+
+wmed_evaluator::wmed_evaluator(const mult_spec& spec, const dist::pmf& d)
+    : spec_(spec), exact_(exact_product_table(spec)) {
+  AXC_EXPECTS(d.size() == spec.operand_count());
+  AXC_EXPECTS(2 * spec.width >= 6);  // at least one full 64-wide block
+  const double denom =
+      static_cast<double>(spec.operand_count()) * spec.output_scale();
+  weight_.resize(d.size());
+  for (std::size_t a = 0; a < d.size(); ++a) weight_[a] = d[a] / denom;
+}
+
+double wmed_evaluator::evaluate(const circuit::netlist& nl,
+                                double abort_above) {
+  AXC_EXPECTS(nl.num_inputs() == 2 * spec_.width);
+  AXC_EXPECTS(nl.num_outputs() == 2 * spec_.width);
+
+  const std::size_t ni = nl.num_inputs();
+  const std::size_t no = nl.num_outputs();
+  const std::size_t blocks = spec_.pair_count() / 64;
+  const std::uint64_t a_mask = (std::uint64_t{1} << spec_.width) - 1;
+
+  scratch_.resize(nl.num_signals());
+  in_words_.resize(ni);
+  out_words_.resize(no);
+
+  double acc = 0.0;
+  std::uint64_t raw[64];
+
+  for (std::size_t block = 0; block < blocks; ++block) {
+    for (std::size_t i = 0; i < ni; ++i) {
+      in_words_[i] = circuit::exhaustive_input_word(i, block);
+    }
+    circuit::simulate_block(nl, in_words_, out_words_, scratch_);
+
+    // Gather packed products for the 64 assignments of this block.
+    for (auto& r : raw) r = 0;
+    for (std::size_t o = 0; o < no; ++o) {
+      std::uint64_t w = out_words_[o];
+      while (w != 0) {
+        const int t = std::countr_zero(w);
+        w &= w - 1;
+        raw[t] |= std::uint64_t{1} << o;
+      }
+    }
+
+    const std::size_t base = block * 64;
+    for (std::size_t t = 0; t < 64; ++t) {
+      const std::size_t v = base + t;
+      const std::int64_t err =
+          exact_[v] - spec_.product_value(raw[t]);
+      acc += weight_[v & a_mask] *
+             static_cast<double>(err < 0 ? -err : err);
+    }
+    if (acc > abort_above) return acc;
+  }
+  return acc;
+}
+
+}  // namespace axc::metrics

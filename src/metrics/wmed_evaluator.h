@@ -1,0 +1,45 @@
+// Fused simulate-and-score evaluator: the CGP inner loop.
+//
+// Evaluating WMED through product_table() allocates and fills a 2^(2w)
+// table per candidate.  This evaluator instead folds the weighted error
+// accumulation into the exhaustive bit-parallel sweep block by block and
+// supports early abort: once the partial sum exceeds the caller's bound the
+// candidate is already infeasible (the accumulated error only grows), so the
+// remaining blocks are skipped.  In an area-minimizing search most mutants
+// are infeasible, making the abort path the common case.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "dist/pmf.h"
+#include "metrics/mult_spec.h"
+
+namespace axc::metrics {
+
+class wmed_evaluator {
+ public:
+  wmed_evaluator(const mult_spec& spec, const dist::pmf& d);
+
+  /// WMED of the candidate in [0, 1].  If the running sum exceeds
+  /// `abort_above` the sweep stops and the partial value (>= abort_above,
+  /// <= true WMED) is returned — sufficient to classify infeasibility.
+  double evaluate(const circuit::netlist& nl,
+                  double abort_above = std::numeric_limits<double>::infinity());
+
+  [[nodiscard]] const mult_spec& spec() const { return spec_; }
+
+ private:
+  mult_spec spec_;
+  /// weight[a] = D(a) / (2^w * 2^(2w)) so that WMED = sum weight[a]*|err|.
+  std::vector<double> weight_;
+  std::vector<std::int64_t> exact_;
+  // Reused buffers (the point of keeping this a class).
+  std::vector<std::uint64_t> scratch_;
+  std::vector<std::uint64_t> in_words_;
+  std::vector<std::uint64_t> out_words_;
+};
+
+}  // namespace axc::metrics

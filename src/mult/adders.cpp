@@ -1,0 +1,61 @@
+#include "mult/adders.h"
+
+#include "support/assert.h"
+
+namespace axc::mult {
+
+using circuit::gate_fn;
+using circuit::netlist;
+
+std::vector<std::uint32_t> build_adder(netlist& nl,
+                                       std::span<const std::uint32_t> a,
+                                       std::span<const std::uint32_t> b,
+                                       std::size_t result_width,
+                                       bool sign_extend) {
+  AXC_EXPECTS(!a.empty() && !b.empty() && result_width > 0);
+
+  const std::uint32_t zero = nl.add_gate(gate_fn::const0, 0, 0);
+  auto bit_of = [&](std::span<const std::uint32_t> bits,
+                    std::size_t k) -> std::uint32_t {
+    if (k < bits.size()) return bits[k];
+    return sign_extend ? bits.back() : zero;
+  };
+
+  std::vector<std::uint32_t> sum(result_width);
+  std::uint32_t carry = 0;
+  bool has_carry = false;
+  for (std::size_t k = 0; k < result_width; ++k) {
+    const std::uint32_t x = bit_of(a, k);
+    const std::uint32_t y = bit_of(b, k);
+    const std::uint32_t xy = nl.add_gate(gate_fn::xor2, x, y);
+    if (!has_carry) {
+      sum[k] = xy;
+      carry = nl.add_gate(gate_fn::and2, x, y);
+      has_carry = true;
+    } else {
+      sum[k] = nl.add_gate(gate_fn::xor2, xy, carry);
+      if (k + 1 < result_width) {
+        const std::uint32_t g = nl.add_gate(gate_fn::and2, x, y);
+        const std::uint32_t p = nl.add_gate(gate_fn::and2, xy, carry);
+        carry = nl.add_gate(gate_fn::or2, g, p);
+      }
+    }
+  }
+  return sum;
+}
+
+netlist ripple_adder(unsigned width) {
+  AXC_EXPECTS(width >= 1);
+  netlist nl(2 * std::size_t{width}, std::size_t{width} + 1);
+  std::vector<std::uint32_t> a(width), b(width);
+  for (unsigned i = 0; i < width; ++i) {
+    a[i] = i;
+    b[i] = width + i;
+  }
+  const std::vector<std::uint32_t> sum =
+      build_adder(nl, a, b, std::size_t{width} + 1, /*sign_extend=*/false);
+  for (unsigned i = 0; i <= width; ++i) nl.set_output(i, sum[i]);
+  return nl;
+}
+
+}  // namespace axc::mult

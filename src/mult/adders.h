@@ -1,0 +1,27 @@
+// Adder generators: standalone ripple-carry adder netlists and an in-place
+// builder used when composing larger datapaths (MAC units).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace axc::mult {
+
+/// Builds sum bits a + b inside `nl`.  Operands may differ in length; the
+/// shorter one is zero- or sign-extended according to `sign_extend`.
+/// Returns `result_width` sum bits (LSB first); arithmetic is mod
+/// 2^result_width.
+std::vector<std::uint32_t> build_adder(circuit::netlist& nl,
+                                       std::span<const std::uint32_t> a,
+                                       std::span<const std::uint32_t> b,
+                                       std::size_t result_width,
+                                       bool sign_extend);
+
+/// Standalone w+w -> w+1 unsigned ripple-carry adder.
+/// Inputs: a[0..w-1], b[0..w-1]; outputs: sum[0..w].
+circuit::netlist ripple_adder(unsigned width);
+
+}  // namespace axc::mult

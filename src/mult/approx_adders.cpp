@@ -1,0 +1,105 @@
+#include "mult/approx_adders.h"
+
+#include <vector>
+
+#include "mult/adders.h"
+#include "support/assert.h"
+
+namespace axc::mult {
+
+using circuit::gate_fn;
+using circuit::netlist;
+
+namespace {
+
+/// Exact ripple over bit indices [from, width) with optional carry-in;
+/// writes sum bits and the final carry (at index width).
+void exact_upper(netlist& nl, std::vector<std::uint32_t>& sum, unsigned from,
+                 unsigned width, std::uint32_t carry, bool has_carry) {
+  auto a = [&](unsigned i) { return static_cast<std::uint32_t>(i); };
+  auto b = [&](unsigned i) { return static_cast<std::uint32_t>(width + i); };
+
+  for (unsigned i = from; i < width; ++i) {
+    const std::uint32_t axb = nl.add_gate(gate_fn::xor2, a(i), b(i));
+    if (!has_carry) {
+      sum[i] = axb;
+      carry = nl.add_gate(gate_fn::and2, a(i), b(i));
+      has_carry = true;
+    } else {
+      sum[i] = nl.add_gate(gate_fn::xor2, axb, carry);
+      const std::uint32_t g = nl.add_gate(gate_fn::and2, a(i), b(i));
+      const std::uint32_t p = nl.add_gate(gate_fn::and2, axb, carry);
+      carry = nl.add_gate(gate_fn::or2, g, p);
+    }
+  }
+  sum[width] = has_carry ? carry : nl.add_gate(gate_fn::const0, 0, 0);
+}
+
+}  // namespace
+
+netlist lower_or_adder(unsigned width, unsigned approx_bits) {
+  AXC_EXPECTS(width >= 1 && approx_bits <= width);
+  netlist nl(2 * std::size_t{width}, std::size_t{width} + 1);
+  std::vector<std::uint32_t> sum(width + 1);
+
+  for (unsigned i = 0; i < approx_bits; ++i) {
+    sum[i] = nl.add_gate(gate_fn::or2, i, width + i);
+  }
+  std::uint32_t carry = 0;
+  bool has_carry = false;
+  if (approx_bits > 0) {
+    carry = nl.add_gate(gate_fn::and2, approx_bits - 1,
+                        width + approx_bits - 1);
+    has_carry = true;
+  }
+  exact_upper(nl, sum, approx_bits, width, carry, has_carry);
+  for (unsigned i = 0; i <= width; ++i) nl.set_output(i, sum[i]);
+  return nl;
+}
+
+netlist segmented_adder(unsigned width, unsigned segment) {
+  AXC_EXPECTS(width >= 1 && segment >= 1);
+  netlist nl(2 * std::size_t{width}, std::size_t{width} + 1);
+  std::vector<std::uint32_t> sum(width + 1);
+
+  std::uint32_t last_carry = 0;
+  bool have_last_carry = false;
+  for (unsigned base = 0; base < width; base += segment) {
+    const unsigned end = std::min(width, base + segment);
+    std::uint32_t carry = 0;
+    bool has_carry = false;
+    for (unsigned i = base; i < end; ++i) {
+      const std::uint32_t axb = nl.add_gate(gate_fn::xor2, i, width + i);
+      if (!has_carry) {
+        sum[i] = axb;
+        carry = nl.add_gate(gate_fn::and2, i, width + i);
+        has_carry = true;
+      } else {
+        sum[i] = nl.add_gate(gate_fn::xor2, axb, carry);
+        const std::uint32_t g = nl.add_gate(gate_fn::and2, i, width + i);
+        const std::uint32_t p = nl.add_gate(gate_fn::and2, axb, carry);
+        carry = nl.add_gate(gate_fn::or2, g, p);
+      }
+    }
+    last_carry = carry;
+    have_last_carry = has_carry;
+  }
+  sum[width] =
+      have_last_carry ? last_carry : nl.add_gate(gate_fn::const0, 0, 0);
+  for (unsigned i = 0; i <= width; ++i) nl.set_output(i, sum[i]);
+  return nl;
+}
+
+netlist truncated_adder(unsigned width, unsigned dropped) {
+  AXC_EXPECTS(width >= 1 && dropped <= width);
+  netlist nl(2 * std::size_t{width}, std::size_t{width} + 1);
+  std::vector<std::uint32_t> sum(width + 1);
+
+  const std::uint32_t zero = nl.add_gate(gate_fn::const0, 0, 0);
+  for (unsigned i = 0; i < dropped; ++i) sum[i] = zero;
+  exact_upper(nl, sum, dropped, width, 0, /*has_carry=*/false);
+  for (unsigned i = 0; i <= width; ++i) nl.set_output(i, sum[i]);
+  return nl;
+}
+
+}  // namespace axc::mult

@@ -1,0 +1,29 @@
+// Conventional approximate adders (survey [1] families).
+//
+// Included to demonstrate that the WMED methodology is not multiplier-
+// specific (the paper presents it "for combinational circuits", using
+// multipliers only for exposition) and to serve as adder baselines in the
+// adder_study bench.
+//
+// Interface: inputs a[0..w-1], b[0..w-1]; outputs sum[0..w] (unsigned).
+#pragma once
+
+#include "circuit/netlist.h"
+
+namespace axc::mult {
+
+/// Lower-part OR adder (LOA): the `approx_bits` least significant sum bits
+/// are computed as a_i | b_i; a single AND of the top approximate bit pair
+/// feeds the exact upper ripple adder as carry-in.
+circuit::netlist lower_or_adder(unsigned width, unsigned approx_bits);
+
+/// Equal-segmentation adder (ESA): independent `segment`-bit ripple adders
+/// with inter-segment carries dropped (carry-out of the last segment is
+/// produced as sum[w]).
+circuit::netlist segmented_adder(unsigned width, unsigned segment);
+
+/// Truncated adder: the `dropped` least significant sum bits are constant
+/// zero and generate no carry; the upper part adds exactly.
+circuit::netlist truncated_adder(unsigned width, unsigned dropped);
+
+}  // namespace axc::mult

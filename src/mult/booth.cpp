@@ -1,0 +1,71 @@
+#include "mult/booth.h"
+
+#include "mult/column_accumulator.h"
+#include "support/assert.h"
+
+namespace axc::mult {
+
+using circuit::gate_fn;
+using circuit::netlist;
+
+netlist booth_multiplier(unsigned width, schedule sched) {
+  AXC_EXPECTS(width >= 2 && width % 2 == 0);
+  const std::size_t w = width;
+  netlist nl(2 * w, 2 * w);
+  column_accumulator acc(nl, 2 * w);
+
+  auto a_bit = [&](std::size_t i) {
+    // Sign extension above the MSB.
+    return static_cast<std::uint32_t>(i < w ? i : w - 1);
+  };
+  auto b_bit = [&](std::size_t j) { return static_cast<std::uint32_t>(w + j); };
+
+  for (unsigned digit = 0; digit < width / 2; ++digit) {
+    const std::size_t shift = 2 * std::size_t{digit};
+    const std::uint32_t s = b_bit(2 * digit + 1);  // digit sign
+    const std::uint32_t x = b_bit(2 * digit);
+
+    // one = x ^ y, two = s ? ~x&~y : x&y   (y = b_{2j-1}, zero for j = 0).
+    std::uint32_t one = 0, two = 0;
+    if (digit == 0) {
+      one = x;  // x ^ 0
+      two = nl.add_gate(gate_fn::andn_ab, s, x);
+    } else {
+      const std::uint32_t y = b_bit(2 * digit - 1);
+      one = nl.add_gate(gate_fn::xor2, x, y);
+      const std::uint32_t nxy = nl.add_gate(gate_fn::nor2, x, y);
+      const std::uint32_t axy = nl.add_gate(gate_fn::and2, x, y);
+      const std::uint32_t t1 = nl.add_gate(gate_fn::and2, s, nxy);
+      // axy & ~s, phrased with andn_ab so Booth seeds stay inside the
+      // default CGP function set.
+      const std::uint32_t t2 = nl.add_gate(gate_fn::andn_ab, axy, s);
+      two = nl.add_gate(gate_fn::or2, t1, t2);
+    }
+
+    // Partial product bits 0..w of (one ? A : two ? 2A : 0) ^ neg, sign-
+    // extended over the remaining columns; +neg corrects the negation.
+    std::uint32_t top_bit = 0;
+    for (std::size_t i = 0; i <= w; ++i) {
+      const std::uint32_t u = nl.add_gate(gate_fn::and2, one, a_bit(i));
+      std::uint32_t sel = u;
+      if (i > 0) {
+        const std::uint32_t v = nl.add_gate(gate_fn::and2, two, a_bit(i - 1));
+        sel = nl.add_gate(gate_fn::or2, u, v);
+      }
+      const std::uint32_t ppx = nl.add_gate(gate_fn::xor2, sel, s);
+      acc.add_bit(shift + i, ppx);
+      if (i == w) top_bit = ppx;
+    }
+    for (std::size_t col = shift + w + 1; col < 2 * w; ++col) {
+      acc.add_bit(col, top_bit);  // sign replication
+    }
+    acc.add_bit(shift, s);  // +1 when the digit is negative
+  }
+
+  const std::vector<std::uint32_t> product =
+      sched == schedule::ripple ? acc.ripple() : acc.wallace();
+  for (std::size_t k = 0; k < 2 * w; ++k) nl.set_output(k, product[k]);
+  return nl;
+}
+
+}  // namespace axc::mult

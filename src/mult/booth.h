@@ -1,0 +1,20 @@
+// Radix-4 (modified) Booth multiplier generator.
+//
+// Recodes operand B into w/2 signed digits in {-2,-1,0,+1,+2}; each digit
+// selects 0 / +-A / +-2A as a partial product, halving the partial-product
+// count relative to the array multiplier at the cost of recoding logic.
+// Provides a structurally different exact seed for the CGP search (used by
+// the seeding ablation) and a third conventional design point.
+#pragma once
+
+#include "circuit/netlist.h"
+#include "mult/multipliers.h"
+
+namespace axc::mult {
+
+/// Signed (two's complement) w x w -> 2w Booth multiplier; `width` must be
+/// even and >= 2.
+circuit::netlist booth_multiplier(unsigned width,
+                                  schedule sched = schedule::ripple);
+
+}  // namespace axc::mult

@@ -1,0 +1,136 @@
+#include "mult/column_accumulator.h"
+
+#include "support/assert.h"
+
+namespace axc::mult {
+
+using circuit::gate_fn;
+
+column_accumulator::column_accumulator(circuit::netlist& nl,
+                                       std::size_t result_width)
+    : nl_(nl), columns_(result_width), const_ones_(result_width, 0) {
+  AXC_EXPECTS(result_width > 0);
+}
+
+void column_accumulator::add_bit(std::size_t column, std::uint32_t bit) {
+  if (column >= columns_.size()) return;  // beyond result width: mod 2^w
+  columns_[column].push_back(bit);
+}
+
+void column_accumulator::add_one(std::size_t column) {
+  if (column >= columns_.size()) return;
+  ++const_ones_[column];
+}
+
+std::pair<std::uint32_t, std::uint32_t> column_accumulator::full_adder(
+    std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  const std::uint32_t axb = nl_.add_gate(gate_fn::xor2, a, b);
+  const std::uint32_t sum = nl_.add_gate(gate_fn::xor2, axb, c);
+  const std::uint32_t ab = nl_.add_gate(gate_fn::and2, a, b);
+  const std::uint32_t cx = nl_.add_gate(gate_fn::and2, axb, c);
+  const std::uint32_t carry = nl_.add_gate(gate_fn::or2, ab, cx);
+  return {sum, carry};
+}
+
+std::pair<std::uint32_t, std::uint32_t> column_accumulator::half_adder(
+    std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t sum = nl_.add_gate(gate_fn::xor2, a, b);
+  const std::uint32_t carry = nl_.add_gate(gate_fn::and2, a, b);
+  return {sum, carry};
+}
+
+std::uint32_t column_accumulator::const_signal(bool value) {
+  return nl_.add_gate(value ? gate_fn::const1 : gate_fn::const0, 0, 0);
+}
+
+void column_accumulator::lower_constants() {
+  // Pairs of constant ones in a column carry into the next column; a single
+  // remaining one is folded into an existing signal x as a half-add with 1:
+  // sum = ~x (one inverter), carry = x.  Only a fully empty column needs a
+  // materialized const1.
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c + 1 < columns_.size()) {
+      const_ones_[c + 1] += const_ones_[c] / 2;
+    }
+    if (const_ones_[c] % 2 == 0) {
+      const_ones_[c] = 0;
+      continue;
+    }
+    const_ones_[c] = 0;
+    if (!columns_[c].empty()) {
+      const std::uint32_t x = columns_[c].back();
+      columns_[c].back() = nl_.add_unary(gate_fn::not_a, x);
+      if (c + 1 < columns_.size()) columns_[c + 1].push_back(x);
+    } else {
+      columns_[c].push_back(const_signal(true));
+    }
+  }
+}
+
+std::vector<std::uint32_t> column_accumulator::collect_results() {
+  std::vector<std::uint32_t> result(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    AXC_ASSERT(columns_[c].size() <= 1);
+    result[c] = columns_[c].empty() ? const_signal(false) : columns_[c][0];
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> column_accumulator::ripple() {
+  lower_constants();
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    auto& col = columns_[c];
+    while (col.size() > 1) {
+      if (col.size() >= 3) {
+        const std::uint32_t a = col.back(); col.pop_back();
+        const std::uint32_t b = col.back(); col.pop_back();
+        const std::uint32_t d = col.back(); col.pop_back();
+        const auto [sum, carry] = full_adder(a, b, d);
+        col.push_back(sum);
+        if (c + 1 < columns_.size()) columns_[c + 1].push_back(carry);
+      } else {
+        const std::uint32_t a = col.back(); col.pop_back();
+        const std::uint32_t b = col.back(); col.pop_back();
+        const auto [sum, carry] = half_adder(a, b);
+        col.push_back(sum);
+        if (c + 1 < columns_.size()) columns_[c + 1].push_back(carry);
+      }
+    }
+  }
+  return collect_results();
+}
+
+std::vector<std::uint32_t> column_accumulator::wallace() {
+  lower_constants();
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    // One parallel round: compress every column that currently holds more
+    // than two bits; carries land in the next column for the *next* round.
+    std::vector<std::vector<std::uint32_t>> next(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      auto& col = columns_[c];
+      std::size_t k = 0;
+      while (col.size() - k >= 3) {
+        const auto [sum, carry] = full_adder(col[k], col[k + 1], col[k + 2]);
+        k += 3;
+        next[c].push_back(sum);
+        if (c + 1 < columns_.size()) next[c + 1].push_back(carry);
+        reduced = true;
+      }
+      if (col.size() - k == 2 && col.size() > 2) {
+        const auto [sum, carry] = half_adder(col[k], col[k + 1]);
+        k += 2;
+        next[c].push_back(sum);
+        if (c + 1 < columns_.size()) next[c + 1].push_back(carry);
+        reduced = true;
+      }
+      for (; k < col.size(); ++k) next[c].push_back(col[k]);
+    }
+    columns_ = std::move(next);
+  }
+  // Columns now hold at most two bits: final carry-propagate (ripple) pass.
+  return ripple();
+}
+
+}  // namespace axc::mult

@@ -1,0 +1,60 @@
+// Column-based partial-product accumulation.
+//
+// Arithmetic circuit generators deposit single-bit terms into weighted
+// columns (bit k of the result has weight 2^k); the accumulator then
+// compresses every column to one signal using half/full adder cells built
+// from two-input gates.  Two schedules are provided:
+//
+//  - ripple():  columns are finalized LSB-first, carries ripple upward —
+//               the classic *array multiplier* structure (compact, deep).
+//  - wallace(): rounds of parallel 3:2 / 2:2 compression followed by the
+//               final carry chain — a *Wallace-tree-like* structure
+//               (larger, shallow).  Used to diversify CGP seeds.
+//
+// Bits added beyond the result width are discarded (arithmetic mod 2^width),
+// matching the fixed output width of the multiplier interface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace axc::mult {
+
+class column_accumulator {
+ public:
+  column_accumulator(circuit::netlist& nl, std::size_t result_width);
+
+  /// Adds signal `bit` with weight 2^column.
+  void add_bit(std::size_t column, std::uint32_t bit);
+
+  /// Adds the constant 1 with weight 2^column (folded where possible).
+  void add_one(std::size_t column);
+
+  /// Compresses with the ripple (array) schedule and returns one signal per
+  /// result bit.  The accumulator is consumed.
+  std::vector<std::uint32_t> ripple();
+
+  /// Compresses with the Wallace schedule.  The accumulator is consumed.
+  std::vector<std::uint32_t> wallace();
+
+ private:
+  /// sum/carry of a full adder over three signals.
+  std::pair<std::uint32_t, std::uint32_t> full_adder(std::uint32_t a,
+                                                     std::uint32_t b,
+                                                     std::uint32_t c);
+  /// sum/carry of a half adder over two signals.
+  std::pair<std::uint32_t, std::uint32_t> half_adder(std::uint32_t a,
+                                                     std::uint32_t b);
+  /// Materializes constant-1 carries into signals before compression.
+  void lower_constants();
+  std::uint32_t const_signal(bool value);
+  std::vector<std::uint32_t> collect_results();
+
+  circuit::netlist& nl_;
+  std::vector<std::vector<std::uint32_t>> columns_;
+  std::vector<std::size_t> const_ones_;
+};
+
+}  // namespace axc::mult

@@ -1,0 +1,30 @@
+#include "mult/lut.h"
+
+#include "support/assert.h"
+
+namespace axc::mult {
+
+namespace {
+
+std::vector<std::int32_t> narrow_table(std::vector<std::int64_t> wide) {
+  std::vector<std::int32_t> table(wide.size());
+  for (std::size_t v = 0; v < wide.size(); ++v) {
+    table[v] = static_cast<std::int32_t>(wide[v]);
+  }
+  return table;
+}
+
+}  // namespace
+
+product_lut::product_lut(const circuit::netlist& multiplier,
+                         const metrics::mult_spec& spec)
+    : spec_(spec),
+      table_(narrow_table(metrics::product_table(multiplier, spec))) {
+  AXC_EXPECTS(spec.width <= 12);  // 2^(2w) table entries
+}
+
+product_lut product_lut::exact(const metrics::mult_spec& spec) {
+  return product_lut(spec, narrow_table(metrics::exact_product_table(spec)));
+}
+
+}  // namespace axc::mult

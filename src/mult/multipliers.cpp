@@ -1,0 +1,166 @@
+#include "mult/multipliers.h"
+
+#include <vector>
+
+#include "mult/adders.h"
+#include "mult/column_accumulator.h"
+#include "support/assert.h"
+
+namespace axc::mult {
+
+using circuit::gate_fn;
+using circuit::netlist;
+
+namespace {
+
+/// Shared generator core: deposits the (filtered) partial products of an
+/// unsigned or Baugh-Wooley signed array into a column accumulator and
+/// compresses it with the requested schedule.
+netlist generate(unsigned width, bool is_signed, schedule sched,
+                 const std::function<bool(unsigned, unsigned)>& keep) {
+  AXC_EXPECTS(width >= 2);
+  const std::size_t w = width;
+  netlist nl(2 * w, 2 * w);
+  column_accumulator acc(nl, 2 * w);
+
+  auto a_bit = [&](unsigned i) { return static_cast<std::uint32_t>(i); };
+  auto b_bit = [&](unsigned j) { return static_cast<std::uint32_t>(w + j); };
+
+  if (!is_signed) {
+    for (unsigned j = 0; j < width; ++j) {
+      for (unsigned i = 0; i < width; ++i) {
+        if (!keep(i, j)) continue;
+        acc.add_bit(i + j, nl.add_gate(gate_fn::and2, a_bit(i), b_bit(j)));
+      }
+    }
+  } else {
+    // Baugh-Wooley: partial products touching exactly one sign bit are
+    // inverted (NAND) and correction constants 2^w + 2^(2w-1) are added.
+    const unsigned s = width - 1;  // sign-bit index
+    for (unsigned j = 0; j < s; ++j) {
+      for (unsigned i = 0; i < s; ++i) {
+        if (!keep(i, j)) continue;
+        acc.add_bit(i + j, nl.add_gate(gate_fn::and2, a_bit(i), b_bit(j)));
+      }
+    }
+    for (unsigned i = 0; i < s; ++i) {
+      if (keep(i, s)) {
+        acc.add_bit(i + s, nl.add_gate(gate_fn::nand2, a_bit(i), b_bit(s)));
+      }
+    }
+    for (unsigned j = 0; j < s; ++j) {
+      if (keep(s, j)) {
+        acc.add_bit(s + j, nl.add_gate(gate_fn::nand2, a_bit(s), b_bit(j)));
+      }
+    }
+    if (keep(s, s)) {
+      acc.add_bit(2 * s, nl.add_gate(gate_fn::and2, a_bit(s), b_bit(s)));
+    }
+    acc.add_one(width);
+    acc.add_one(2 * width - 1);
+  }
+
+  const std::vector<std::uint32_t> product =
+      sched == schedule::ripple ? acc.ripple() : acc.wallace();
+  for (std::size_t k = 0; k < 2 * w; ++k) {
+    nl.set_output(k, product[k]);
+  }
+  return nl;
+}
+
+}  // namespace
+
+netlist unsigned_multiplier(unsigned width, schedule sched) {
+  return generate(width, /*is_signed=*/false, sched,
+                  [](unsigned, unsigned) { return true; });
+}
+
+netlist signed_multiplier(unsigned width, schedule sched) {
+  return generate(width, /*is_signed=*/true, sched,
+                  [](unsigned, unsigned) { return true; });
+}
+
+netlist truncated_multiplier(unsigned width, unsigned dropped_columns,
+                             bool is_signed) {
+  AXC_EXPECTS(dropped_columns <= 2 * width);
+  return generate(width, is_signed, schedule::ripple,
+                  [dropped_columns](unsigned i, unsigned j) {
+                    return i + j >= dropped_columns;
+                  });
+}
+
+netlist broken_array_multiplier(unsigned width, unsigned hbl, unsigned vbl,
+                                bool is_signed) {
+  AXC_EXPECTS(hbl <= width && vbl <= 2 * width);
+  return generate(width, is_signed, schedule::ripple,
+                  [hbl, vbl](unsigned i, unsigned j) {
+                    return j >= hbl && i + j >= vbl;
+                  });
+}
+
+netlist filtered_multiplier(
+    unsigned width, bool is_signed, schedule sched,
+    const std::function<bool(unsigned, unsigned)>& keep) {
+  return generate(width, is_signed, sched, keep);
+}
+
+netlist zero_exact_wrapper(const netlist& multiplier, unsigned width) {
+  AXC_EXPECTS(multiplier.num_inputs() == 2 * std::size_t{width});
+  AXC_EXPECTS(multiplier.num_outputs() == 2 * std::size_t{width});
+  const std::size_t w = width;
+  netlist nl(2 * w, 2 * w);
+
+  std::vector<std::uint32_t> inputs(2 * w);
+  for (std::size_t i = 0; i < 2 * w; ++i) {
+    inputs[i] = static_cast<std::uint32_t>(i);
+  }
+  const std::vector<std::uint32_t> product = graft(nl, multiplier, inputs);
+
+  // nonzero(A) and nonzero(B) via OR trees over the operand bits.
+  auto or_tree = [&](std::size_t first) {
+    std::uint32_t acc = static_cast<std::uint32_t>(first);
+    for (std::size_t i = 1; i < w; ++i) {
+      acc = nl.add_gate(gate_fn::or2, acc,
+                        static_cast<std::uint32_t>(first + i));
+    }
+    return acc;
+  };
+  const std::uint32_t nz_a = or_tree(0);
+  const std::uint32_t nz_b = or_tree(w);
+  const std::uint32_t enable = nl.add_gate(gate_fn::and2, nz_a, nz_b);
+
+  for (std::size_t o = 0; o < 2 * w; ++o) {
+    nl.set_output(o, nl.add_gate(gate_fn::and2, product[o], enable));
+  }
+  return nl;
+}
+
+netlist build_mac(const netlist& multiplier, unsigned width,
+                  unsigned acc_width, bool is_signed) {
+  AXC_EXPECTS(multiplier.num_inputs() == 2 * std::size_t{width});
+  AXC_EXPECTS(multiplier.num_outputs() == 2 * std::size_t{width});
+  AXC_EXPECTS(acc_width >= 2 * width);
+
+  const std::size_t w = width;
+  const std::size_t n = acc_width;
+  netlist nl(2 * w + n, n);
+
+  std::vector<std::uint32_t> mult_inputs(2 * w);
+  for (std::size_t i = 0; i < 2 * w; ++i) {
+    mult_inputs[i] = static_cast<std::uint32_t>(i);
+  }
+  const std::vector<std::uint32_t> product =
+      graft(nl, multiplier, mult_inputs);
+
+  std::vector<std::uint32_t> accumulator(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    accumulator[i] = static_cast<std::uint32_t>(2 * w + i);
+  }
+
+  const std::vector<std::uint32_t> sum =
+      build_adder(nl, product, accumulator, n, /*sign_extend=*/is_signed);
+  for (std::size_t i = 0; i < n; ++i) nl.set_output(i, sum[i]);
+  return nl;
+}
+
+}  // namespace axc::mult

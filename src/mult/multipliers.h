@@ -1,0 +1,67 @@
+// Conventional multiplier generators.
+//
+// These serve three roles in the reproduction:
+//   1. exact multipliers seed the CGP search (the paper seeds with
+//      "different conventional implementations of exact multipliers");
+//   2. truncated and broken-array multipliers are the paper's conventional
+//      approximate baselines (Fig. 3, Fig. 7);
+//   3. the zero-exact wrapper reproduces the multiply-by-zero guarantee of
+//      Mrazek et al. [6], one of the compared families in Fig. 7.
+//
+// Interface convention (metrics/mult_spec.h): inputs 0..w-1 = operand A,
+// inputs w..2w-1 = operand B, outputs 0..2w-1 = product, LSB first; signed
+// circuits use two's complement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "circuit/netlist.h"
+
+namespace axc::mult {
+
+enum class schedule {
+  ripple,   ///< array-multiplier-like carry propagation (compact, deep)
+  wallace,  ///< tree compression (larger, shallow)
+};
+
+/// Exact unsigned w x w multiplier.
+circuit::netlist unsigned_multiplier(unsigned width,
+                                     schedule sched = schedule::ripple);
+
+/// Exact signed (two's complement) w x w multiplier, Baugh-Wooley form.
+circuit::netlist signed_multiplier(unsigned width,
+                                   schedule sched = schedule::ripple);
+
+/// Truncated array multiplier: partial products in the `dropped_columns`
+/// least significant columns are removed (the classic truncation baseline
+/// of Jiang et al. [1]).
+circuit::netlist truncated_multiplier(unsigned width, unsigned dropped_columns,
+                                      bool is_signed = false);
+
+/// Broken-array multiplier after Mahdiani et al. [13]: the first `hbl`
+/// partial-product rows (operand-B LSB rows) and all partial products in
+/// columns below `vbl` are omitted from the carry-save array.
+circuit::netlist broken_array_multiplier(unsigned width, unsigned hbl,
+                                         unsigned vbl, bool is_signed = false);
+
+/// Generic partial-product filter: `keep(i, j)` decides whether the partial
+/// product a_i * b_j enters the array.  The exact generators above are the
+/// all-true instance; custom filters give further structural baselines.
+circuit::netlist filtered_multiplier(
+    unsigned width, bool is_signed, schedule sched,
+    const std::function<bool(unsigned, unsigned)>& keep);
+
+/// Wraps any w x w multiplier so that a zero operand always yields a zero
+/// product (exact multiply-by-zero, as in Mrazek et al. [6]).
+circuit::netlist zero_exact_wrapper(const circuit::netlist& multiplier,
+                                    unsigned width);
+
+/// Multiply-accumulate unit: inputs A(w), B(w), ACC(acc_width); outputs
+/// ACC + extend(A*B) mod 2^acc_width.  The product is sign-extended for
+/// signed MACs, zero-extended otherwise.  This is the paper's processing
+/// element (Sec. V-B): an 8-bit multiplier plus an n-bit accumulate adder.
+circuit::netlist build_mac(const circuit::netlist& multiplier, unsigned width,
+                           unsigned acc_width, bool is_signed);
+
+}  // namespace axc::mult

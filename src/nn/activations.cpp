@@ -1,0 +1,126 @@
+#include "nn/activations.h"
+
+#include "support/assert.h"
+
+namespace axc::nn {
+
+tensor relu::forward(const tensor& x, bool training) {
+  tensor y = x;
+  if (training) mask_.assign(x.size(), false);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] > 0.0f) {
+      if (training) mask_[i] = true;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+tensor relu::backward(const tensor& grad) {
+  AXC_EXPECTS(mask_.size() == grad.size());
+  tensor gx = grad;
+  for (std::size_t i = 0; i < gx.size(); ++i) {
+    if (!mask_[i]) gx[i] = 0.0f;
+  }
+  return gx;
+}
+
+tensor maxpool2::forward(const tensor& x, bool training) {
+  AXC_EXPECTS(x.height() % 2 == 0 && x.width() % 2 == 0);
+  const std::size_t oh = x.height() / 2;
+  const std::size_t ow = x.width() / 2;
+  tensor y(x.channels(), oh, ow);
+  if (training) {
+    argmax_.assign(y.size(), 0);
+    input_shape_ = x.shape();
+  }
+
+  std::size_t out_index = 0;
+  for (std::size_t c = 0; c < x.channels(); ++c) {
+    for (std::size_t yo = 0; yo < oh; ++yo) {
+      for (std::size_t xo = 0; xo < ow; ++xo, ++out_index) {
+        float best = x.at(c, 2 * yo, 2 * xo);
+        std::size_t best_index =
+            (c * x.height() + 2 * yo) * x.width() + 2 * xo;
+        for (std::size_t dy = 0; dy < 2; ++dy) {
+          for (std::size_t dx = 0; dx < 2; ++dx) {
+            const float v = x.at(c, 2 * yo + dy, 2 * xo + dx);
+            if (v > best) {
+              best = v;
+              best_index =
+                  (c * x.height() + 2 * yo + dy) * x.width() + 2 * xo + dx;
+            }
+          }
+        }
+        y.at(c, yo, xo) = best;
+        if (training) argmax_[out_index] = best_index;
+      }
+    }
+  }
+  return y;
+}
+
+tensor maxpool2::backward(const tensor& grad) {
+  AXC_EXPECTS(argmax_.size() == grad.size());
+  tensor gx(input_shape_[0], input_shape_[1], input_shape_[2]);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    gx.data()[argmax_[i]] += grad.data()[i];
+  }
+  return gx;
+}
+
+std::array<std::size_t, 3> maxpool2::output_shape(
+    std::array<std::size_t, 3> input_shape) const {
+  AXC_EXPECTS(input_shape[1] % 2 == 0 && input_shape[2] % 2 == 0);
+  return {input_shape[0], input_shape[1] / 2, input_shape[2] / 2};
+}
+
+tensor avgpool2::forward(const tensor& x, bool training) {
+  AXC_EXPECTS(x.height() % 2 == 0 && x.width() % 2 == 0);
+  if (training) input_shape_ = x.shape();
+  tensor y(x.channels(), x.height() / 2, x.width() / 2);
+  for (std::size_t c = 0; c < x.channels(); ++c) {
+    for (std::size_t yo = 0; yo < y.height(); ++yo) {
+      for (std::size_t xo = 0; xo < y.width(); ++xo) {
+        y.at(c, yo, xo) =
+            0.25f * (x.at(c, 2 * yo, 2 * xo) + x.at(c, 2 * yo, 2 * xo + 1) +
+                     x.at(c, 2 * yo + 1, 2 * xo) +
+                     x.at(c, 2 * yo + 1, 2 * xo + 1));
+      }
+    }
+  }
+  return y;
+}
+
+tensor avgpool2::backward(const tensor& grad) {
+  // Downstream layers may hand the gradient back flattened; index it by the
+  // recorded output geometry, not by grad's own shape.
+  const std::size_t oc = input_shape_[0];
+  const std::size_t oh = input_shape_[1] / 2;
+  const std::size_t ow = input_shape_[2] / 2;
+  AXC_EXPECTS(grad.size() == oc * oh * ow);
+
+  tensor gx(input_shape_[0], input_shape_[1], input_shape_[2]);
+  std::size_t flat = 0;
+  for (std::size_t c = 0; c < oc; ++c) {
+    for (std::size_t yo = 0; yo < oh; ++yo) {
+      for (std::size_t xo = 0; xo < ow; ++xo, ++flat) {
+        const float g = 0.25f * grad.data()[flat];
+        gx.at(c, 2 * yo, 2 * xo) = g;
+        gx.at(c, 2 * yo, 2 * xo + 1) = g;
+        gx.at(c, 2 * yo + 1, 2 * xo) = g;
+        gx.at(c, 2 * yo + 1, 2 * xo + 1) = g;
+      }
+    }
+  }
+  return gx;
+}
+
+std::array<std::size_t, 3> avgpool2::output_shape(
+    std::array<std::size_t, 3> input_shape) const {
+  AXC_EXPECTS(input_shape[1] % 2 == 0 && input_shape[2] % 2 == 0);
+  return {input_shape[0], input_shape[1] / 2, input_shape[2] / 2};
+}
+
+}  // namespace axc::nn

@@ -1,0 +1,63 @@
+// Parameter-free layers: ReLU and 2x2 max pooling.
+//
+// Both are exact on the fixed-point grid (max and clamping commute with the
+// power-of-two scaling), so their quantized forward is the float forward —
+// see layer.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace axc::nn {
+
+class relu : public layer {
+ public:
+  [[nodiscard]] layer_kind kind() const override { return layer_kind::relu; }
+  tensor forward(const tensor& x, bool training) override;
+  tensor backward(const tensor& grad) override;
+  [[nodiscard]] std::array<std::size_t, 3> output_shape(
+      std::array<std::size_t, 3> input_shape) const override {
+    return input_shape;
+  }
+
+ private:
+  std::vector<bool> mask_;
+};
+
+/// 2x2 max pooling with stride 2 (input height/width must be even).
+class maxpool2 : public layer {
+ public:
+  [[nodiscard]] layer_kind kind() const override {
+    return layer_kind::maxpool2;
+  }
+  tensor forward(const tensor& x, bool training) override;
+  tensor backward(const tensor& grad) override;
+  [[nodiscard]] std::array<std::size_t, 3> output_shape(
+      std::array<std::size_t, 3> input_shape) const override;
+
+ private:
+  std::vector<std::size_t> argmax_;
+  std::array<std::size_t, 3> input_shape_{0, 0, 0};
+};
+
+/// 2x2 average pooling with stride 2 — LeNet-5's original subsampling.
+/// In hardware this is an add-and-shift; the float value (a+b+c+d)/4 is
+/// exact in binary floating point, and the consuming layer re-quantizes
+/// its input, so the float forward models the int pipeline faithfully.
+class avgpool2 : public layer {
+ public:
+  [[nodiscard]] layer_kind kind() const override {
+    return layer_kind::avgpool2;
+  }
+  tensor forward(const tensor& x, bool training) override;
+  tensor backward(const tensor& grad) override;
+  [[nodiscard]] std::array<std::size_t, 3> output_shape(
+      std::array<std::size_t, 3> input_shape) const override;
+
+ private:
+  std::array<std::size_t, 3> input_shape_{0, 0, 0};
+};
+
+}  // namespace axc::nn

@@ -1,0 +1,153 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace axc::nn {
+
+conv2d::conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, rng& gen)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      w_(out_channels * in_channels * kernel * kernel),
+      b_(out_channels, 0.0f),
+      gw_(w_.size(), 0.0f),
+      gb_(out_channels, 0.0f),
+      vw_(w_.size(), 0.0f),
+      vb_(out_channels, 0.0f) {
+  AXC_EXPECTS(in_channels > 0 && out_channels > 0 && kernel > 0);
+  const double fan_in =
+      static_cast<double>(in_channels) * static_cast<double>(kernel * kernel);
+  const double scale = std::sqrt(2.0 / fan_in);
+  for (float& w : w_) w = static_cast<float>(gen.normal(0.0, scale));
+}
+
+tensor conv2d::forward(const tensor& x, bool training) {
+  AXC_EXPECTS(x.channels() == in_c_);
+  AXC_EXPECTS(x.height() >= k_ && x.width() >= k_);
+  if (training) cached_input_ = x;
+
+  const std::size_t oh = x.height() - k_ + 1;
+  const std::size_t ow = x.width() - k_ + 1;
+  tensor y(out_c_, oh, ow);
+  for (std::size_t oc = 0; oc < out_c_; ++oc) {
+    for (std::size_t yo = 0; yo < oh; ++yo) {
+      for (std::size_t xo = 0; xo < ow; ++xo) {
+        float acc = b_[oc];
+        for (std::size_t ic = 0; ic < in_c_; ++ic) {
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              acc += w_[w_index(oc, ic, ky, kx)] *
+                     x.at(ic, yo + ky, xo + kx);
+            }
+          }
+        }
+        y.at(oc, yo, xo) = acc;
+      }
+    }
+  }
+  return y;
+}
+
+tensor conv2d::backward(const tensor& grad) {
+  const tensor& x = cached_input_;
+  AXC_EXPECTS(x.channels() == in_c_);
+  const std::size_t oh = x.height() - k_ + 1;
+  const std::size_t ow = x.width() - k_ + 1;
+  // Downstream layers may flatten; only the element count must match.
+  AXC_EXPECTS(grad.size() == out_c_ * oh * ow);
+
+  tensor gx(in_c_, x.height(), x.width());
+  for (std::size_t oc = 0; oc < out_c_; ++oc) {
+    for (std::size_t yo = 0; yo < oh; ++yo) {
+      for (std::size_t xo = 0; xo < ow; ++xo) {
+        const float g = grad.data()[(oc * oh + yo) * ow + xo];
+        if (g == 0.0f) continue;
+        gb_[oc] += g;
+        for (std::size_t ic = 0; ic < in_c_; ++ic) {
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              gw_[w_index(oc, ic, ky, kx)] += g * x.at(ic, yo + ky, xo + kx);
+              gx.at(ic, yo + ky, xo + kx) += g * w_[w_index(oc, ic, ky, kx)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+tensor conv2d::forward_quantized(const tensor& x, const layer_qparams& qp,
+                                 const mult::product_lut& lut, bool training) {
+  AXC_EXPECTS(x.channels() == in_c_);
+  AXC_EXPECTS(qp.weights.size() == w_.size());
+  AXC_EXPECTS(qp.bias.size() == b_.size());
+
+  std::vector<std::int8_t> xq(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xq[i] = quantize_value(x.data()[i], qp.in_frac);
+  }
+  if (training) {
+    tensor xhat(x.channels(), x.height(), x.width());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      xhat.data()[i] = dequantize_value(xq[i], qp.in_frac);
+    }
+    cached_input_ = std::move(xhat);
+  }
+
+  auto xq_at = [&](std::size_t ic, std::size_t yy,
+                   std::size_t xx) -> std::int8_t {
+    return xq[(ic * x.height() + yy) * x.width() + xx];
+  };
+
+  const int shift = qp.in_frac + qp.w_frac - qp.out_frac;
+  const std::size_t oh = x.height() - k_ + 1;
+  const std::size_t ow = x.width() - k_ + 1;
+  tensor y(out_c_, oh, ow);
+  for (std::size_t oc = 0; oc < out_c_; ++oc) {
+    for (std::size_t yo = 0; yo < oh; ++yo) {
+      for (std::size_t xo = 0; xo < ow; ++xo) {
+        std::int64_t acc = qp.bias[oc];
+        for (std::size_t ic = 0; ic < in_c_; ++ic) {
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              acc += lut.multiply(qp.weights[w_index(oc, ic, ky, kx)],
+                                  xq_at(ic, yo + ky, xo + kx));
+            }
+          }
+        }
+        const std::int8_t yq = saturate_int8(shift_round(acc, shift));
+        y.at(oc, yo, xo) = dequantize_value(yq, qp.out_frac);
+      }
+    }
+  }
+  return y;
+}
+
+std::array<std::size_t, 3> conv2d::output_shape(
+    std::array<std::size_t, 3> input_shape) const {
+  AXC_EXPECTS(input_shape[0] == in_c_);
+  AXC_EXPECTS(input_shape[1] >= k_ && input_shape[2] >= k_);
+  return {out_c_, input_shape[1] - k_ + 1, input_shape[2] - k_ + 1};
+}
+
+void conv2d::zero_grads() {
+  for (float& g : gw_) g = 0.0f;
+  for (float& g : gb_) g = 0.0f;
+}
+
+void conv2d::sgd_step(float learning_rate, float momentum) {
+  for (std::size_t k = 0; k < w_.size(); ++k) {
+    vw_[k] = momentum * vw_[k] - learning_rate * gw_[k];
+    w_[k] += vw_[k];
+  }
+  for (std::size_t k = 0; k < b_.size(); ++k) {
+    vb_[k] = momentum * vb_[k] - learning_rate * gb_[k];
+    b_[k] += vb_[k];
+  }
+}
+
+}  // namespace axc::nn

@@ -1,0 +1,53 @@
+// 2-D convolution layer (valid padding, stride 1, square kernel).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+#include "support/rng.h"
+
+namespace axc::nn {
+
+class conv2d : public layer {
+ public:
+  conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, rng& gen);
+
+  [[nodiscard]] layer_kind kind() const override { return layer_kind::conv2d; }
+  tensor forward(const tensor& x, bool training) override;
+  tensor backward(const tensor& grad) override;
+  tensor forward_quantized(const tensor& x, const layer_qparams& qp,
+                           const mult::product_lut& lut,
+                           bool training) override;
+  [[nodiscard]] std::array<std::size_t, 3> output_shape(
+      std::array<std::size_t, 3> input_shape) const override;
+
+  std::span<float> weights() override { return w_; }
+  std::span<float> bias() override { return b_; }
+  void zero_grads() override;
+  void sgd_step(float learning_rate, float momentum) override;
+
+  [[nodiscard]] std::size_t in_channels() const { return in_c_; }
+  [[nodiscard]] std::size_t out_channels() const { return out_c_; }
+  [[nodiscard]] std::size_t kernel() const { return k_; }
+
+ private:
+  [[nodiscard]] std::size_t w_index(std::size_t oc, std::size_t ic,
+                                    std::size_t ky, std::size_t kx) const {
+    return ((oc * in_c_ + ic) * k_ + ky) * k_ + kx;
+  }
+
+  std::size_t in_c_;
+  std::size_t out_c_;
+  std::size_t k_;
+  std::vector<float> w_;  ///< [oc][ic][ky][kx]
+  std::vector<float> b_;  ///< [oc]
+  std::vector<float> gw_;
+  std::vector<float> gb_;
+  std::vector<float> vw_;
+  std::vector<float> vb_;
+  tensor cached_input_;
+};
+
+}  // namespace axc::nn

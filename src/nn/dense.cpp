@@ -1,0 +1,113 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace axc::nn {
+
+dense::dense(std::size_t in_features, std::size_t out_features, rng& gen)
+    : in_(in_features),
+      out_(out_features),
+      w_(in_features * out_features),
+      b_(out_features, 0.0f),
+      gw_(w_.size(), 0.0f),
+      gb_(out_features, 0.0f),
+      vw_(w_.size(), 0.0f),
+      vb_(out_features, 0.0f) {
+  AXC_EXPECTS(in_features > 0 && out_features > 0);
+  // He initialization (ReLU networks).
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_features));
+  for (float& w : w_) w = static_cast<float>(gen.normal(0.0, scale));
+}
+
+tensor dense::forward(const tensor& x, bool training) {
+  AXC_EXPECTS(x.size() == in_);
+  if (training) cached_input_ = x;
+
+  tensor y = tensor::flat(out_);
+  for (std::size_t o = 0; o < out_; ++o) {
+    float acc = b_[o];
+    const float* row = &w_[o * in_];
+    for (std::size_t i = 0; i < in_; ++i) acc += row[i] * x[i];
+    y[o] = acc;
+  }
+  return y;
+}
+
+tensor dense::backward(const tensor& grad) {
+  AXC_EXPECTS(grad.size() == out_);
+  AXC_EXPECTS(cached_input_.size() == in_);
+
+  tensor gx = tensor::flat(in_);
+  for (std::size_t o = 0; o < out_; ++o) {
+    const float g = grad[o];
+    gb_[o] += g;
+    float* grow = &gw_[o * in_];
+    const float* row = &w_[o * in_];
+    for (std::size_t i = 0; i < in_; ++i) {
+      grow[i] += g * cached_input_[i];
+      gx[i] += g * row[i];
+    }
+  }
+  return gx;
+}
+
+tensor dense::forward_quantized(const tensor& x, const layer_qparams& qp,
+                                const mult::product_lut& lut, bool training) {
+  AXC_EXPECTS(x.size() == in_);
+  AXC_EXPECTS(qp.weights.size() == w_.size());
+  AXC_EXPECTS(qp.bias.size() == b_.size());
+
+  // Quantize the incoming activations onto the layer's input grid.
+  std::vector<std::int8_t> xq(in_);
+  for (std::size_t i = 0; i < in_; ++i) {
+    xq[i] = quantize_value(x[i], qp.in_frac);
+  }
+  if (training) {
+    // Straight-through: backward differentiates the float-linear map at the
+    // values the hardware actually consumed.
+    tensor xhat = tensor::flat(in_);
+    for (std::size_t i = 0; i < in_; ++i) {
+      xhat[i] = dequantize_value(xq[i], qp.in_frac);
+    }
+    cached_input_ = std::move(xhat);
+  }
+
+  const int shift = qp.in_frac + qp.w_frac - qp.out_frac;
+  tensor y = tensor::flat(out_);
+  for (std::size_t o = 0; o < out_; ++o) {
+    std::int64_t acc = qp.bias[o];
+    const std::int8_t* row = &qp.weights[o * in_];
+    for (std::size_t i = 0; i < in_; ++i) {
+      acc += lut.multiply(row[i], xq[i]);  // weight = operand A
+    }
+    const std::int8_t yq = saturate_int8(shift_round(acc, shift));
+    y[o] = dequantize_value(yq, qp.out_frac);
+  }
+  return y;
+}
+
+std::array<std::size_t, 3> dense::output_shape(
+    std::array<std::size_t, 3> input_shape) const {
+  AXC_EXPECTS(input_shape[0] * input_shape[1] * input_shape[2] == in_);
+  return {out_, 1, 1};
+}
+
+void dense::zero_grads() {
+  for (float& g : gw_) g = 0.0f;
+  for (float& g : gb_) g = 0.0f;
+}
+
+void dense::sgd_step(float learning_rate, float momentum) {
+  for (std::size_t k = 0; k < w_.size(); ++k) {
+    vw_[k] = momentum * vw_[k] - learning_rate * gw_[k];
+    w_[k] += vw_[k];
+  }
+  for (std::size_t k = 0; k < b_.size(); ++k) {
+    vb_[k] = momentum * vb_[k] - learning_rate * gb_[k];
+    b_[k] += vb_[k];
+  }
+}
+
+}  // namespace axc::nn

@@ -1,0 +1,45 @@
+// Fully connected layer (flattens its input).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+#include "support/rng.h"
+
+namespace axc::nn {
+
+class dense : public layer {
+ public:
+  dense(std::size_t in_features, std::size_t out_features, rng& gen);
+
+  [[nodiscard]] layer_kind kind() const override { return layer_kind::dense; }
+  tensor forward(const tensor& x, bool training) override;
+  tensor backward(const tensor& grad) override;
+  tensor forward_quantized(const tensor& x, const layer_qparams& qp,
+                           const mult::product_lut& lut,
+                           bool training) override;
+  [[nodiscard]] std::array<std::size_t, 3> output_shape(
+      std::array<std::size_t, 3> input_shape) const override;
+
+  std::span<float> weights() override { return w_; }
+  std::span<float> bias() override { return b_; }
+  void zero_grads() override;
+  void sgd_step(float learning_rate, float momentum) override;
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  std::vector<float> w_;   ///< [out][in], row-major
+  std::vector<float> b_;   ///< [out]
+  std::vector<float> gw_;
+  std::vector<float> gb_;
+  std::vector<float> vw_;  ///< momentum buffers
+  std::vector<float> vb_;
+  tensor cached_input_;
+};
+
+}  // namespace axc::nn

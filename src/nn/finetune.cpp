@@ -1,0 +1,59 @@
+#include "nn/finetune.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace axc::nn {
+
+void finetune(quantized_network& qnet, std::span<const tensor> images,
+              std::span<const int> labels, const mult::product_lut& lut,
+              const finetune_config& config,
+              const std::function<void(const finetune_stats&)>& on_epoch) {
+  AXC_EXPECTS(images.size() == labels.size() && !images.empty());
+  AXC_EXPECTS(config.batch_size > 0);
+
+  network& net = qnet.base();
+  rng gen(config.seed);
+  std::vector<std::size_t> order(images.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  float lr = config.learning_rate;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i-- > 1;) {
+      std::swap(order[i], order[gen.below(i + 1)]);
+    }
+
+    double loss_sum = 0.0;
+    for (std::size_t base = 0; base < order.size();
+         base += config.batch_size) {
+      const std::size_t limit =
+          std::min(order.size(), base + config.batch_size);
+      // The hardware consumes the quantization of the *current* float
+      // weights; refresh once per batch.
+      qnet.refresh_weights();
+      net.zero_grads();
+      for (std::size_t k = base; k < limit; ++k) {
+        const std::size_t idx = order[k];
+        const tensor logits =
+            qnet.forward(images[idx], lut, /*training=*/true);
+        const loss_and_grad lg = softmax_cross_entropy(logits, labels[idx]);
+        loss_sum += lg.loss;
+        net.backward(lg.grad);
+      }
+      net.sgd_step(lr / static_cast<float>(limit - base), config.momentum);
+    }
+    qnet.refresh_weights();
+
+    if (on_epoch) {
+      on_epoch(finetune_stats{
+          epoch, loss_sum / static_cast<double>(images.size())});
+    }
+    lr *= config.lr_decay;
+  }
+}
+
+}  // namespace axc::nn

@@ -1,0 +1,39 @@
+// Approximate-aware fine-tuning (the paper's Table I "after finetuning").
+//
+// The forward pass runs the quantized hardware model with the *approximate*
+// multiplier LUT; the backward pass is the float straight-through gradient
+// at the values the hardware consumed.  The network thereby "learns to
+// classify with the approximate multiplier", which the paper shows recovers
+// most of the accuracy lost to deep approximation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "mult/lut.h"
+#include "nn/quantize.h"
+
+namespace axc::nn {
+
+struct finetune_config {
+  /// Paper: "10 iterations employed".
+  std::size_t epochs{10};
+  std::size_t batch_size{32};
+  float learning_rate{0.005f};
+  float momentum{0.9f};
+  float lr_decay{0.9f};
+  std::uint64_t seed{17};
+};
+
+struct finetune_stats {
+  std::size_t epoch{0};
+  double mean_loss{0.0};
+};
+
+void finetune(quantized_network& qnet, std::span<const tensor> images,
+              std::span<const int> labels, const mult::product_lut& lut,
+              const finetune_config& config,
+              const std::function<void(const finetune_stats&)>& on_epoch = {});
+
+}  // namespace axc::nn

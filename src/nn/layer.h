@@ -1,0 +1,61 @@
+// Layer interface for the NN substrate.
+//
+// Layers implement float forward/backward for training plus a quantized
+// forward used both for int8 inference and for approximate-aware
+// fine-tuning: forward_quantized computes exactly what the 8-bit MAC
+// hardware would (inputs and weights on their fixed-point grids, every
+// product through the supplied multiplier LUT, accumulate in int32,
+// requantize by shifting) and returns the dequantized float result, so the
+// existing float backward acts as a straight-through gradient.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "mult/lut.h"
+#include "nn/qformat.h"
+#include "nn/tensor.h"
+
+namespace axc::nn {
+
+enum class layer_kind { dense, conv2d, maxpool2, avgpool2, relu };
+
+class layer {
+ public:
+  virtual ~layer() = default;
+
+  [[nodiscard]] virtual layer_kind kind() const = 0;
+
+  /// Float forward.  With `training` the layer caches what backward needs.
+  virtual tensor forward(const tensor& x, bool training) = 0;
+
+  /// Gradient w.r.t. the input; accumulates parameter gradients.
+  virtual tensor backward(const tensor& grad) = 0;
+
+  /// Hardware-accurate quantized forward (see file comment).  Layers
+  /// without weights default to the float forward: max-pool and ReLU are
+  /// grid-preserving, so the float path is bit-identical to int arithmetic.
+  virtual tensor forward_quantized(const tensor& x, const layer_qparams& qp,
+                                   const mult::product_lut& lut,
+                                   bool training) {
+    (void)qp;
+    (void)lut;
+    return forward(x, training);
+  }
+
+  [[nodiscard]] virtual std::array<std::size_t, 3> output_shape(
+      std::array<std::size_t, 3> input_shape) const = 0;
+
+  /// Flattened parameter access (empty for parameter-free layers).
+  virtual std::span<float> weights() { return {}; }
+  virtual std::span<float> bias() { return {}; }
+
+  virtual void zero_grads() {}
+  /// SGD with momentum over the gradients accumulated since zero_grads.
+  virtual void sgd_step(float learning_rate, float momentum) {
+    (void)learning_rate;
+    (void)momentum;
+  }
+};
+
+}  // namespace axc::nn

@@ -1,0 +1,52 @@
+#include "nn/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace axc::nn {
+
+network make_mlp(std::uint64_t seed, std::size_t input_pixels,
+                 std::size_t hidden, std::size_t classes) {
+  rng gen(seed);
+  network net;
+  net.add(std::make_unique<dense>(input_pixels, hidden, gen));
+  net.add(std::make_unique<relu>());
+  net.add(std::make_unique<dense>(hidden, classes, gen));
+  return net;
+}
+
+network make_lenet5(std::uint64_t seed, double channel_scale,
+                    std::size_t classes) {
+  AXC_EXPECTS(channel_scale > 0.0);
+  const auto scaled = [channel_scale](std::size_t channels) {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::lround(static_cast<double>(channels) * channel_scale)));
+  };
+  const std::size_t c1 = scaled(6);
+  const std::size_t c2 = scaled(16);
+  const std::size_t c3 = scaled(120);
+
+  rng gen(seed);
+  network net;
+  // 1x32x32 -> c1x28x28 -> c1x14x14 -> c2x10x10 -> c2x5x5 -> c3x1x1 -> 10.
+  net.add(std::make_unique<conv2d>(1, c1, 5, gen));
+  net.add(std::make_unique<relu>());
+  net.add(std::make_unique<maxpool2>());
+  net.add(std::make_unique<conv2d>(c1, c2, 5, gen));
+  net.add(std::make_unique<relu>());
+  net.add(std::make_unique<maxpool2>());
+  net.add(std::make_unique<conv2d>(c2, c3, 5, gen));
+  net.add(std::make_unique<relu>());
+  net.add(std::make_unique<dense>(c3, classes, gen));
+  return net;
+}
+
+}  // namespace axc::nn

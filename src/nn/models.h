@@ -1,0 +1,22 @@
+// The paper's two reference architectures (Sec. V-A/B).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/network.h"
+
+namespace axc::nn {
+
+/// MLP 784-300-10 (MNIST case study): dense(300) + ReLU + dense(10).
+network make_mlp(std::uint64_t seed, std::size_t input_pixels = 28 * 28,
+                 std::size_t hidden = 300, std::size_t classes = 10);
+
+/// Modified LeNet-5 (SVHN case study) for 32x32 single-channel input:
+/// conv 6@5x5 - pool - conv 16@5x5 - pool - conv 120@5x5 - ReLU chain -
+/// dense(10).  "Three convolution layers, two pooling layers and one fully
+/// connected layer [of] 120 neurons outputting 10 values."
+/// `channel_scale` (>0) scales the channel counts for faster smoke runs.
+network make_lenet5(std::uint64_t seed, double channel_scale = 1.0,
+                    std::size_t classes = 10);
+
+}  // namespace axc::nn

@@ -1,0 +1,113 @@
+#include "nn/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "support/assert.h"
+
+namespace axc::nn {
+
+loss_and_grad softmax_cross_entropy(const tensor& logits, int label) {
+  AXC_EXPECTS(label >= 0 &&
+              static_cast<std::size_t>(label) < logits.size());
+  loss_and_grad out;
+  out.grad = tensor::flat(logits.size());
+
+  float max_logit = logits[0];
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    max_logit = std::max(max_logit, logits[i]);
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    total += std::exp(static_cast<double>(logits[i] - max_logit));
+  }
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double p =
+        std::exp(static_cast<double>(logits[i] - max_logit)) / total;
+    out.grad[i] = static_cast<float>(p);
+    if (static_cast<int>(i) == label) {
+      out.grad[i] -= 1.0f;
+      out.loss = -std::log(std::max(p, 1e-12));
+    }
+  }
+  return out;
+}
+
+tensor network::forward(const tensor& x, bool training) {
+  tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, training);
+  return h;
+}
+
+void network::backward(const tensor& logits_grad) {
+  tensor g = logits_grad;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->backward(g);
+  }
+}
+
+void network::zero_grads() {
+  for (auto& l : layers_) l->zero_grads();
+}
+
+void network::sgd_step(float learning_rate, float momentum) {
+  for (auto& l : layers_) l->sgd_step(learning_rate, momentum);
+}
+
+int network::predict_class(const tensor& x) {
+  const tensor logits = forward(x, /*training=*/false);
+  int best = 0;
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+std::size_t network::parameter_count() const {
+  std::size_t count = 0;
+  for (const auto& l : layers_) {
+    auto& mutable_layer = const_cast<layer&>(*l);
+    count += mutable_layer.weights().size() + mutable_layer.bias().size();
+  }
+  return count;
+}
+
+namespace {
+constexpr std::uint64_t kMagic = 0x6178636e6e763031ULL;  // "axcnnv01"
+}
+
+void network::save_weights(std::ostream& os) const {
+  const std::uint64_t param_count = parameter_count();
+  os.write(reinterpret_cast<const char*>(&kMagic), sizeof kMagic);
+  os.write(reinterpret_cast<const char*>(&param_count), sizeof param_count);
+  for (const auto& l : layers_) {
+    auto& mutable_layer = const_cast<layer&>(*l);
+    for (const std::span<float> params :
+         {mutable_layer.weights(), mutable_layer.bias()}) {
+      os.write(reinterpret_cast<const char*>(params.data()),
+               static_cast<std::streamsize>(params.size() * sizeof(float)));
+    }
+  }
+}
+
+bool network::load_weights(std::istream& is) {
+  std::uint64_t magic = 0;
+  std::uint64_t param_count = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  is.read(reinterpret_cast<char*>(&param_count), sizeof param_count);
+  if (!is || magic != kMagic || param_count != parameter_count()) {
+    return false;
+  }
+  for (auto& l : layers_) {
+    for (const std::span<float> params : {l->weights(), l->bias()}) {
+      is.read(reinterpret_cast<char*>(params.data()),
+              static_cast<std::streamsize>(params.size() * sizeof(float)));
+    }
+  }
+  return static_cast<bool>(is);
+}
+
+}  // namespace axc::nn

@@ -1,0 +1,55 @@
+// Sequential network container: forward/backward chaining, softmax
+// cross-entropy head, prediction, and weight (de)serialization so trained
+// models can be cached between benchmark binaries.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace axc::nn {
+
+struct loss_and_grad {
+  double loss{0.0};
+  tensor grad;  ///< gradient w.r.t. the logits
+};
+
+/// Numerically stable softmax + cross-entropy against an integer label.
+loss_and_grad softmax_cross_entropy(const tensor& logits, int label);
+
+class network {
+ public:
+  network() = default;
+  network(network&&) = default;
+  network& operator=(network&&) = default;
+
+  void add(std::unique_ptr<layer> l) { layers_.push_back(std::move(l)); }
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] layer& at(std::size_t i) { return *layers_[i]; }
+  [[nodiscard]] const layer& at(std::size_t i) const { return *layers_[i]; }
+
+  tensor forward(const tensor& x, bool training = false);
+  /// Backpropagates the logits gradient through the whole stack.
+  void backward(const tensor& logits_grad);
+
+  void zero_grads();
+  void sgd_step(float learning_rate, float momentum);
+
+  [[nodiscard]] int predict_class(const tensor& x);
+
+  /// Total trainable parameter count.
+  [[nodiscard]] std::size_t parameter_count() const;
+
+  /// Weight-blob serialization (layout must match the loaded network).
+  void save_weights(std::ostream& os) const;
+  /// Returns false on magic/shape mismatch.
+  bool load_weights(std::istream& is);
+
+ private:
+  std::vector<std::unique_ptr<layer>> layers_;
+};
+
+}  // namespace axc::nn

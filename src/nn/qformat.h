@@ -1,0 +1,63 @@
+// Dynamic fixed-point formats (Ristretto-style [15]).
+//
+// A quantized value is an int8 bit pattern with a per-layer power-of-two
+// scale: value = pattern * 2^-frac_bits.  Power-of-two scales make
+// requantization between layers a rounding shift — exactly what the paper's
+// 8-bit MAC hardware model performs — and make the multiplier the only
+// approximated operator.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace axc::nn {
+
+/// Fractional bit count such that values with |v| <= max_abs fit int8:
+/// f = 7 - ceil(log2(max_abs)).
+[[nodiscard]] inline int frac_bits_for(double max_abs) {
+  if (max_abs <= 0.0) return 7;
+  const int integer_bits = static_cast<int>(std::ceil(std::log2(max_abs)));
+  return std::clamp(7 - integer_bits, -8, 24);
+}
+
+/// Rounds to nearest and saturates to int8.
+[[nodiscard]] inline std::int8_t quantize_value(float v, int frac_bits) {
+  const double scaled = static_cast<double>(v) * std::exp2(frac_bits);
+  const auto rounded = static_cast<long long>(std::llround(scaled));
+  return static_cast<std::int8_t>(
+      std::clamp<long long>(rounded, -128, 127));
+}
+
+[[nodiscard]] inline float dequantize_value(std::int32_t pattern,
+                                            int frac_bits) {
+  return static_cast<float>(static_cast<double>(pattern) *
+                            std::exp2(-frac_bits));
+}
+
+/// Rounding arithmetic shift right by `shift` (negative shift = left);
+/// round-half-away-from-zero, as a hardware requantizer would.
+[[nodiscard]] inline std::int32_t shift_round(std::int64_t value, int shift) {
+  if (shift <= 0) return static_cast<std::int32_t>(value << (-shift));
+  const std::int64_t bias = std::int64_t{1} << (shift - 1);
+  const std::int64_t shifted =
+      value >= 0 ? (value + bias) >> shift : -((-value + bias) >> shift);
+  return static_cast<std::int32_t>(shifted);
+}
+
+[[nodiscard]] inline std::int8_t saturate_int8(std::int32_t v) {
+  return static_cast<std::int8_t>(std::clamp<std::int32_t>(v, -128, 127));
+}
+
+/// Quantization parameters of one trainable layer.
+struct layer_qparams {
+  bool active{false};  ///< true for layers that carry weights
+  int in_frac{7};      ///< fx: fractional bits of the input activations
+  int w_frac{7};       ///< fw: fractional bits of the weights
+  int out_frac{7};     ///< fy: fractional bits of the output activations
+  std::vector<std::int8_t> weights;  ///< same layout as the float weights
+  std::vector<std::int32_t> bias;    ///< scale 2^-(fx+fw)
+};
+
+}  // namespace axc::nn

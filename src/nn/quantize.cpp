@@ -1,0 +1,123 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace axc::nn {
+
+namespace {
+
+double max_abs(std::span<const float> values) {
+  double m = 0.0;
+  for (const float v : values) {
+    m = std::max(m, std::abs(static_cast<double>(v)));
+  }
+  return m;
+}
+
+}  // namespace
+
+quantized_network::quantized_network(network& net,
+                                     std::span<const tensor> calibration)
+    : net_(&net), qp_(net.layer_count()) {
+  AXC_EXPECTS(!calibration.empty());
+
+  // Range analysis: max |activation| at the network input and after every
+  // layer, over the calibration set.
+  std::vector<double> boundary_max(net.layer_count() + 1, 0.0);
+  for (const tensor& sample : calibration) {
+    tensor h = sample;
+    boundary_max[0] = std::max(boundary_max[0], max_abs(h.data()));
+    for (std::size_t i = 0; i < net.layer_count(); ++i) {
+      h = net.at(i).forward(h, /*training=*/false);
+      boundary_max[i + 1] = std::max(boundary_max[i + 1], max_abs(h.data()));
+    }
+  }
+
+  // The consumer reads the producer's grid: activation formats chain from
+  // the network input through each trainable layer's output.
+  int current_frac = frac_bits_for(boundary_max[0]);
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    layer& l = net.at(i);
+    if (l.weights().empty()) continue;  // ReLU / pooling: grid-preserving
+
+    layer_qparams& qp = qp_[i];
+    qp.active = true;
+    qp.in_frac = current_frac;
+    qp.w_frac = frac_bits_for(max_abs(l.weights()));
+    qp.out_frac = frac_bits_for(boundary_max[i + 1]);
+    current_frac = qp.out_frac;
+  }
+  refresh_weights();
+}
+
+void quantized_network::refresh_weights() {
+  for (std::size_t i = 0; i < net_->layer_count(); ++i) {
+    layer_qparams& qp = qp_[i];
+    if (!qp.active) continue;
+    layer& l = net_->at(i);
+
+    const std::span<float> w = l.weights();
+    qp.weights.resize(w.size());
+    for (std::size_t k = 0; k < w.size(); ++k) {
+      qp.weights[k] = quantize_value(w[k], qp.w_frac);
+    }
+
+    const std::span<float> b = l.bias();
+    const double bias_scale = std::exp2(qp.in_frac + qp.w_frac);
+    qp.bias.resize(b.size());
+    for (std::size_t k = 0; k < b.size(); ++k) {
+      const double scaled = static_cast<double>(b[k]) * bias_scale;
+      qp.bias[k] = static_cast<std::int32_t>(std::llround(std::clamp(
+          scaled, -2147483648.0, 2147483647.0)));
+    }
+  }
+}
+
+tensor quantized_network::forward(const tensor& x,
+                                  const mult::product_lut& lut,
+                                  bool training) {
+  tensor h = x;
+  for (std::size_t i = 0; i < net_->layer_count(); ++i) {
+    h = net_->at(i).forward_quantized(h, qp_[i], lut, training);
+  }
+  return h;
+}
+
+int quantized_network::predict_class(const tensor& x,
+                                     const mult::product_lut& lut) {
+  const tensor logits = forward(x, lut, /*training=*/false);
+  int best = 0;
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+double quantized_network::accuracy(std::span<const tensor> images,
+                                   std::span<const int> labels,
+                                   const mult::product_lut& lut,
+                                   std::size_t max_samples) {
+  AXC_EXPECTS(images.size() == labels.size() && !images.empty());
+  const std::size_t count = max_samples == 0
+                                ? images.size()
+                                : std::min(max_samples, images.size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (predict_class(images[i], lut) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(count);
+}
+
+std::vector<std::int8_t> quantized_network::quantized_weights() const {
+  std::vector<std::int8_t> all;
+  for (const layer_qparams& qp : qp_) {
+    if (!qp.active) continue;
+    all.insert(all.end(), qp.weights.begin(), qp.weights.end());
+  }
+  return all;
+}
+
+}  // namespace axc::nn

@@ -1,0 +1,57 @@
+// Ristretto-like dynamic fixed-point quantization (Sec. V-B).
+//
+// A trained float network is analyzed over a calibration set: per trainable
+// layer we pick power-of-two scales for weights (from max |w|) and for
+// input/output activations (from observed ranges), then freeze int8 weights
+// and int32 biases.  quantized_network then runs the paper's hardware model
+// — int8 operands, every product through a multiplier LUT (exact or
+// approximate), int32 accumulation, shift requantization — and doubles as
+// the forward path for approximate-aware fine-tuning.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mult/lut.h"
+#include "nn/network.h"
+#include "nn/qformat.h"
+
+namespace axc::nn {
+
+class quantized_network {
+ public:
+  /// Analyzes ranges over `calibration` (float forward passes) and freezes
+  /// quantization formats.  The float network must outlive this object.
+  quantized_network(network& net, std::span<const tensor> calibration);
+
+  /// Re-quantizes weights/biases from the (updated) float parameters while
+  /// keeping the frozen formats; called by the fine-tuning loop.
+  void refresh_weights();
+
+  /// Hardware-model forward; `training` caches straight-through state
+  /// inside the float layers for a subsequent backward().
+  tensor forward(const tensor& x, const mult::product_lut& lut,
+                 bool training = false);
+
+  [[nodiscard]] int predict_class(const tensor& x,
+                                  const mult::product_lut& lut);
+
+  double accuracy(std::span<const tensor> images, std::span<const int> labels,
+                  const mult::product_lut& lut, std::size_t max_samples = 0);
+
+  /// All quantized weights concatenated (the paper's Fig. 6 histograms are
+  /// over exactly this multiset — the multiplier's operand A stream).
+  [[nodiscard]] std::vector<std::int8_t> quantized_weights() const;
+
+  [[nodiscard]] const std::vector<layer_qparams>& qparams() const {
+    return qp_;
+  }
+  [[nodiscard]] network& base() { return *net_; }
+
+ private:
+  network* net_;
+  std::vector<layer_qparams> qp_;
+};
+
+}  // namespace axc::nn

@@ -1,0 +1,60 @@
+// Minimal dense float tensor for the NN substrate.
+//
+// Shape is (channels, height, width); fully-connected layers view the data
+// flattened.  Single-sample processing keeps the layer implementations
+// simple and is fast enough for the paper's network sizes (MLP 784-300-10,
+// LeNet-5-class CNN).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace axc::nn {
+
+class tensor {
+ public:
+  tensor() = default;
+  tensor(std::size_t channels, std::size_t height, std::size_t width,
+         float fill = 0.0f)
+      : shape_{channels, height, width},
+        data_(channels * height * width, fill) {}
+
+  /// Flat vector of length n (shape (n, 1, 1)).
+  static tensor flat(std::size_t n, float fill = 0.0f) {
+    return tensor(n, 1, 1, fill);
+  }
+
+  [[nodiscard]] std::size_t channels() const { return shape_[0]; }
+  [[nodiscard]] std::size_t height() const { return shape_[1]; }
+  [[nodiscard]] std::size_t width() const { return shape_[2]; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] float at(std::size_t c, std::size_t y, std::size_t x) const {
+    return data_[(c * shape_[1] + y) * shape_[2] + x];
+  }
+  float& at(std::size_t c, std::size_t y, std::size_t x) {
+    return data_[(c * shape_[1] + y) * shape_[2] + x];
+  }
+  [[nodiscard]] float operator[](std::size_t i) const { return data_[i]; }
+  float& operator[](std::size_t i) { return data_[i]; }
+
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  [[nodiscard]] std::array<std::size_t, 3> shape() const { return shape_; }
+
+  void fill(float value) {
+    for (float& v : data_) v = value;
+  }
+
+  friend bool operator==(const tensor&, const tensor&) = default;
+
+ private:
+  std::array<std::size_t, 3> shape_{0, 0, 0};
+  std::vector<float> data_;
+};
+
+}  // namespace axc::nn

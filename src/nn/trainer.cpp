@@ -1,0 +1,67 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace axc::nn {
+
+double accuracy(network& net, std::span<const tensor> images,
+                std::span<const int> labels, std::size_t max_samples) {
+  AXC_EXPECTS(images.size() == labels.size() && !images.empty());
+  const std::size_t count = max_samples == 0
+                                ? images.size()
+                                : std::min(max_samples, images.size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (net.predict_class(images[i]) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(count);
+}
+
+void train(network& net, std::span<const tensor> images,
+           std::span<const int> labels, const train_config& config,
+           const std::function<void(const epoch_stats&)>& on_epoch) {
+  AXC_EXPECTS(images.size() == labels.size() && !images.empty());
+  AXC_EXPECTS(config.batch_size > 0);
+
+  rng gen(config.seed);
+  std::vector<std::size_t> order(images.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  float lr = config.learning_rate;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fisher-Yates with our deterministic generator.
+    for (std::size_t i = order.size(); i-- > 1;) {
+      std::swap(order[i], order[gen.below(i + 1)]);
+    }
+
+    double loss_sum = 0.0;
+    for (std::size_t base = 0; base < order.size();
+         base += config.batch_size) {
+      const std::size_t limit =
+          std::min(order.size(), base + config.batch_size);
+      net.zero_grads();
+      for (std::size_t k = base; k < limit; ++k) {
+        const std::size_t idx = order[k];
+        const tensor logits = net.forward(images[idx], /*training=*/true);
+        const loss_and_grad lg = softmax_cross_entropy(logits, labels[idx]);
+        loss_sum += lg.loss;
+        net.backward(lg.grad);
+      }
+      // Gradients are sums over the batch; fold the mean into the step.
+      net.sgd_step(lr / static_cast<float>(limit - base), config.momentum);
+    }
+
+    if (on_epoch) {
+      on_epoch(epoch_stats{
+          epoch, loss_sum / static_cast<double>(images.size()), lr});
+    }
+    lr *= config.lr_decay;
+  }
+}
+
+}  // namespace axc::nn

@@ -1,0 +1,39 @@
+// Plain float SGD training (the paper's reference networks are trained in
+// float and quantized afterwards, as Ristretto does).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "nn/network.h"
+
+namespace axc::nn {
+
+struct train_config {
+  std::size_t epochs{5};
+  std::size_t batch_size{32};
+  float learning_rate{0.05f};
+  float momentum{0.9f};
+  /// Multiplicative learning-rate decay per epoch.
+  float lr_decay{0.9f};
+  std::uint64_t seed{11};
+};
+
+struct epoch_stats {
+  std::size_t epoch{0};
+  double mean_loss{0.0};
+  float learning_rate{0.0f};
+};
+
+/// Classification accuracy in [0, 1]; max_samples == 0 means "all".
+double accuracy(network& net, std::span<const tensor> images,
+                std::span<const int> labels, std::size_t max_samples = 0);
+
+/// Minibatch SGD with momentum; shuffles every epoch (deterministic in
+/// config.seed).  `on_epoch` (optional) observes progress.
+void train(network& net, std::span<const tensor> images,
+           std::span<const int> labels, const train_config& config,
+           const std::function<void(const epoch_stats&)>& on_epoch = {});
+
+}  // namespace axc::nn

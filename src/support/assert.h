@@ -1,0 +1,32 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").  Violations indicate
+// programming errors and terminate via std::abort after printing context.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace axc::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "axc: %s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace axc::detail
+
+#define AXC_EXPECTS(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                            \
+          : axc::detail::contract_violation("precondition", #cond, __FILE__, \
+                                            __LINE__))
+
+#define AXC_ENSURES(cond)                                                    \
+  ((cond) ? static_cast<void>(0)                                             \
+          : axc::detail::contract_violation("postcondition", #cond, __FILE__, \
+                                            __LINE__))
+
+#define AXC_ASSERT(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                          \
+          : axc::detail::contract_violation("assertion", #cond, __FILE__, \
+                                            __LINE__))

@@ -1,0 +1,114 @@
+// Deterministic, seedable pseudo-random number generation used across the
+// whole library (CGP mutation, workload generation, synthetic datasets).
+//
+// We implement xoshiro256** (Blackman & Vigna) seeded through splitmix64.
+// A self-contained generator keeps every experiment bit-reproducible across
+// standard-library implementations, which std::mt19937_64 distributions do
+// not guarantee.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "support/assert.h"
+
+namespace axc {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+/// Satisfies std::uniform_random_bit_generator.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr rng(std::uint64_t seed = 0xa11ce5eedULL) { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    AXC_EXPECTS(bound > 0);
+    // 128-bit multiply-shift; rejection keeps the result exactly uniform.
+    auto m = static_cast<unsigned __int128>((*this)()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>((*this)()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    AXC_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Standard normal via Box-Muller (two uniforms per call; the second
+  /// variate is discarded so results do not depend on caller interleaving).
+  double normal() {
+    double u1 = uniform01();
+    while (u1 <= 0.0) u1 = uniform01();
+    const double u2 = uniform01();
+    constexpr double two_pi = 6.28318530717958647692;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial with success probability p.
+  constexpr bool chance(double p) { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace axc

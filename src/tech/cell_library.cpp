@@ -1,0 +1,60 @@
+#include "tech/cell_library.h"
+
+namespace axc::tech {
+
+namespace {
+
+using circuit::gate_fn;
+
+constexpr std::size_t idx(gate_fn fn) { return static_cast<std::size_t>(fn); }
+
+std::array<cell_params, circuit::gate_fn_count> nangate45_cells() {
+  std::array<cell_params, circuit::gate_fn_count> cells{};
+  // Wires and constants are free: synthesis ties them or absorbs buffers.
+  cells[idx(gate_fn::const0)] = {0.0, 0.0, 0.0, 0.0};
+  cells[idx(gate_fn::const1)] = {0.0, 0.0, 0.0, 0.0};
+  cells[idx(gate_fn::buf_a)] = {0.0, 0.0, 0.0, 0.0};
+  cells[idx(gate_fn::buf_b)] = {0.0, 0.0, 0.0, 0.0};
+  // Single-stage static CMOS.
+  cells[idx(gate_fn::not_a)] = {0.532, 11.0, 0.45, 9.0};
+  cells[idx(gate_fn::not_b)] = {0.532, 11.0, 0.45, 9.0};
+  cells[idx(gate_fn::nand2)] = {0.798, 14.0, 0.70, 14.0};
+  cells[idx(gate_fn::nor2)] = {0.798, 16.0, 0.75, 14.0};
+  // Two-stage (nand/nor + inverter).
+  cells[idx(gate_fn::and2)] = {1.064, 24.0, 1.10, 19.0};
+  cells[idx(gate_fn::or2)] = {1.064, 26.0, 1.15, 19.0};
+  // Pass-gate / complex XOR cells.
+  cells[idx(gate_fn::xor2)] = {1.596, 34.0, 1.90, 26.0};
+  cells[idx(gate_fn::xnor2)] = {1.596, 34.0, 1.90, 26.0};
+  // Inhibition / implication: and/or with one inverted input (complex cell).
+  cells[idx(gate_fn::andn_ab)] = {1.330, 27.0, 1.30, 21.0};
+  cells[idx(gate_fn::andn_ba)] = {1.330, 27.0, 1.30, 21.0};
+  cells[idx(gate_fn::orn_ab)] = {1.330, 29.0, 1.35, 21.0};
+  cells[idx(gate_fn::orn_ba)] = {1.330, 29.0, 1.35, 21.0};
+  return cells;
+}
+
+std::array<cell_params, circuit::gate_fn_count> unit_cells() {
+  std::array<cell_params, circuit::gate_fn_count> cells{};
+  for (const gate_fn fn : circuit::full_function_set()) {
+    const bool free_cell = fn == gate_fn::const0 || fn == gate_fn::const1 ||
+                           fn == gate_fn::buf_a || fn == gate_fn::buf_b;
+    cells[idx(fn)] = free_cell ? cell_params{0, 0, 0, 0}
+                               : cell_params{1.0, 1.0, 1.0, 1.0};
+  }
+  return cells;
+}
+
+}  // namespace
+
+const cell_library& cell_library::nangate45_like() {
+  static const cell_library lib(nangate45_cells(), 1.0);
+  return lib;
+}
+
+const cell_library& cell_library::unit() {
+  static const cell_library lib(unit_cells(), 1.0);
+  return lib;
+}
+
+}  // namespace axc::tech

@@ -1,0 +1,52 @@
+// 45 nm-class standard-cell cost model.
+//
+// Substitutes for the paper's Synopsys Design Compiler + 45 nm flow.  The
+// constants follow the NanGate FreePDK45 open cell library in relative
+// magnitude (inverter < nand/nor < and/or < xor/xnor) — what matters for the
+// reproduction is that *relative* area/delay/power orderings between circuits
+// built from the same gate set are preserved, not absolute calibration.
+//
+// Units: area in um^2, delay in ps, switching energy in fJ per output toggle
+// (internal + load at a nominal fan-out), leakage in nW at Vdd = 1 V.
+#pragma once
+
+#include <array>
+
+#include "circuit/gate.h"
+
+namespace axc::tech {
+
+struct cell_params {
+  double area_um2{0.0};
+  double delay_ps{0.0};
+  double toggle_energy_fj{0.0};
+  double leakage_nw{0.0};
+};
+
+class cell_library {
+ public:
+  /// The default 45 nm-class library used throughout the reproduction.
+  static const cell_library& nangate45_like();
+
+  /// Unit-cost library (every real gate costs 1 area / 1 delay / 1 energy);
+  /// useful for tests and for gate-count-style ablations.
+  static const cell_library& unit();
+
+  [[nodiscard]] const cell_params& cell(circuit::gate_fn fn) const {
+    return cells_[static_cast<std::size_t>(fn)];
+  }
+
+  /// Supply voltage (V) — reported for documentation; energies above are
+  /// already at this voltage.
+  [[nodiscard]] double vdd() const { return vdd_; }
+
+  cell_library(std::array<cell_params, circuit::gate_fn_count> cells,
+               double vdd)
+      : cells_(cells), vdd_(vdd) {}
+
+ private:
+  std::array<cell_params, circuit::gate_fn_count> cells_;
+  double vdd_;
+};
+
+}  // namespace axc::tech

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/activity.h"
+#include "circuit/netlist.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace axc::circuit {
+namespace {
+
+/// Reference: simulate one assignment at a time and count transitions.
+activity_profile naive_activity(const netlist& nl,
+                                std::span<const std::uint64_t> stream) {
+  activity_profile p;
+  p.gate_toggle_rate.assign(nl.num_gates(), 0.0);
+  p.input_toggle_rate.assign(nl.num_inputs(), 0.0);
+  p.gate_one_probability.assign(nl.num_gates(), 0.0);
+  p.cycles = stream.size();
+
+  std::vector<std::uint64_t> prev(nl.num_signals(), 0);
+  std::vector<std::uint64_t> cur(nl.num_signals(), 0);
+  std::vector<double> toggles(nl.num_signals(), 0.0);
+  std::vector<double> ones(nl.num_gates(), 0.0);
+
+  for (std::size_t t = 0; t < stream.size(); ++t) {
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+      cur[i] = (stream[t] >> i) & 1;
+    }
+    for (std::size_t k = 0; k < nl.num_gates(); ++k) {
+      const gate_node& g = nl.gate(k);
+      cur[nl.num_inputs() + k] =
+          eval_gate(g.fn, cur[g.in0] ? ~std::uint64_t{0} : 0,
+                    cur[g.in1] ? ~std::uint64_t{0} : 0) &
+          1;
+      ones[k] += static_cast<double>(cur[nl.num_inputs() + k]);
+    }
+    if (t > 0) {
+      for (std::size_t s = 0; s < nl.num_signals(); ++s) {
+        if (cur[s] != prev[s]) toggles[s] += 1.0;
+      }
+    }
+    prev = cur;
+  }
+  const auto cycles = static_cast<double>(stream.size());
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    p.input_toggle_rate[i] = toggles[i] / cycles;
+  }
+  for (std::size_t k = 0; k < nl.num_gates(); ++k) {
+    p.gate_toggle_rate[k] = toggles[nl.num_inputs() + k] / cycles;
+    p.gate_one_probability[k] = ones[k] / cycles;
+  }
+  return p;
+}
+
+TEST(activity, matches_naive_reference) {
+  rng gen(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const netlist nl = test::random_netlist(8, 4, 30, gen);
+    std::vector<std::uint64_t> stream(300);
+    for (auto& v : stream) v = gen.below(256);
+
+    const activity_profile fast = profile_activity(nl, stream);
+    const activity_profile slow = naive_activity(nl, stream);
+    ASSERT_EQ(fast.gate_toggle_rate.size(), slow.gate_toggle_rate.size());
+    for (std::size_t k = 0; k < fast.gate_toggle_rate.size(); ++k) {
+      EXPECT_NEAR(fast.gate_toggle_rate[k], slow.gate_toggle_rate[k], 1e-12)
+          << "trial " << trial << " gate " << k;
+      EXPECT_NEAR(fast.gate_one_probability[k], slow.gate_one_probability[k],
+                  1e-12);
+    }
+    for (std::size_t i = 0; i < fast.input_toggle_rate.size(); ++i) {
+      EXPECT_NEAR(fast.input_toggle_rate[i], slow.input_toggle_rate[i],
+                  1e-12);
+    }
+  }
+}
+
+TEST(activity, non_multiple_of_64_stream) {
+  rng gen(43);
+  const netlist nl = test::random_netlist(4, 2, 12, gen);
+  std::vector<std::uint64_t> stream(101);
+  for (auto& v : stream) v = gen.below(16);
+  const activity_profile fast = profile_activity(nl, stream);
+  const activity_profile slow = naive_activity(nl, stream);
+  for (std::size_t k = 0; k < fast.gate_toggle_rate.size(); ++k) {
+    EXPECT_NEAR(fast.gate_toggle_rate[k], slow.gate_toggle_rate[k], 1e-12);
+  }
+}
+
+TEST(activity, constant_input_has_zero_toggles) {
+  netlist nl(2, 1);
+  const auto g = nl.add_gate(gate_fn::and2, 0, 1);
+  nl.set_output(0, g);
+  const std::vector<std::uint64_t> stream(128, 0b11);
+  const activity_profile p = profile_activity(nl, stream);
+  EXPECT_DOUBLE_EQ(p.gate_toggle_rate[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.gate_one_probability[0], 1.0);
+}
+
+TEST(activity, alternating_input_toggles_every_cycle) {
+  netlist nl(1, 1);
+  const auto g = nl.add_unary(gate_fn::buf_a, 0);
+  nl.set_output(0, g);
+  std::vector<std::uint64_t> stream(200);
+  for (std::size_t t = 0; t < stream.size(); ++t) stream[t] = t & 1;
+  const activity_profile p = profile_activity(nl, stream);
+  // 199 transitions over 200 cycles.
+  EXPECT_NEAR(p.gate_toggle_rate[0], 199.0 / 200.0, 1e-12);
+  EXPECT_NEAR(p.gate_one_probability[0], 0.5, 1e-12);
+}
+
+TEST(activity, xor_of_alternating_inputs_is_constant) {
+  netlist nl(2, 1);
+  const auto g = nl.add_gate(gate_fn::xor2, 0, 1);
+  nl.set_output(0, g);
+  std::vector<std::uint64_t> stream(100);
+  for (std::size_t t = 0; t < stream.size(); ++t) {
+    stream[t] = (t & 1) ? 0b11 : 0b00;  // both inputs toggle together
+  }
+  const activity_profile p = profile_activity(nl, stream);
+  EXPECT_DOUBLE_EQ(p.gate_toggle_rate[0], 0.0);
+  EXPECT_NEAR(p.input_toggle_rate[0], 0.99, 1e-12);
+}
+
+}  // namespace
+}  // namespace axc::circuit

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "core/design_flow.h"
+#include "core/wmed_approximator.h"
+#include "metrics/error_metrics.h"
+#include "mult/multipliers.h"
+#include "tech/analysis.h"
+
+namespace axc::core {
+namespace {
+
+using metrics::mult_spec;
+
+approximation_config small_config(unsigned width, bool is_signed,
+                                  const dist::pmf& d) {
+  approximation_config cfg;
+  cfg.spec = mult_spec{width, is_signed};
+  cfg.distribution = d;
+  cfg.iterations = 800;
+  cfg.extra_columns = 24;
+  cfg.rng_seed = 11;
+  return cfg;
+}
+
+TEST(wmed_approximator, keeps_result_within_target) {
+  const dist::pmf d = dist::pmf::half_normal(16, 4.0);
+  const wmed_approximator approx(small_config(4, false, d));
+  const circuit::netlist seed = mult::unsigned_multiplier(4);
+
+  for (const double target : {0.0, 0.002, 0.01, 0.05}) {
+    const evolved_design design = approx.approximate(seed, target);
+    EXPECT_LE(design.wmed, target + 1e-12) << "target " << target;
+    EXPECT_TRUE(design.netlist.validate().empty());
+  }
+}
+
+TEST(wmed_approximator, zero_target_preserves_exactness) {
+  const dist::pmf d = dist::pmf::uniform(16);
+  const wmed_approximator approx(small_config(4, false, d));
+  const evolved_design design =
+      approx.approximate(mult::unsigned_multiplier(4), 0.0);
+  EXPECT_DOUBLE_EQ(design.wmed, 0.0);
+}
+
+TEST(wmed_approximator, larger_budget_smaller_area) {
+  // Monotonicity of the trade-off: a loose error budget must not produce a
+  // larger circuit than a tight one (with shared seeds/iterations).
+  const dist::pmf d = dist::pmf::half_normal(16, 4.0);
+  approximation_config cfg = small_config(4, false, d);
+  cfg.iterations = 2500;
+  const wmed_approximator approx(cfg);
+  const circuit::netlist seed = mult::unsigned_multiplier(4);
+
+  const evolved_design tight = approx.approximate(seed, 0.0005);
+  const evolved_design loose = approx.approximate(seed, 0.05);
+  EXPECT_LE(loose.area_um2, tight.area_um2 + 1e-9);
+  EXPECT_LT(loose.area_um2,
+            tech::estimate_area(seed, tech::cell_library::nangate45_like()));
+}
+
+TEST(wmed_approximator, evolved_area_never_exceeds_seed) {
+  const dist::pmf d = dist::pmf::uniform(16);
+  const wmed_approximator approx(small_config(4, false, d));
+  const circuit::netlist seed = mult::unsigned_multiplier(4);
+  const double seed_area =
+      tech::estimate_area(seed, tech::cell_library::nangate45_like());
+  const evolved_design design = approx.approximate(seed, 0.01);
+  EXPECT_LE(design.area_um2, seed_area + 1e-9);
+}
+
+TEST(wmed_approximator, deterministic_per_seed_and_run) {
+  const dist::pmf d = dist::pmf::half_normal(16, 5.0);
+  const wmed_approximator approx(small_config(4, false, d));
+  const circuit::netlist seed = mult::unsigned_multiplier(4);
+  const evolved_design a = approx.approximate(seed, 0.01, 3);
+  const evolved_design b = approx.approximate(seed, 0.01, 3);
+  EXPECT_EQ(a.netlist, b.netlist);
+  EXPECT_EQ(a.wmed, b.wmed);
+  const evolved_design c = approx.approximate(seed, 0.01, 4);
+  EXPECT_TRUE(c.netlist != a.netlist || c.area_um2 != a.area_um2 ||
+              c.wmed != a.wmed)
+      << "different runs should explore differently";
+}
+
+TEST(wmed_approximator, sweep_covers_targets_and_runs) {
+  const dist::pmf d = dist::pmf::uniform(16);
+  approximation_config cfg = small_config(4, false, d);
+  cfg.iterations = 200;
+  cfg.runs_per_target = 2;
+  const wmed_approximator approx(cfg);
+  const std::vector<double> targets{0.001, 0.01};
+  std::size_t observed = 0;
+  const auto designs =
+      approx.sweep(mult::unsigned_multiplier(4), targets,
+                   [&](const evolved_design&) { ++observed; });
+  EXPECT_EQ(designs.size(), 4u);
+  EXPECT_EQ(observed, 4u);
+  EXPECT_EQ(designs[0].target, 0.001);
+  EXPECT_EQ(designs[3].target, 0.01);
+}
+
+TEST(default_targets, fourteen_log_spaced) {
+  const auto targets = default_wmed_targets();
+  ASSERT_EQ(targets.size(), 14u);
+  EXPECT_NEAR(targets.front(), 1e-6, 1e-9);
+  EXPECT_NEAR(targets.back(), 0.1, 1e-6);
+  for (std::size_t i = 1; i < targets.size(); ++i) {
+    EXPECT_GT(targets[i], targets[i - 1]);
+  }
+}
+
+TEST(characterize_multiplier, reports_positive_metrics) {
+  const dist::pmf d = dist::pmf::uniform(256);
+  const design_power p = characterize_multiplier(
+      mult::unsigned_multiplier(8), mult_spec{8, false}, d,
+      tech::cell_library::nangate45_like(), 1024);
+  EXPECT_GT(p.area_um2, 0.0);
+  EXPECT_GT(p.delay_ps, 0.0);
+  EXPECT_GT(p.power_uw, 0.0);
+  EXPECT_GT(p.pdp_fj, 0.0);
+}
+
+TEST(characterize_mac, mac_costs_more_than_multiplier) {
+  const dist::pmf d = dist::pmf::signed_normal(256, 0, 30);
+  const mult_spec spec{8, true};
+  const circuit::netlist m = mult::signed_multiplier(8);
+  const design_power mp = characterize_multiplier(
+      m, spec, d, tech::cell_library::nangate45_like(), 1024);
+  const design_power macp = characterize_mac(
+      m, spec, d, 20, tech::cell_library::nangate45_like(), 1024);
+  EXPECT_GT(macp.area_um2, mp.area_um2);
+  EXPECT_GT(macp.power_uw, mp.power_uw);
+}
+
+TEST(design_flow, distribution_to_lut_end_to_end) {
+  const dist::pmf d = dist::pmf::half_normal(16, 4.0);
+  approximation_config cfg = small_config(4, false, d);
+  cfg.iterations = 400;
+  const std::vector<double> targets{0.001, 0.02};
+  const auto results = design_for_distribution(
+      d, cfg, targets, mult::unsigned_multiplier(4));
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_LE(r.design.wmed, r.design.target + 1e-12);
+    EXPECT_EQ(r.lut.table().size(), 256u);
+    EXPECT_GT(r.multiplier_power.area_um2, 0.0);
+  }
+  // The looser design is at most as expensive.
+  EXPECT_LE(results[1].design.area_um2, results[0].design.area_um2 + 1e-9);
+}
+
+TEST(design_flow, samples_to_design) {
+  // int8 samples concentrated near zero, as NN weights are.
+  std::vector<std::int8_t> samples;
+  rng gen(3);
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(static_cast<std::int8_t>(
+        std::clamp(gen.normal(0.0, 10.0), -127.0, 127.0)));
+  }
+  approximation_config cfg;
+  cfg.spec = mult_spec{8, true};
+  cfg.iterations = 150;  // smoke budget: 8-bit evaluations are heavier
+  cfg.extra_columns = 32;
+  const std::vector<double> targets{0.005};
+  const auto results = design_for_samples(samples, cfg, targets,
+                                          mult::signed_multiplier(8));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_LE(results[0].design.wmed, 0.005 + 1e-12);
+}
+
+}  // namespace
+}  // namespace axc::core

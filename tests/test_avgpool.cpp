@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/network.h"
+#include "support/rng.h"
+
+namespace axc::nn {
+namespace {
+
+TEST(avgpool_layer, averages_blocks) {
+  avgpool2 p;
+  tensor x(1, 2, 4);
+  const float vals[] = {1, 5, 2, 3, 4, 0, 7, 6};
+  for (std::size_t i = 0; i < 8; ++i) x.data()[i] = vals[i];
+  const tensor y = p.forward(x, false);
+  ASSERT_EQ(y.height(), 1u);
+  ASSERT_EQ(y.width(), 2u);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), (1 + 5 + 4 + 0) / 4.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1), (2 + 3 + 7 + 6) / 4.0f);
+}
+
+TEST(avgpool_layer, spreads_gradient_uniformly) {
+  avgpool2 p;
+  tensor x(1, 2, 2, 1.0f);
+  p.forward(x, true);
+  tensor g(1, 1, 1);
+  g.data()[0] = 8.0f;
+  const tensor gx = p.backward(g);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gx.data()[i], 2.0f);
+}
+
+TEST(avgpool_layer, output_shape) {
+  avgpool2 p;
+  const auto s = p.output_shape({6, 10, 8});
+  EXPECT_EQ(s[0], 6u);
+  EXPECT_EQ(s[1], 5u);
+  EXPECT_EQ(s[2], 4u);
+}
+
+TEST(avgpool_layer, gradient_check_through_stack) {
+  // conv -> avgpool -> dense; finite-difference the loss w.r.t. the input.
+  rng gen(3);
+  network net;
+  net.add(std::make_unique<conv2d>(1, 2, 3, gen));
+  net.add(std::make_unique<avgpool2>());
+  net.add(std::make_unique<dense>(2 * 3 * 3, 3, gen));
+
+  tensor x(1, 8, 8);
+  for (auto& v : x.data()) v = static_cast<float>(gen.uniform(-1, 1));
+  const int label = 1;
+
+  const tensor logits = net.forward(x, true);
+  const loss_and_grad lg = softmax_cross_entropy(logits, label);
+  net.zero_grads();
+  tensor g = lg.grad;
+  for (std::size_t i = net.layer_count(); i-- > 0;) {
+    g = net.at(i).backward(g);
+  }
+
+  constexpr double eps = 1e-3;
+  for (std::size_t i = 0; i < x.size(); i += 11) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + static_cast<float>(eps);
+    const double plus =
+        softmax_cross_entropy(net.forward(x, false), label).loss;
+    x.data()[i] = orig - static_cast<float>(eps);
+    const double minus =
+        softmax_cross_entropy(net.forward(x, false), label).loss;
+    x.data()[i] = orig;
+    EXPECT_NEAR(g.data()[i], (plus - minus) / (2 * eps), 5e-3);
+  }
+}
+
+TEST(avgpool_layer, quantized_forward_equals_float_forward) {
+  // Parameter-free layer: the quantized path must route to the float one.
+  avgpool2 p;
+  tensor x(1, 4, 4);
+  rng gen(5);
+  for (auto& v : x.data()) {
+    v = static_cast<float>(gen.below(256)) / 256.0f;
+  }
+  const layer_qparams qp;  // inactive
+  const auto lut = mult::product_lut::exact(metrics::mult_spec{8, true});
+  EXPECT_EQ(p.forward_quantized(x, qp, lut, false), p.forward(x, false));
+}
+
+}  // namespace
+}  // namespace axc::nn

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/digits.h"
+#include "data/font.h"
+
+namespace axc::data {
+namespace {
+
+TEST(font, glyphs_have_ink) {
+  for (int d = 0; d <= 9; ++d) {
+    const auto rows = digit_glyph(d);
+    int ink = 0;
+    for (const auto row : rows) ink += std::popcount(row);
+    EXPECT_GE(ink, 7) << "digit " << d;
+    EXPECT_LE(ink, 35);
+  }
+}
+
+TEST(font, glyphs_pairwise_distinct) {
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      EXPECT_NE(digit_glyph(a), digit_glyph(b)) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(font, sample_interpolates) {
+  // Center of an inked cell is 1, far outside is 0, midpoints in between.
+  EXPECT_DOUBLE_EQ(glyph_sample(1, 2.0, 0.0), 1.0);  // digit 1 top center
+  EXPECT_DOUBLE_EQ(glyph_sample(1, -5.0, -5.0), 0.0);
+  const double edge = glyph_sample(1, 2.5, 0.0);
+  EXPECT_GT(edge, 0.0);
+  EXPECT_LT(edge, 1.0 + 1e-12);
+}
+
+TEST(font, render_respects_intensity_and_blending) {
+  std::vector<std::uint8_t> pixels(28 * 28, 0);
+  glyph_transform t;
+  t.center_x = 13.5;
+  t.center_y = 13.5;
+  t.height_px = 20;
+  render_glyph(pixels, 28, 28, 8, t, 250.0);
+  std::uint8_t max = 0;
+  for (const auto p : pixels) max = std::max(max, p);
+  EXPECT_GE(max, 240);
+}
+
+TEST(mnist_like, deterministic_and_labeled) {
+  const digit_dataset a = make_mnist_like(50, 9);
+  const digit_dataset b = make_mnist_like(50, 9);
+  EXPECT_EQ(a.images, b.images);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.width, 28u);
+  EXPECT_EQ(a.height, 28u);
+  for (const int label : a.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LE(label, 9);
+  }
+}
+
+TEST(mnist_like, different_seeds_differ) {
+  EXPECT_NE(make_mnist_like(20, 1).images, make_mnist_like(20, 2).images);
+}
+
+TEST(mnist_like, covers_all_classes) {
+  const digit_dataset ds = make_mnist_like(500, 3);
+  std::set<int> classes(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(classes.size(), 10u);
+}
+
+TEST(mnist_like, digit_brighter_than_background) {
+  const digit_dataset ds = make_mnist_like(20, 5);
+  for (const auto& img : ds.images) {
+    std::uint8_t max = 0;
+    double mean = 0.0;
+    for (const auto p : img) {
+      max = std::max(max, p);
+      mean += p;
+    }
+    mean /= static_cast<double>(img.size());
+    EXPECT_GT(max, 150);
+    EXPECT_LT(mean, 120);  // mostly dark background
+  }
+}
+
+TEST(svhn_like, shape_and_determinism) {
+  const digit_dataset a = make_svhn_like(30, 4);
+  EXPECT_EQ(a.width, 32u);
+  EXPECT_EQ(a.height, 32u);
+  EXPECT_EQ(a.images.size(), 30u);
+  EXPECT_EQ(make_svhn_like(30, 4).images, a.images);
+}
+
+TEST(svhn_like, busier_than_mnist_like) {
+  // SVHN-like scenes have textured backgrounds: higher mean intensity and
+  // higher per-image variance of background pixels than MNIST-like.
+  const digit_dataset svhn = make_svhn_like(40, 6);
+  const digit_dataset mnist = make_mnist_like(40, 6);
+  double svhn_mean = 0.0, mnist_mean = 0.0;
+  for (const auto& img : svhn.images) {
+    for (const auto p : img) svhn_mean += p;
+  }
+  for (const auto& img : mnist.images) {
+    for (const auto p : img) mnist_mean += p;
+  }
+  svhn_mean /= 40.0 * 32 * 32;
+  mnist_mean /= 40.0 * 28 * 28;
+  EXPECT_GT(svhn_mean, mnist_mean + 30.0);
+}
+
+TEST(svhn_like, covers_all_classes) {
+  const digit_dataset ds = make_svhn_like(500, 8);
+  std::set<int> classes(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(classes.size(), 10u);
+}
+
+TEST(to_tensors, scales_to_q08_grid) {
+  digit_dataset ds;
+  ds.width = 2;
+  ds.height = 1;
+  ds.images.push_back({0, 255});
+  ds.labels.push_back(3);
+  const auto tensors = to_tensors(ds);
+  ASSERT_EQ(tensors.size(), 1u);
+  EXPECT_EQ(tensors[0].channels(), 1u);
+  EXPECT_EQ(tensors[0].height(), 1u);
+  EXPECT_EQ(tensors[0].width(), 2u);
+  EXPECT_FLOAT_EQ(tensors[0].data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(tensors[0].data()[1], 255.0f / 256.0f);
+}
+
+}  // namespace
+}  // namespace axc::data

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/divergence.h"
+
+namespace axc::dist {
+namespace {
+
+TEST(kl, zero_for_identical) {
+  const pmf p = pmf::normal(64, 32, 8);
+  EXPECT_NEAR(kl_divergence_bits(p, p), 0.0, 1e-12);
+}
+
+TEST(kl, asymmetric) {
+  const pmf p = pmf::from_weights(std::vector<double>{0.9, 0.1});
+  const pmf q = pmf::from_weights(std::vector<double>{0.5, 0.5});
+  EXPECT_NE(kl_divergence_bits(p, q), kl_divergence_bits(q, p));
+}
+
+TEST(kl, infinite_when_support_mismatch) {
+  const pmf p = pmf::from_weights(std::vector<double>{0.5, 0.5, 0.0});
+  const pmf q = pmf::from_weights(std::vector<double>{1.0, 0.0, 0.0});
+  EXPECT_TRUE(std::isinf(kl_divergence_bits(p, q)));
+  EXPECT_FALSE(std::isinf(kl_divergence_bits(q, p)));
+}
+
+TEST(kl, known_value_biased_coin) {
+  const pmf p = pmf::from_weights(std::vector<double>{0.75, 0.25});
+  const pmf u = pmf::uniform(2);
+  const double expected =
+      0.75 * std::log2(0.75 / 0.5) + 0.25 * std::log2(0.25 / 0.5);
+  EXPECT_NEAR(kl_divergence_bits(p, u), expected, 1e-12);
+}
+
+TEST(js, symmetric_and_bounded) {
+  const pmf p = pmf::half_normal(128, 20);
+  const pmf q = pmf::uniform(128);
+  const double js_pq = js_divergence_bits(p, q);
+  EXPECT_NEAR(js_pq, js_divergence_bits(q, p), 1e-12);
+  EXPECT_GE(js_pq, 0.0);
+  EXPECT_LE(js_pq, 1.0);
+}
+
+TEST(js, finite_even_with_disjoint_support) {
+  const pmf p = pmf::from_weights(std::vector<double>{1.0, 0.0});
+  const pmf q = pmf::from_weights(std::vector<double>{0.0, 1.0});
+  EXPECT_NEAR(js_divergence_bits(p, q), 1.0, 1e-12);  // maximal
+}
+
+TEST(total_variation, range_and_extremes) {
+  const pmf p = pmf::from_weights(std::vector<double>{1.0, 0.0});
+  const pmf q = pmf::from_weights(std::vector<double>{0.0, 1.0});
+  EXPECT_NEAR(total_variation(p, q), 1.0, 1e-12);
+  EXPECT_NEAR(total_variation(p, p), 0.0, 1e-12);
+}
+
+TEST(total_variation, symmetric) {
+  const pmf p = pmf::normal(64, 20, 5);
+  const pmf q = pmf::normal(64, 40, 9);
+  EXPECT_NEAR(total_variation(p, q), total_variation(q, p), 1e-12);
+}
+
+TEST(hellinger, range_and_extremes) {
+  const pmf p = pmf::from_weights(std::vector<double>{1.0, 0.0});
+  const pmf q = pmf::from_weights(std::vector<double>{0.0, 1.0});
+  EXPECT_NEAR(hellinger(p, q), 1.0, 1e-12);
+  EXPECT_NEAR(hellinger(p, p), 0.0, 1e-7);
+}
+
+TEST(hellinger, below_sqrt_tv_bound) {
+  // Hellinger^2 <= TV <= sqrt(2) * Hellinger.
+  const pmf p = pmf::half_normal(64, 10);
+  const pmf q = pmf::uniform(64);
+  const double h = hellinger(p, q);
+  const double tv = total_variation(p, q);
+  EXPECT_LE(h * h, tv + 1e-12);
+  EXPECT_LE(tv, std::sqrt(2.0) * h + 1e-12);
+}
+
+TEST(nonuniformity, orders_the_paper_distributions) {
+  // Du < D1 (normal sigma 32) < D2-at-small-sigma in distance from uniform.
+  const double du = nonuniformity(pmf::uniform(256));
+  const double d1 = nonuniformity(pmf::normal(256, 127, 32));
+  const double sharp = nonuniformity(pmf::half_normal(256, 12));
+  EXPECT_NEAR(du, 0.0, 1e-12);
+  EXPECT_GT(d1, du);
+  EXPECT_GT(sharp, d1);
+}
+
+}  // namespace
+}  // namespace axc::dist

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/export.h"
+#include "circuit/netlist.h"
+
+namespace axc::circuit {
+namespace {
+
+netlist make_half_adder() {
+  netlist nl(2, 2);
+  nl.set_output(0, nl.add_gate(gate_fn::xor2, 0, 1));
+  nl.set_output(1, nl.add_gate(gate_fn::and2, 0, 1));
+  return nl;
+}
+
+TEST(verilog_export, contains_module_skeleton) {
+  const std::string v = to_verilog(make_half_adder(), "half_adder");
+  EXPECT_NE(v.find("module half_adder"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input  wire [1:0] in"), std::string::npos);
+  EXPECT_NE(v.find("output wire [1:0] out"), std::string::npos);
+}
+
+TEST(verilog_export, expresses_gate_functions) {
+  const std::string v = to_verilog(make_half_adder(), "ha");
+  EXPECT_NE(v.find("in[0] ^ in[1]"), std::string::npos);
+  EXPECT_NE(v.find("in[0] & in[1]"), std::string::npos);
+}
+
+TEST(verilog_export, omits_inactive_gates) {
+  netlist nl(2, 1);
+  const auto used = nl.add_gate(gate_fn::and2, 0, 1);
+  nl.add_gate(gate_fn::xor2, 0, 1);  // dangling
+  nl.set_output(0, used);
+  const std::string v = to_verilog(nl, "m");
+  EXPECT_EQ(v.find("^"), std::string::npos);
+  EXPECT_NE(v.find("&"), std::string::npos);
+}
+
+TEST(verilog_export, output_can_alias_input) {
+  netlist nl(2, 1);
+  nl.set_output(0, 1);
+  const std::string v = to_verilog(nl, "wire_through");
+  EXPECT_NE(v.find("assign out[0] = in[1];"), std::string::npos);
+}
+
+TEST(dot_export, contains_nodes_and_edges) {
+  const std::string d = to_dot(make_half_adder(), "ha");
+  EXPECT_NE(d.find("digraph ha"), std::string::npos);
+  EXPECT_NE(d.find("label=\"xor\""), std::string::npos);
+  EXPECT_NE(d.find("label=\"and\""), std::string::npos);
+  EXPECT_NE(d.find("i0 -> n0"), std::string::npos);
+  EXPECT_NE(d.find("-> o0"), std::string::npos);
+}
+
+TEST(dot_export, unary_gate_has_single_edge) {
+  netlist nl(1, 1);
+  nl.set_output(0, nl.add_unary(gate_fn::not_a, 0));
+  const std::string d = to_dot(nl, "inv");
+  // Exactly one edge into n0.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = d.find("-> n0", pos)) != std::string::npos) {
+    ++count;
+    pos += 5;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace axc::circuit

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "data/digits.h"
+#include "mult/multipliers.h"
+#include "nn/finetune.h"
+#include "nn/models.h"
+#include "nn/trainer.h"
+
+namespace axc::nn {
+namespace {
+
+class finetune_fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    train_set_ = data::make_mnist_like(900, 7);
+    test_set_ = data::make_mnist_like(250, 8);
+    train_x_ = data::to_tensors(train_set_);
+    test_x_ = data::to_tensors(test_set_);
+    mlp_ = make_mlp(13, 28 * 28, 40);
+    train_config cfg;
+    cfg.epochs = 3;
+    cfg.learning_rate = 0.1f;
+    train(*mlp_, train_x_, train_set_.labels, cfg);
+  }
+
+  data::digit_dataset train_set_, test_set_;
+  std::vector<tensor> train_x_, test_x_;
+  std::optional<network> mlp_;
+};
+
+TEST_F(finetune_fixture, recovers_accuracy_with_approximate_multiplier) {
+  quantized_network qnet(*mlp_,
+                         std::span<const tensor>(train_x_).subspan(0, 64));
+  // An aggressively approximate multiplier that visibly hurts accuracy but
+  // leaves enough signal for the gradient to work with (deeper truncation
+  // collapses the net to chance level, which no amount of tuning recovers).
+  const mult::product_lut rough(mult::truncated_multiplier(8, 7, true),
+                                metrics::mult_spec{8, true});
+
+  const double degraded = qnet.accuracy(test_x_, test_set_.labels, rough);
+
+  finetune_config cfg;
+  cfg.epochs = 3;
+  cfg.learning_rate = 0.02f;
+  finetune(qnet, train_x_, train_set_.labels, rough, cfg);
+
+  const double recovered = qnet.accuracy(test_x_, test_set_.labels, rough);
+  EXPECT_GT(recovered, degraded + 0.02)
+      << "degraded=" << degraded << " recovered=" << recovered;
+}
+
+TEST_F(finetune_fixture, epoch_callback_reports_loss) {
+  quantized_network qnet(*mlp_,
+                         std::span<const tensor>(train_x_).subspan(0, 32));
+  const auto lut = mult::product_lut::exact(metrics::mult_spec{8, true});
+  std::vector<double> losses;
+  finetune_config cfg;
+  cfg.epochs = 2;
+  finetune(qnet, train_x_, train_set_.labels, lut, cfg,
+           [&](const finetune_stats& s) { losses.push_back(s.mean_loss); });
+  ASSERT_EQ(losses.size(), 2u);
+  EXPECT_GT(losses[0], 0.0);
+}
+
+TEST_F(finetune_fixture, exact_lut_finetune_does_not_hurt) {
+  quantized_network qnet(*mlp_,
+                         std::span<const tensor>(train_x_).subspan(0, 64));
+  const auto lut = mult::product_lut::exact(metrics::mult_spec{8, true});
+  const double before = qnet.accuracy(test_x_, test_set_.labels, lut);
+  finetune_config cfg;
+  cfg.epochs = 2;
+  cfg.learning_rate = 0.01f;
+  finetune(qnet, train_x_, train_set_.labels, lut, cfg);
+  const double after = qnet.accuracy(test_x_, test_set_.labels, lut);
+  EXPECT_GT(after, before - 0.03);
+}
+
+TEST_F(finetune_fixture, deterministic_given_seed) {
+  const auto run_once = [&] {
+    network mlp = make_mlp(13, 28 * 28, 40);
+    // Re-train identically (deterministic) then finetune.
+    train_config tcfg;
+    tcfg.epochs = 1;
+    train(mlp, train_x_, train_set_.labels, tcfg);
+    quantized_network qnet(mlp,
+                           std::span<const tensor>(train_x_).subspan(0, 16));
+    const mult::product_lut rough(mult::truncated_multiplier(8, 9, true),
+                                  metrics::mult_spec{8, true});
+    finetune_config cfg;
+    cfg.epochs = 1;
+    cfg.seed = 5;
+    finetune(qnet, train_x_, train_set_.labels, rough, cfg);
+    return qnet.accuracy(test_x_, test_set_.labels, rough, 100);
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace axc::nn

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuit/gate.h"
+
+namespace axc::circuit {
+namespace {
+
+// Evaluating on full/empty words must agree with the single-bit truth table.
+class gate_fn_param : public ::testing::TestWithParam<gate_fn> {};
+
+TEST_P(gate_fn_param, word_eval_matches_truth_table) {
+  const gate_fn fn = GetParam();
+  const std::uint8_t table = gate_truth_table(fn);
+  for (unsigned a = 0; a < 2; ++a) {
+    for (unsigned b = 0; b < 2; ++b) {
+      const std::uint64_t av = a ? ~std::uint64_t{0} : 0;
+      const std::uint64_t bv = b ? ~std::uint64_t{0} : 0;
+      const std::uint64_t out = eval_gate(fn, av, bv);
+      const bool expected = (table >> (2 * a + b)) & 1;
+      EXPECT_EQ(out, expected ? ~std::uint64_t{0} : 0)
+          << gate_name(fn) << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(gate_fn_param, word_eval_is_bitwise) {
+  const gate_fn fn = GetParam();
+  const std::uint64_t a = 0xdeadbeefcafebabeULL;
+  const std::uint64_t b = 0x0123456789abcdefULL;
+  const std::uint64_t out = eval_gate(fn, a, b);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t ab = (a >> bit) & 1 ? ~std::uint64_t{0} : 0;
+    const std::uint64_t bb = (b >> bit) & 1 ? ~std::uint64_t{0} : 0;
+    EXPECT_EQ((out >> bit) & 1, eval_gate(fn, ab, bb) & 1)
+        << gate_name(fn) << " bit " << bit;
+  }
+}
+
+TEST_P(gate_fn_param, has_unique_name) {
+  EXPECT_FALSE(gate_name(GetParam()).empty());
+  EXPECT_NE(gate_name(GetParam()), "invalid");
+}
+
+INSTANTIATE_TEST_SUITE_P(all_functions, gate_fn_param,
+                         ::testing::ValuesIn(full_function_set().begin(),
+                                             full_function_set().end()));
+
+TEST(gate_truth_tables, all_sixteen_functions_distinct) {
+  std::set<std::uint8_t> tables;
+  for (const gate_fn fn : full_function_set()) {
+    tables.insert(gate_truth_table(fn));
+  }
+  EXPECT_EQ(tables.size(), gate_fn_count);
+}
+
+TEST(gate_truth_tables, known_values) {
+  EXPECT_EQ(gate_truth_table(gate_fn::const0), 0b0000);
+  EXPECT_EQ(gate_truth_table(gate_fn::const1), 0b1111);
+  EXPECT_EQ(gate_truth_table(gate_fn::and2), 0b1000);
+  EXPECT_EQ(gate_truth_table(gate_fn::or2), 0b1110);
+  EXPECT_EQ(gate_truth_table(gate_fn::xor2), 0b0110);
+  EXPECT_EQ(gate_truth_table(gate_fn::nand2), 0b0111);
+  EXPECT_EQ(gate_truth_table(gate_fn::nor2), 0b0001);
+  EXPECT_EQ(gate_truth_table(gate_fn::xnor2), 0b1001);
+}
+
+TEST(gate_dependence, constants_depend_on_nothing) {
+  EXPECT_FALSE(depends_on_a(gate_fn::const0));
+  EXPECT_FALSE(depends_on_b(gate_fn::const0));
+  EXPECT_FALSE(depends_on_a(gate_fn::const1));
+  EXPECT_FALSE(depends_on_b(gate_fn::const1));
+}
+
+TEST(gate_dependence, unary_functions_depend_on_one_operand) {
+  EXPECT_TRUE(depends_on_a(gate_fn::buf_a));
+  EXPECT_FALSE(depends_on_b(gate_fn::buf_a));
+  EXPECT_TRUE(depends_on_a(gate_fn::not_a));
+  EXPECT_FALSE(depends_on_b(gate_fn::not_a));
+  EXPECT_FALSE(depends_on_a(gate_fn::buf_b));
+  EXPECT_TRUE(depends_on_b(gate_fn::buf_b));
+  EXPECT_FALSE(depends_on_a(gate_fn::not_b));
+  EXPECT_TRUE(depends_on_b(gate_fn::not_b));
+}
+
+TEST(gate_dependence, binary_functions_depend_on_both) {
+  for (const gate_fn fn :
+       {gate_fn::and2, gate_fn::or2, gate_fn::xor2, gate_fn::nand2,
+        gate_fn::nor2, gate_fn::xnor2, gate_fn::andn_ab, gate_fn::andn_ba,
+        gate_fn::orn_ab, gate_fn::orn_ba}) {
+    EXPECT_TRUE(depends_on_a(fn)) << gate_name(fn);
+    EXPECT_TRUE(depends_on_b(fn)) << gate_name(fn);
+  }
+}
+
+TEST(function_sets, default_set_contains_paper_gates) {
+  const auto set = default_function_set();
+  for (const gate_fn fn : {gate_fn::and2, gate_fn::or2, gate_fn::xor2,
+                           gate_fn::nand2, gate_fn::nor2, gate_fn::xnor2,
+                           gate_fn::not_a, gate_fn::buf_a}) {
+    EXPECT_NE(std::find(set.begin(), set.end(), fn), set.end())
+        << gate_name(fn);
+  }
+}
+
+TEST(function_sets, full_set_has_sixteen) {
+  EXPECT_EQ(full_function_set().size(), 16u);
+}
+
+TEST(function_sets, basic_is_subset_of_default) {
+  const auto def = default_function_set();
+  for (const gate_fn fn : basic_function_set()) {
+    EXPECT_NE(std::find(def.begin(), def.end(), fn), def.end());
+  }
+}
+
+}  // namespace
+}  // namespace axc::circuit

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "imgproc/gaussian_filter.h"
+#include "imgproc/image.h"
+#include "mult/multipliers.h"
+
+namespace axc::imgproc {
+namespace {
+
+TEST(image, construction_and_access) {
+  image img(8, 4, 17);
+  EXPECT_EQ(img.width(), 8u);
+  EXPECT_EQ(img.height(), 4u);
+  EXPECT_EQ(img.at(3, 2), 17);
+  img.at(3, 2) = 99;
+  EXPECT_EQ(img.at(3, 2), 99);
+}
+
+TEST(image, clamped_border_access) {
+  image img(4, 4, 0);
+  img.at(0, 0) = 11;
+  img.at(3, 3) = 22;
+  EXPECT_EQ(img.at_clamped(-5, -5), 11);
+  EXPECT_EQ(img.at_clamped(10, 10), 22);
+  EXPECT_EQ(img.at_clamped(0, -1), 11);
+}
+
+TEST(test_scene, deterministic_per_variant) {
+  EXPECT_EQ(make_test_scene(32, 32, 5), make_test_scene(32, 32, 5));
+  EXPECT_NE(make_test_scene(32, 32, 5), make_test_scene(32, 32, 6));
+}
+
+TEST(test_scene, uses_wide_intensity_range) {
+  const image img = make_test_scene(64, 64, 1);
+  std::uint8_t lo = 255, hi = 0;
+  for (const auto p : img.pixels()) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_LT(lo, 80);
+  EXPECT_GT(hi, 180);
+}
+
+TEST(noise, increases_with_sigma) {
+  const image clean = make_test_scene(64, 64, 2);
+  rng g1(3), g2(3);
+  const image mild = add_gaussian_noise(clean, 5.0, g1);
+  const image heavy = add_gaussian_noise(clean, 25.0, g2);
+  EXPECT_GT(psnr_db(clean, mild), psnr_db(clean, heavy));
+}
+
+TEST(psnr, identical_images_are_infinite) {
+  const image img = make_test_scene(16, 16, 3);
+  EXPECT_TRUE(std::isinf(psnr_db(img, img)));
+}
+
+TEST(psnr, known_value_for_uniform_offset) {
+  image a(10, 10, 100);
+  image b(10, 10, 110);  // MSE = 100
+  EXPECT_NEAR(psnr_db(a, b), 10.0 * std::log10(255.0 * 255.0 / 100.0),
+              1e-9);
+}
+
+TEST(pgm, header_and_payload) {
+  image img(3, 2, 7);
+  std::ostringstream os;
+  write_pgm(os, img);
+  const std::string s = os.str();
+  EXPECT_EQ(s.rfind("P5\n3 2\n255\n", 0), 0u);
+  EXPECT_EQ(s.size(), std::string("P5\n3 2\n255\n").size() + 6);
+}
+
+TEST(gaussian_filter, exact_filter_smooths_noise) {
+  const image clean = make_test_scene(64, 64, 4);
+  rng gen(9);
+  const image noisy = add_gaussian_noise(clean, 15.0, gen);
+  const image filtered = gaussian_filter_exact(noisy);
+  EXPECT_GT(psnr_db(clean, filtered), psnr_db(clean, noisy));
+}
+
+TEST(gaussian_filter, constant_image_is_fixed_point) {
+  const image flat(16, 16, 93);
+  const image filtered = gaussian_filter_exact(flat);
+  for (const auto p : filtered.pixels()) EXPECT_EQ(p, 93);
+}
+
+TEST(gaussian_filter, approx_with_exact_lut_matches_exact_filter) {
+  const mult::product_lut exact_lut =
+      mult::product_lut::exact(metrics::mult_spec{8, false});
+  const image img = make_test_scene(48, 48, 5);
+  EXPECT_EQ(gaussian_filter_approx(img, exact_lut),
+            gaussian_filter_exact(img));
+}
+
+TEST(gaussian_filter, circuit_lut_matches_behavioural_lut) {
+  const mult::product_lut circuit_lut(mult::unsigned_multiplier(8),
+                                      metrics::mult_spec{8, false});
+  const image img = make_test_scene(32, 32, 6);
+  EXPECT_EQ(gaussian_filter_approx(img, circuit_lut),
+            gaussian_filter_exact(img));
+}
+
+TEST(gaussian_filter, truncated_multiplier_degrades_gracefully) {
+  const image img = make_test_scene(48, 48, 7);
+  const image reference = gaussian_filter_exact(img);
+
+  const mult::product_lut mild(mult::truncated_multiplier(8, 4),
+                               metrics::mult_spec{8, false});
+  const mult::product_lut severe(mult::truncated_multiplier(8, 10),
+                                 metrics::mult_spec{8, false});
+  const double psnr_mild = psnr_db(reference, gaussian_filter_approx(img, mild));
+  const double psnr_severe =
+      psnr_db(reference, gaussian_filter_approx(img, severe));
+  EXPECT_GT(psnr_mild, psnr_severe);
+  EXPECT_GT(psnr_mild, 25.0);
+}
+
+TEST(filter_quality, exact_lut_scores_capped_maximum) {
+  const mult::product_lut exact_lut =
+      mult::product_lut::exact(metrics::mult_spec{8, false});
+  const filter_quality q = evaluate_filter_quality(exact_lut, 5, 32);
+  EXPECT_NEAR(q.mean_psnr_db, 100.0, 1e-9);  // +inf capped at 100 dB
+}
+
+TEST(filter_quality, better_multiplier_better_quality) {
+  const mult::product_lut good(mult::truncated_multiplier(8, 3),
+                               metrics::mult_spec{8, false});
+  const mult::product_lut bad(mult::truncated_multiplier(8, 9),
+                              metrics::mult_spec{8, false});
+  const filter_quality qg = evaluate_filter_quality(good, 5, 32);
+  const filter_quality qb = evaluate_filter_quality(bad, 5, 32);
+  EXPECT_GT(qg.mean_psnr_db, qb.mean_psnr_db);
+}
+
+TEST(kernel, coefficient_sum_is_sixteen) {
+  EXPECT_EQ(gaussian_kernel3{}.total(), 16u);
+}
+
+}  // namespace
+}  // namespace axc::imgproc

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "mult/lut.h"
+#include "mult/multipliers.h"
+
+namespace axc::mult {
+namespace {
+
+using metrics::mult_spec;
+
+TEST(product_lut, exact_unsigned_products) {
+  const product_lut lut = product_lut::exact(mult_spec{8, false});
+  EXPECT_EQ(lut.by_pattern(0, 0), 0);
+  EXPECT_EQ(lut.by_pattern(255, 255), 255 * 255);
+  EXPECT_EQ(lut.by_pattern(17, 3), 51);
+  EXPECT_EQ(lut.multiply(100, 200), 20000);
+}
+
+TEST(product_lut, exact_signed_products) {
+  const product_lut lut = product_lut::exact(mult_spec{8, true});
+  EXPECT_EQ(lut.multiply(-1, -1), 1);
+  EXPECT_EQ(lut.multiply(-128, -128), 16384);
+  EXPECT_EQ(lut.multiply(-128, 127), -16256);
+  EXPECT_EQ(lut.multiply(5, -7), -35);
+  EXPECT_EQ(lut.multiply(0, -100), 0);
+}
+
+TEST(product_lut, pattern_masking) {
+  const product_lut lut = product_lut::exact(mult_spec{4, false});
+  // Patterns beyond the width are masked.
+  EXPECT_EQ(lut.by_pattern(0x13, 0x22), lut.by_pattern(0x3, 0x2));
+}
+
+TEST(product_lut, circuit_characterization_matches_exact) {
+  const circuit::netlist nl = signed_multiplier(8);
+  const product_lut from_circuit(nl, mult_spec{8, true});
+  const product_lut exact = product_lut::exact(mult_spec{8, true});
+  EXPECT_EQ(from_circuit.table(), exact.table());
+}
+
+TEST(product_lut, approximate_circuit_differs_from_exact) {
+  const circuit::netlist nl = truncated_multiplier(8, 8);
+  const product_lut approx(nl, mult_spec{8, false});
+  const product_lut exact = product_lut::exact(mult_spec{8, false});
+  EXPECT_NE(approx.table(), exact.table());
+  // But multiply-by-large-operands is still roughly right.
+  EXPECT_NEAR(approx.multiply(200, 200), 40000, 4000);
+}
+
+TEST(product_lut, signed_negative_operand_indexing) {
+  // multiply() must accept negative ints and map them onto two's complement
+  // patterns: -3 -> 0xFD.
+  const product_lut lut = product_lut::exact(mult_spec{8, true});
+  EXPECT_EQ(lut.multiply(-3, 4), lut.by_pattern(0xFD, 4));
+}
+
+}  // namespace
+}  // namespace axc::mult

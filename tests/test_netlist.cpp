@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.h"
+#include "circuit/simulator.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace axc::circuit {
+namespace {
+
+netlist make_full_adder() {
+  // Inputs: a=0, b=1, cin=2.  Outputs: sum, cout.
+  netlist nl(3, 2);
+  const auto axb = nl.add_gate(gate_fn::xor2, 0, 1);
+  const auto sum = nl.add_gate(gate_fn::xor2, axb, 2);
+  const auto ab = nl.add_gate(gate_fn::and2, 0, 1);
+  const auto cx = nl.add_gate(gate_fn::and2, axb, 2);
+  const auto cout = nl.add_gate(gate_fn::or2, ab, cx);
+  nl.set_output(0, sum);
+  nl.set_output(1, cout);
+  return nl;
+}
+
+TEST(netlist, addressing_convention) {
+  netlist nl(3, 1);
+  EXPECT_EQ(nl.num_inputs(), 3u);
+  EXPECT_EQ(nl.num_signals(), 3u);
+  const auto g0 = nl.add_gate(gate_fn::and2, 0, 1);
+  EXPECT_EQ(g0, 3u);
+  EXPECT_EQ(nl.num_signals(), 4u);
+  EXPECT_TRUE(nl.is_input_address(2));
+  EXPECT_FALSE(nl.is_input_address(3));
+  EXPECT_EQ(nl.gate_index(3), 0u);
+}
+
+TEST(netlist, full_adder_is_correct) {
+  const netlist nl = make_full_adder();
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    const unsigned a = v & 1, b = (v >> 1) & 1, c = (v >> 2) & 1;
+    const std::uint64_t out = test::naive_eval(nl, v);
+    EXPECT_EQ(out & 1, (a + b + c) & 1u);
+    EXPECT_EQ((out >> 1) & 1, (a + b + c) >> 1);
+  }
+}
+
+TEST(netlist, validate_accepts_well_formed) {
+  EXPECT_TRUE(make_full_adder().validate().empty());
+}
+
+TEST(netlist, active_mask_ignores_dangling_gates) {
+  netlist nl(2, 1);
+  const auto used = nl.add_gate(gate_fn::and2, 0, 1);
+  nl.add_gate(gate_fn::or2, 0, 1);  // dangling
+  nl.set_output(0, used);
+  const auto mask = nl.active_mask();
+  EXPECT_TRUE(mask[0]);
+  EXPECT_FALSE(mask[1]);
+  EXPECT_EQ(nl.active_gate_count(), 1u);
+}
+
+TEST(netlist, active_mask_skips_ignored_operands) {
+  netlist nl(2, 1);
+  const auto expensive = nl.add_gate(gate_fn::xor2, 0, 1);
+  // not_a ignores operand b; the xor feeding b must not count as active.
+  const auto inv = nl.add_gate(gate_fn::not_a, 0, expensive);
+  nl.set_output(0, inv);
+  const auto mask = nl.active_mask();
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+}
+
+TEST(netlist, active_gate_count_excludes_buffers) {
+  netlist nl(2, 1);
+  const auto buf = nl.add_unary(gate_fn::buf_a, 0);
+  const auto g = nl.add_gate(gate_fn::and2, buf, 1);
+  nl.set_output(0, g);
+  EXPECT_EQ(nl.active_gate_count(), 1u);
+}
+
+TEST(netlist, output_may_be_primary_input) {
+  netlist nl(2, 1);
+  nl.set_output(0, 1);
+  EXPECT_EQ(nl.active_gate_count(), 0u);
+  EXPECT_EQ(test::naive_eval(nl, 0b10), 1u);
+  EXPECT_EQ(test::naive_eval(nl, 0b01), 0u);
+}
+
+TEST(netlist, compacted_preserves_function) {
+  rng gen(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    const netlist nl = test::random_netlist(4, 3, 30, gen);
+    const netlist compact = nl.compacted();
+    EXPECT_TRUE(compact.validate().empty());
+    EXPECT_LE(compact.num_gates(), nl.num_gates());
+    for (std::uint64_t v = 0; v < 16; ++v) {
+      EXPECT_EQ(test::naive_eval(nl, v), test::naive_eval(compact, v))
+          << "trial " << trial << " assignment " << v;
+    }
+  }
+}
+
+TEST(netlist, compacted_removes_all_inactive) {
+  rng gen(7);
+  const netlist nl = test::random_netlist(4, 2, 40, gen);
+  const netlist compact = nl.compacted();
+  const auto mask = compact.active_mask();
+  for (std::size_t k = 0; k < compact.num_gates(); ++k) {
+    EXPECT_TRUE(mask[k]) << "gate " << k << " inactive after compaction";
+  }
+}
+
+TEST(netlist, equality_is_structural) {
+  const netlist a = make_full_adder();
+  const netlist b = make_full_adder();
+  EXPECT_EQ(a, b);
+  netlist c = make_full_adder();
+  c.set_output(0, 0);
+  EXPECT_NE(a, c);
+}
+
+TEST(graft, identity_embedding_preserves_function) {
+  const netlist inner = make_full_adder();
+  netlist outer(3, 2);
+  const std::vector<std::uint32_t> ins{0, 1, 2};
+  const auto outs = graft(outer, inner, ins);
+  outer.set_output(0, outs[0]);
+  outer.set_output(1, outs[1]);
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(test::naive_eval(outer, v), test::naive_eval(inner, v));
+  }
+}
+
+TEST(graft, composition_wires_through) {
+  // outer(a, b) = full_adder(a AND b, a, b).sum
+  const netlist inner = make_full_adder();
+  netlist outer(2, 1);
+  const auto ab = outer.add_gate(gate_fn::and2, 0, 1);
+  const auto outs = graft(outer, inner, std::vector<std::uint32_t>{ab, 0, 1});
+  outer.set_output(0, outs[0]);
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    const unsigned a = v & 1, b = (v >> 1) & 1;
+    const unsigned expected = ((a & b) + a + b) & 1u;
+    EXPECT_EQ(test::naive_eval(outer, v), expected);
+  }
+}
+
+TEST(graft, double_graft_is_independent) {
+  const netlist inner = make_full_adder();
+  netlist outer(3, 2);
+  const std::vector<std::uint32_t> ins{0, 1, 2};
+  const auto first = graft(outer, inner, ins);
+  const auto second = graft(outer, inner, ins);
+  EXPECT_NE(first[0], second[0]);  // separate instances
+  outer.set_output(0, first[0]);
+  outer.set_output(1, second[0]);
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    const auto out = test::naive_eval(outer, v);
+    EXPECT_EQ(out & 1, (out >> 1) & 1);  // same function, same result
+  }
+}
+
+}  // namespace
+}  // namespace axc::circuit

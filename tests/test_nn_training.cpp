@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/digits.h"
+#include "nn/models.h"
+#include "nn/trainer.h"
+
+namespace axc::nn {
+namespace {
+
+TEST(models, mlp_shapes) {
+  network mlp = make_mlp(1);
+  const tensor x(1, 28, 28);
+  const tensor logits = mlp.forward(x);
+  EXPECT_EQ(logits.size(), 10u);
+  EXPECT_EQ(mlp.parameter_count(), 784u * 300 + 300 + 300 * 10 + 10);
+}
+
+TEST(models, lenet_shapes) {
+  network lenet = make_lenet5(1);
+  const tensor x(1, 32, 32);
+  const tensor logits = lenet.forward(x);
+  EXPECT_EQ(logits.size(), 10u);
+}
+
+TEST(models, lenet_channel_scaling) {
+  network small = make_lenet5(1, 0.5);
+  EXPECT_LT(small.parameter_count(), make_lenet5(1).parameter_count());
+  const tensor x(1, 32, 32);
+  EXPECT_EQ(small.forward(x).size(), 10u);
+}
+
+TEST(training, mlp_learns_synthetic_digits) {
+  const auto train_set = data::make_mnist_like(1500, 100);
+  const auto test_set = data::make_mnist_like(400, 200);
+  const auto train_x = data::to_tensors(train_set);
+  const auto test_x = data::to_tensors(test_set);
+
+  network mlp = make_mlp(7, train_set.width * train_set.height, 64);
+  const double before = accuracy(mlp, test_x, test_set.labels);
+
+  train_config cfg;
+  cfg.epochs = 4;
+  cfg.learning_rate = 0.1f;
+  cfg.seed = 5;
+  train(mlp, train_x, train_set.labels, cfg);
+
+  const double after = accuracy(mlp, test_x, test_set.labels);
+  EXPECT_GT(after, 0.85) << "before=" << before << " after=" << after;
+  EXPECT_GT(after, before);
+}
+
+TEST(training, loss_decreases_over_epochs) {
+  const auto train_set = data::make_mnist_like(600, 300);
+  const auto train_x = data::to_tensors(train_set);
+  network mlp = make_mlp(9, train_set.width * train_set.height, 32);
+
+  std::vector<double> losses;
+  train_config cfg;
+  cfg.epochs = 5;
+  cfg.learning_rate = 0.08f;
+  train(mlp, train_x, train_set.labels, cfg,
+        [&](const epoch_stats& s) { losses.push_back(s.mean_loss); });
+  ASSERT_EQ(losses.size(), 5u);
+  EXPECT_LT(losses.back(), losses.front() * 0.6);
+}
+
+TEST(training, deterministic_given_seeds) {
+  const auto train_set = data::make_mnist_like(200, 1);
+  const auto train_x = data::to_tensors(train_set);
+  const auto run = [&] {
+    network mlp = make_mlp(3, train_set.width * train_set.height, 16);
+    train_config cfg;
+    cfg.epochs = 2;
+    cfg.seed = 77;
+    train(mlp, train_x, train_set.labels, cfg);
+    return mlp.forward(train_x[0]);
+  };
+  const tensor a = run();
+  const tensor b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(serialization, weights_round_trip) {
+  network a = make_mlp(21, 64, 16, 10);
+  std::ostringstream os;
+  a.save_weights(os);
+
+  network b = make_mlp(99, 64, 16, 10);  // different init
+  const tensor x = tensor::flat(64, 0.3f);
+  EXPECT_NE(a.forward(x), b.forward(x));
+
+  std::istringstream is(os.str());
+  ASSERT_TRUE(b.load_weights(is));
+  EXPECT_EQ(a.forward(x), b.forward(x));
+}
+
+TEST(serialization, shape_mismatch_rejected) {
+  network a = make_mlp(21, 64, 16, 10);
+  std::ostringstream os;
+  a.save_weights(os);
+  network c = make_mlp(5, 64, 24, 10);  // different hidden width
+  std::istringstream is(os.str());
+  EXPECT_FALSE(c.load_weights(is));
+}
+
+TEST(serialization, corrupt_magic_rejected) {
+  network a = make_mlp(21, 16, 8, 10);
+  std::ostringstream os;
+  a.save_weights(os);
+  std::string blob = os.str();
+  blob[0] ^= 0x5a;
+  std::istringstream is(blob);
+  EXPECT_FALSE(a.load_weights(is));
+}
+
+TEST(accuracy, max_samples_limits_evaluation) {
+  const auto set = data::make_mnist_like(50, 4);
+  const auto x = data::to_tensors(set);
+  network mlp = make_mlp(1, set.width * set.height, 8);
+  const double a = accuracy(mlp, x, set.labels, 10);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LE(a, 1.0);
+}
+
+}  // namespace
+}  // namespace axc::nn

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/pareto.h"
+#include "support/rng.h"
+
+namespace axc::core {
+namespace {
+
+TEST(dominates, strict_and_weak_cases) {
+  EXPECT_TRUE(dominates({1, 1, 0}, {2, 2, 0}));
+  EXPECT_TRUE(dominates({1, 2, 0}, {2, 2, 0}));
+  EXPECT_FALSE(dominates({2, 2, 0}, {1, 1, 0}));
+  EXPECT_FALSE(dominates({1, 1, 0}, {1, 1, 0}));  // equal: no domination
+  EXPECT_FALSE(dominates({1, 3, 0}, {2, 2, 0}));  // trade-off
+}
+
+TEST(pareto_front, filters_dominated_points) {
+  const std::vector<pareto_point> points{
+      {1.0, 10.0, 0}, {2.0, 5.0, 1}, {3.0, 7.0, 2},  // dominated by 1
+      {4.0, 2.0, 3},  {5.0, 2.5, 4},                 // dominated by 3
+  };
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].index, 0u);
+  EXPECT_EQ(front[1].index, 1u);
+  EXPECT_EQ(front[2].index, 3u);
+}
+
+TEST(pareto_front, sorted_by_x_with_decreasing_y) {
+  const std::vector<pareto_point> points{
+      {5, 1, 0}, {1, 9, 1}, {3, 4, 2}, {2, 6, 3}, {4, 2, 4}};
+  const auto front = pareto_front(points);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].x, front[i - 1].x);
+    EXPECT_LT(front[i].y, front[i - 1].y);
+  }
+}
+
+TEST(pareto_front, single_point) {
+  const std::vector<pareto_point> points{{1, 1, 7}};
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].index, 7u);
+}
+
+TEST(pareto_front, all_on_front) {
+  const std::vector<pareto_point> points{{1, 4, 0}, {2, 3, 1}, {3, 2, 2},
+                                         {4, 1, 3}};
+  EXPECT_EQ(pareto_front(points).size(), 4u);
+}
+
+TEST(pareto_front, duplicates_kept_once) {
+  const std::vector<pareto_point> points{{1, 1, 0}, {1, 1, 1}, {2, 2, 2}};
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 1u);
+}
+
+TEST(pareto_front, empty_input) {
+  EXPECT_TRUE(pareto_front(std::vector<pareto_point>{}).empty());
+}
+
+TEST(pareto_front, no_front_point_dominated) {
+  // Property: nothing on the front is dominated by any input point.
+  std::vector<pareto_point> points;
+  std::uint64_t state = 99;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(splitmix64(state) % 1000);
+    const double y = static_cast<double>(splitmix64(state) % 1000);
+    points.push_back({x, y, i});
+  }
+  const auto front = pareto_front(points);
+  for (const auto& f : front) {
+    for (const auto& p : points) {
+      EXPECT_FALSE(dominates(p, f))
+          << "(" << p.x << "," << p.y << ") dominates front point ("
+          << f.x << "," << f.y << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace axc::core

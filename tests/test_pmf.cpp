@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "dist/pmf.h"
+
+namespace axc::dist {
+namespace {
+
+double total(const pmf& p) {
+  double t = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) t += p[i];
+  return t;
+}
+
+// Every factory must produce a normalized distribution.
+class pmf_factories : public ::testing::TestWithParam<pmf> {};
+
+TEST_P(pmf_factories, normalized) {
+  EXPECT_NEAR(total(GetParam()), 1.0, 1e-9);
+}
+
+TEST_P(pmf_factories, non_negative) {
+  const pmf& p = GetParam();
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_GE(p[i], 0.0);
+}
+
+TEST_P(pmf_factories, sampling_stays_in_domain) {
+  const pmf& p = GetParam();
+  rng gen(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(p.sample(gen), p.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    factories, pmf_factories,
+    ::testing::Values(pmf::uniform(256), pmf::normal(256, 127.0, 32.0),
+                      pmf::half_normal(256, 64.0),
+                      pmf::signed_normal(256, 0.0, 40.0),
+                      pmf::signed_laplace(256, 0.0, 12.0), pmf::uniform(16),
+                      pmf::normal(16, 8.0, 3.0)));
+
+TEST(pmf_uniform, equal_mass) {
+  const pmf u = pmf::uniform(64);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(u[i], 1.0 / 64.0);
+}
+
+TEST(pmf_uniform, mean_and_entropy) {
+  const pmf u = pmf::uniform(256);
+  EXPECT_NEAR(u.mean(), 127.5, 1e-9);
+  EXPECT_NEAR(u.entropy_bits(), 8.0, 1e-9);
+}
+
+TEST(pmf_normal, peak_at_mean) {
+  const pmf d1 = pmf::normal(256, 127.0, 32.0);
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_LE(d1[i], d1[127] + 1e-12);
+  }
+  EXPECT_NEAR(d1.mean(), 127.0, 0.5);
+}
+
+TEST(pmf_normal, narrower_sigma_lower_entropy) {
+  const pmf wide = pmf::normal(256, 127.0, 64.0);
+  const pmf narrow = pmf::normal(256, 127.0, 8.0);
+  EXPECT_LT(narrow.entropy_bits(), wide.entropy_bits());
+}
+
+TEST(pmf_half_normal, monotone_decreasing) {
+  const pmf d2 = pmf::half_normal(256, 64.0);
+  for (std::size_t i = 1; i < 256; ++i) {
+    EXPECT_LE(d2[i], d2[i - 1] + 1e-15);
+  }
+  EXPECT_GT(d2[0], d2[255]);
+}
+
+TEST(pmf_signed_normal, symmetric_around_zero) {
+  const pmf d = pmf::signed_normal(256, 0.0, 30.0);
+  // Pattern of +k is k, pattern of -k is 256-k.
+  for (int k = 1; k < 128; ++k) {
+    EXPECT_NEAR(d[static_cast<std::size_t>(k)],
+                d[static_cast<std::size_t>(256 - k)], 1e-12)
+        << "k=" << k;
+  }
+  // Zero is the most probable value.
+  for (std::size_t i = 1; i < 256; ++i) EXPECT_LE(d[i], d[0] + 1e-12);
+}
+
+TEST(pmf_signed_laplace, sharper_than_normal_at_zero) {
+  const pmf lap = pmf::signed_laplace(256, 0.0, 10.0);
+  const pmf nor = pmf::signed_normal(256, 0.0, 14.14);  // similar stddev
+  EXPECT_GT(lap[0], nor[0]);
+}
+
+TEST(pmf_from_weights, normalizes_arbitrary_scale) {
+  const std::vector<double> w{2.0, 6.0, 2.0};
+  const pmf p = pmf::from_weights(w);
+  EXPECT_NEAR(p[0], 0.2, 1e-12);
+  EXPECT_NEAR(p[1], 0.6, 1e-12);
+  EXPECT_NEAR(p[2], 0.2, 1e-12);
+}
+
+TEST(pmf_from_counts, histogram_to_distribution) {
+  const std::vector<std::uint64_t> counts{0, 10, 30, 60};
+  const pmf p = pmf::from_counts(counts);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_NEAR(p[3], 0.6, 1e-12);
+}
+
+TEST(pmf_from_int8, keys_by_bit_pattern) {
+  const std::vector<std::int8_t> samples{0, 0, -1, 1};
+  const pmf p = pmf::from_int8_samples(samples);
+  ASSERT_EQ(p.size(), 256u);
+  EXPECT_NEAR(p[0], 0.5, 1e-12);     // two zeros
+  EXPECT_NEAR(p[1], 0.25, 1e-12);    // +1
+  EXPECT_NEAR(p[255], 0.25, 1e-12);  // -1 -> pattern 0xFF
+}
+
+TEST(pmf_sampling, empirical_frequencies_converge) {
+  const pmf p = pmf::from_weights(std::vector<double>{0.5, 0.25, 0.25});
+  rng gen(7);
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) ++counts[p.sample(gen)];
+  EXPECT_NEAR(counts[0], kDraws * 0.5, kDraws * 0.02);
+  EXPECT_NEAR(counts[1], kDraws * 0.25, kDraws * 0.02);
+  EXPECT_NEAR(counts[2], kDraws * 0.25, kDraws * 0.02);
+}
+
+TEST(pmf_sampling, zero_mass_values_never_drawn) {
+  const pmf p = pmf::from_weights(std::vector<double>{0.0, 1.0, 0.0});
+  rng gen(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(p.sample(gen), 1u);
+}
+
+TEST(pmf_blend, endpoint_identities) {
+  const pmf a = pmf::uniform(16);
+  const pmf b = pmf::half_normal(16, 3.0);
+  const pmf at0 = a.blend(b, 0.0);
+  const pmf at1 = a.blend(b, 1.0);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(at0[i], a[i], 1e-12);
+    EXPECT_NEAR(at1[i], b[i], 1e-12);
+  }
+}
+
+TEST(pmf_blend, midpoint_average) {
+  const pmf a = pmf::uniform(8);
+  const pmf b = pmf::from_weights(std::vector<double>{1, 0, 0, 0, 0, 0, 0, 1});
+  const pmf mid = a.blend(b, 0.5);
+  EXPECT_NEAR(mid[0], 0.5 * (1.0 / 8.0) + 0.5 * 0.5, 1e-12);
+  EXPECT_NEAR(mid[1], 0.5 * (1.0 / 8.0), 1e-12);
+}
+
+TEST(pmf_stddev, uniform_matches_closed_form) {
+  const pmf u = pmf::uniform(256);
+  // stddev of discrete uniform on 0..n-1: sqrt((n^2-1)/12).
+  EXPECT_NEAR(u.stddev(), std::sqrt((256.0 * 256.0 - 1.0) / 12.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace axc::dist

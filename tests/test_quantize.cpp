@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "data/digits.h"
+#include "mult/multipliers.h"
+#include "nn/models.h"
+#include "nn/quantize.h"
+#include "nn/trainer.h"
+
+namespace axc::nn {
+namespace {
+
+TEST(qformat, frac_bits_for_ranges) {
+  EXPECT_EQ(frac_bits_for(0.9), 7);   // fits Q0.7
+  EXPECT_EQ(frac_bits_for(1.5), 6);   // needs one integer bit
+  EXPECT_EQ(frac_bits_for(100.0), 0); // seven integer bits
+  EXPECT_EQ(frac_bits_for(0.0), 7);   // degenerate: default
+}
+
+TEST(qformat, quantize_round_trip_error_bounded) {
+  for (const int f : {3, 5, 7}) {
+    const double step = std::exp2(-f);
+    for (double v = -0.9; v < 0.9; v += 0.0137) {
+      const std::int8_t q = quantize_value(static_cast<float>(v), f);
+      const float back = dequantize_value(q, f);
+      EXPECT_LE(std::abs(back - v), step / 2 + 1e-9) << "v=" << v;
+    }
+  }
+}
+
+TEST(qformat, quantize_saturates) {
+  EXPECT_EQ(quantize_value(10.0f, 7), 127);
+  EXPECT_EQ(quantize_value(-10.0f, 7), -128);
+}
+
+TEST(qformat, shift_round_behaviour) {
+  EXPECT_EQ(shift_round(8, 2), 2);
+  EXPECT_EQ(shift_round(7, 2), 2);   // 1.75 -> 2
+  EXPECT_EQ(shift_round(6, 2), 2);   // 1.5 rounds away from zero
+  EXPECT_EQ(shift_round(5, 2), 1);
+  EXPECT_EQ(shift_round(-6, 2), -2); // symmetric
+  EXPECT_EQ(shift_round(3, 0), 3);
+  EXPECT_EQ(shift_round(3, -2), 12); // negative shift = multiply
+}
+
+TEST(qformat, saturate_int8_clamps) {
+  EXPECT_EQ(saturate_int8(300), 127);
+  EXPECT_EQ(saturate_int8(-300), -128);
+  EXPECT_EQ(saturate_int8(5), 5);
+}
+
+class quantized_mlp : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    train_set_ = data::make_mnist_like(1200, 42);
+    test_set_ = data::make_mnist_like(300, 43);
+    train_x_ = data::to_tensors(train_set_);
+    test_x_ = data::to_tensors(test_set_);
+    mlp_ = make_mlp(3, 28 * 28, 48);
+    train_config cfg;
+    cfg.epochs = 3;
+    cfg.learning_rate = 0.1f;
+    train(*mlp_, train_x_, train_set_.labels, cfg);
+  }
+
+  data::digit_dataset train_set_, test_set_;
+  std::vector<tensor> train_x_, test_x_;
+  std::optional<network> mlp_;
+};
+
+TEST_F(quantized_mlp, exact_lut_accuracy_close_to_float) {
+  quantized_network qnet(*mlp_, std::span<const tensor>(train_x_).subspan(0, 64));
+  const auto lut = mult::product_lut::exact(metrics::mult_spec{8, true});
+  const double float_acc = accuracy(*mlp_, test_x_, test_set_.labels);
+  const double q_acc = qnet.accuracy(test_x_, test_set_.labels, lut);
+  // Ristretto reports ~0.1% drop for 8-bit; allow a few percent on our
+  // smaller net.
+  EXPECT_GT(q_acc, float_acc - 0.05);
+}
+
+TEST_F(quantized_mlp, weights_quantized_to_declared_grid) {
+  quantized_network qnet(*mlp_, std::span<const tensor>(train_x_).subspan(0, 32));
+  for (const layer_qparams& qp : qnet.qparams()) {
+    if (!qp.active) continue;
+    EXPECT_FALSE(qp.weights.empty());
+    EXPECT_GE(qp.w_frac, 0);
+  }
+  const auto all = qnet.quantized_weights();
+  EXPECT_EQ(all.size(), 28u * 28 * 48 + 48 * 10);
+}
+
+TEST_F(quantized_mlp, weight_histogram_peaks_near_zero) {
+  // The paper's Fig. 6: trained NN weights concentrate around zero.
+  quantized_network qnet(*mlp_, std::span<const tensor>(train_x_).subspan(0, 32));
+  const auto weights = qnet.quantized_weights();
+  std::size_t small = 0;
+  for (const auto w : weights) {
+    if (w >= -16 && w <= 16) ++small;
+  }
+  EXPECT_GT(static_cast<double>(small) / static_cast<double>(weights.size()),
+            0.5);
+}
+
+TEST_F(quantized_mlp, broken_multiplier_hurts_accuracy) {
+  quantized_network qnet(*mlp_, std::span<const tensor>(train_x_).subspan(0, 64));
+  const auto exact = mult::product_lut::exact(metrics::mult_spec{8, true});
+  const mult::product_lut broken(mult::truncated_multiplier(8, 13, true),
+                                 metrics::mult_spec{8, true});
+  const double exact_acc = qnet.accuracy(test_x_, test_set_.labels, exact);
+  const double broken_acc = qnet.accuracy(test_x_, test_set_.labels, broken);
+  EXPECT_LT(broken_acc, exact_acc - 0.1);
+}
+
+TEST_F(quantized_mlp, refresh_weights_tracks_float_changes) {
+  quantized_network qnet(*mlp_, std::span<const tensor>(train_x_).subspan(0, 32));
+  const auto before = qnet.quantized_weights();
+  // Perturb float weights meaningfully.
+  for (float& w : mlp_->at(0).weights()) w += 0.25f;
+  qnet.refresh_weights();
+  const auto after = qnet.quantized_weights();
+  EXPECT_NE(before, after);
+}
+
+TEST(quantized_network, forward_stays_on_grid) {
+  // Outputs of the quantized forward must be dequantized int8 values.
+  const auto set = data::make_mnist_like(80, 9);
+  const auto x = data::to_tensors(set);
+  network mlp = make_mlp(5, 28 * 28, 16);
+  train_config cfg;
+  cfg.epochs = 1;
+  train(mlp, x, set.labels, cfg);
+
+  quantized_network qnet(mlp, std::span<const tensor>(x).subspan(0, 16));
+  const auto lut = mult::product_lut::exact(metrics::mult_spec{8, true});
+  const tensor out = qnet.forward(x[0], lut);
+
+  const int out_frac = qnet.qparams().back().out_frac;
+  const double step = std::exp2(-out_frac);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double ratio = out[i] / step;
+    EXPECT_NEAR(ratio, std::round(ratio), 1e-3) << "logit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace axc::nn

@@ -1,0 +1,167 @@
+// Direct hardware-model verification of the quantized forward paths:
+// dense/conv forward_quantized must equal a hand-rolled int8/int32
+// reference (quantize -> LUT multiply -> accumulate -> shift -> saturate),
+// for exact and approximate LUTs alike.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "mult/multipliers.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "support/rng.h"
+
+namespace axc::nn {
+namespace {
+
+layer_qparams make_qparams(layer& l, int in_frac, int w_frac, int out_frac) {
+  layer_qparams qp;
+  qp.active = true;
+  qp.in_frac = in_frac;
+  qp.w_frac = w_frac;
+  qp.out_frac = out_frac;
+  const auto w = l.weights();
+  qp.weights.resize(w.size());
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    qp.weights[k] = quantize_value(w[k], w_frac);
+  }
+  const auto b = l.bias();
+  qp.bias.resize(b.size());
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    qp.bias[k] = static_cast<std::int32_t>(
+        std::llround(static_cast<double>(b[k]) * std::exp2(in_frac + w_frac)));
+  }
+  return qp;
+}
+
+TEST(quantized_dense, matches_integer_reference) {
+  rng gen(1);
+  dense d(5, 3, gen);
+  for (auto& b : d.bias()) b = 0.125f;
+  const layer_qparams qp = make_qparams(d, 7, 7, 5);
+  const auto lut = mult::product_lut::exact(metrics::mult_spec{8, true});
+
+  tensor x = tensor::flat(5);
+  const float xs[] = {0.3f, -0.7f, 0.05f, 0.99f, -0.2f};
+  for (int i = 0; i < 5; ++i) x[i] = xs[i];
+
+  const tensor y = d.forward_quantized(x, qp, lut, false);
+
+  // Reference computation.
+  for (std::size_t o = 0; o < 3; ++o) {
+    std::int64_t acc = qp.bias[o];
+    for (std::size_t i = 0; i < 5; ++i) {
+      const std::int8_t xq = quantize_value(x[i], 7);
+      acc += static_cast<std::int64_t>(qp.weights[o * 5 + i]) * xq;
+    }
+    const std::int8_t yq = saturate_int8(shift_round(acc, 7 + 7 - 5));
+    EXPECT_FLOAT_EQ(y[o], dequantize_value(yq, 5)) << "output " << o;
+  }
+}
+
+TEST(quantized_dense, output_saturates_at_int8_rails) {
+  rng gen(2);
+  dense d(4, 1, gen);
+  for (auto& w : d.weights()) w = 0.99f;
+  for (auto& b : d.bias()) b = 0.0f;
+  // out_frac deliberately too fine: the true output ~4 exceeds the
+  // representable max 127 * 2^-7 ~ 0.99, so the model must clamp.
+  const layer_qparams qp = make_qparams(d, 7, 7, 7);
+  const auto lut = mult::product_lut::exact(metrics::mult_spec{8, true});
+
+  tensor x = tensor::flat(4, 0.99f);
+  const tensor y = d.forward_quantized(x, qp, lut, false);
+  EXPECT_FLOAT_EQ(y[0], dequantize_value(127, 7));
+}
+
+TEST(quantized_dense, approximate_lut_is_used) {
+  // With a truncated-multiplier LUT the result must differ from the exact
+  // pipeline in exactly the way the LUT prescribes.
+  rng gen(3);
+  dense d(2, 1, gen);
+  d.weights()[0] = 0.5f;   // -> 64 at Q7
+  d.weights()[1] = -0.25f; // -> -32
+  d.bias()[0] = 0.0f;
+  const layer_qparams qp = make_qparams(d, 7, 7, 7);
+
+  const mult::product_lut rough(mult::truncated_multiplier(8, 9, true),
+                                metrics::mult_spec{8, true});
+  tensor x = tensor::flat(2);
+  x[0] = 0.75f;  // -> 96
+  x[1] = 0.5f;   // -> 64
+
+  const tensor y = d.forward_quantized(x, qp, rough, false);
+  const std::int64_t acc = rough.multiply(64, 96) + rough.multiply(-32, 64);
+  const std::int8_t yq = saturate_int8(shift_round(acc, 7));
+  EXPECT_FLOAT_EQ(y[0], dequantize_value(yq, 7));
+}
+
+TEST(quantized_conv, matches_integer_reference) {
+  rng gen(4);
+  conv2d c(1, 2, 2, gen);
+  for (auto& b : c.bias()) b = -0.0625f;
+  const layer_qparams qp = make_qparams(c, 7, 8, 6);
+  const auto lut = mult::product_lut::exact(metrics::mult_spec{8, true});
+
+  tensor x(1, 3, 3);
+  for (std::size_t i = 0; i < 9; ++i) {
+    x.data()[i] = static_cast<float>(i) / 16.0f - 0.25f;
+  }
+  const tensor y = c.forward_quantized(x, qp, lut, false);
+  ASSERT_EQ(y.channels(), 2u);
+  ASSERT_EQ(y.height(), 2u);
+
+  for (std::size_t oc = 0; oc < 2; ++oc) {
+    for (std::size_t yo = 0; yo < 2; ++yo) {
+      for (std::size_t xo = 0; xo < 2; ++xo) {
+        std::int64_t acc = qp.bias[oc];
+        for (std::size_t ky = 0; ky < 2; ++ky) {
+          for (std::size_t kx = 0; kx < 2; ++kx) {
+            const std::int8_t xq =
+                quantize_value(x.at(0, yo + ky, xo + kx), 7);
+            const std::int8_t wq = qp.weights[(oc * 2 + ky) * 2 + kx];
+            acc += static_cast<std::int64_t>(wq) * xq;
+          }
+        }
+        const std::int8_t yq = saturate_int8(shift_round(acc, 7 + 8 - 6));
+        EXPECT_FLOAT_EQ(y.at(oc, yo, xo), dequantize_value(yq, 6))
+            << oc << "," << yo << "," << xo;
+      }
+    }
+  }
+}
+
+TEST(quantized_layers, training_caches_dequantized_input) {
+  // Straight-through: after forward_quantized(training=true), the cached
+  // input used by backward must be the *dequantized* quantized input, not
+  // the raw float input.
+  rng gen(5);
+  dense d(3, 2, gen);
+  const layer_qparams qp = make_qparams(d, 4, 7, 4);  // coarse input grid
+  const auto lut = mult::product_lut::exact(metrics::mult_spec{8, true});
+
+  tensor x = tensor::flat(3);
+  x[0] = 0.33f;  // not on the 2^-4 grid
+  x[1] = -0.21f;
+  x[2] = 0.07f;
+  d.forward_quantized(x, qp, lut, /*training=*/true);
+
+  // Probe via backward: grad w.r.t. weights equals g * cached_input.
+  d.zero_grads();
+  tensor g = tensor::flat(2);
+  g[0] = 1.0f;
+  g[1] = 0.0f;
+  (void)d.backward(g);
+  std::vector<float> before(d.weights().begin(), d.weights().end());
+  d.sgd_step(1.0f, 0.0f);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const float grad_wi = before[i] - d.weights()[i];
+    const float expected =
+        dequantize_value(quantize_value(x[i], 4), 4);  // on-grid value
+    EXPECT_FLOAT_EQ(grad_wi, expected) << "weight " << i;
+  }
+}
+
+}  // namespace
+}  // namespace axc::nn

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "circuit/rewrite.h"
+#include "circuit/structural.h"
+#include "mult/multipliers.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace axc::circuit {
+namespace {
+
+void expect_same_function(const netlist& a, const netlist& b,
+                          std::size_t assignments) {
+  for (std::uint64_t v = 0; v < assignments; ++v) {
+    ASSERT_EQ(test::naive_eval(a, v), test::naive_eval(b, v)) << "v=" << v;
+  }
+}
+
+TEST(gate_fn_from_table, total_inverse_of_truth_table) {
+  for (const gate_fn fn : full_function_set()) {
+    EXPECT_EQ(gate_fn_from_table(gate_truth_table(fn)), fn);
+  }
+}
+
+TEST(simplify, preserves_function_on_random_netlists) {
+  rng gen(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const netlist nl = test::random_netlist(6, 4, 50, gen);
+    const netlist simplified = simplify(nl);
+    EXPECT_TRUE(simplified.validate().empty());
+    expect_same_function(nl, simplified, 64);
+  }
+}
+
+TEST(simplify, preserves_multiplier_function) {
+  for (const auto& nl :
+       {mult::unsigned_multiplier(4), mult::signed_multiplier(4),
+        mult::truncated_multiplier(4, 3), mult::zero_exact_wrapper(
+                                              mult::unsigned_multiplier(4), 4)}) {
+    expect_same_function(nl, simplify(nl), 256);
+  }
+}
+
+TEST(simplify, never_grows_active_logic) {
+  rng gen(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    const netlist nl = test::random_netlist(5, 3, 40, gen);
+    EXPECT_LE(simplify(nl).active_gate_count(), nl.active_gate_count());
+  }
+}
+
+TEST(simplify, folds_constants) {
+  netlist nl(2, 1);
+  const auto one = nl.add_gate(gate_fn::const1, 0, 0);
+  const auto g = nl.add_gate(gate_fn::and2, 0, one);  // and(x, 1) = x
+  nl.set_output(0, nl.add_gate(gate_fn::xor2, g, 1));
+  const netlist s = simplify(nl);
+  EXPECT_EQ(s.active_gate_count(), 1u);  // just the xor
+  expect_same_function(nl, s, 4);
+}
+
+TEST(simplify, collapses_same_operand_gates) {
+  netlist nl(2, 2);
+  nl.set_output(0, nl.add_gate(gate_fn::xor2, 0, 0));   // = 0
+  nl.set_output(1, nl.add_gate(gate_fn::and2, 1, 1));   // = b
+  const netlist s = simplify(nl);
+  EXPECT_EQ(s.active_gate_count(), 0u);  // const + wire only
+  expect_same_function(nl, s, 4);
+}
+
+TEST(simplify, eliminates_double_negation) {
+  netlist nl(1, 1);
+  const auto n1 = nl.add_unary(gate_fn::not_a, 0);
+  const auto n2 = nl.add_unary(gate_fn::not_a, n1);
+  nl.set_output(0, n2);
+  const netlist s = simplify(nl);
+  EXPECT_EQ(s.active_gate_count(), 0u);  // output wired to the input
+  expect_same_function(nl, s, 2);
+}
+
+TEST(simplify, absorbs_inverters_into_consumers) {
+  // and(~a, b) should become the single complex cell andn_ba.
+  netlist nl(2, 1);
+  const auto na = nl.add_unary(gate_fn::not_a, 0);
+  nl.set_output(0, nl.add_gate(gate_fn::and2, na, 1));
+  const netlist s = simplify(nl);
+  EXPECT_EQ(s.active_gate_count(), 1u);
+  EXPECT_EQ(s.gate(s.gate_index(s.output(0))).fn, gate_fn::andn_ba);
+  expect_same_function(nl, s, 4);
+}
+
+TEST(simplify, merges_structural_duplicates) {
+  netlist nl(2, 2);
+  const auto g1 = nl.add_gate(gate_fn::xor2, 0, 1);
+  const auto g2 = nl.add_gate(gate_fn::xor2, 0, 1);  // duplicate
+  nl.set_output(0, g1);
+  nl.set_output(1, g2);
+  const netlist s = simplify(nl);
+  EXPECT_EQ(s.active_gate_count(), 1u);
+  EXPECT_EQ(s.output(0), s.output(1));
+}
+
+TEST(simplify, keeps_inverted_output_via_single_inverter) {
+  netlist nl(2, 2);
+  const auto g = nl.add_gate(gate_fn::and2, 0, 1);
+  const auto ng = nl.add_unary(gate_fn::not_a, g);
+  nl.set_output(0, ng);
+  nl.set_output(1, ng);
+  const netlist s = simplify(nl);
+  // nand would also be acceptable; either way <= 2 active gates and both
+  // outputs share structure.
+  EXPECT_LE(s.active_gate_count(), 2u);
+  EXPECT_EQ(s.output(0), s.output(1));
+  expect_same_function(nl, s, 4);
+}
+
+TEST(simplify, handles_operand_ignoring_functions) {
+  // not_b ignores operand a; the expensive cone feeding a must vanish.
+  netlist nl(2, 1);
+  auto deep = nl.add_gate(gate_fn::xor2, 0, 1);
+  deep = nl.add_gate(gate_fn::xor2, deep, 0);
+  nl.set_output(0, nl.add_gate(gate_fn::not_b, deep, 1));
+  const netlist s = simplify(nl);
+  EXPECT_EQ(s.active_gate_count(), 1u);
+  expect_same_function(nl, s, 4);
+}
+
+TEST(simplify, idempotent) {
+  rng gen(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    const netlist nl = test::random_netlist(5, 3, 30, gen);
+    const netlist once = simplify(nl);
+    const netlist twice = simplify(once);
+    EXPECT_EQ(once.active_gate_count(), twice.active_gate_count());
+    expect_same_function(once, twice, 32);
+  }
+}
+
+TEST(simplify, shrinks_evolved_style_redundancy) {
+  // Random netlists carry heavy redundancy; simplification should bite.
+  rng gen(31);
+  std::size_t before = 0, after = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const netlist nl = test::random_netlist(8, 4, 120, gen);
+    before += nl.active_gate_count();
+    after += simplify(nl).active_gate_count();
+  }
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace axc::circuit

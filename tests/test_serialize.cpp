@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/serialize.h"
+#include "mult/multipliers.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace axc::circuit {
+namespace {
+
+TEST(serialize, round_trips_structure_exactly) {
+  rng gen(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const netlist original = test::random_netlist(5, 3, 25, gen);
+    const auto restored = from_text(to_text(original));
+    ASSERT_TRUE(restored.has_value()) << "trial " << trial;
+    EXPECT_EQ(*restored, original);
+  }
+}
+
+TEST(serialize, round_trips_multiplier) {
+  const netlist m = mult::signed_multiplier(8);
+  const auto restored = from_text(to_text(m));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, m);
+}
+
+TEST(serialize, gate_names_round_trip) {
+  for (const gate_fn fn : full_function_set()) {
+    const auto parsed = gate_fn_from_name(gate_name(fn));
+    ASSERT_TRUE(parsed.has_value()) << gate_name(fn);
+    EXPECT_EQ(*parsed, fn);
+  }
+  EXPECT_FALSE(gate_fn_from_name("bogus").has_value());
+}
+
+TEST(serialize, rejects_bad_magic) {
+  EXPECT_FALSE(from_text("not-a-netlist\ninputs 2\n").has_value());
+}
+
+TEST(serialize, rejects_truncated_stream) {
+  const netlist m = mult::unsigned_multiplier(2);
+  std::string text = to_text(m);
+  text.resize(text.size() / 2);
+  // Either parses nothing or fails; never crashes.  The "out" line is gone,
+  // so parsing must fail.
+  EXPECT_FALSE(from_text(text).has_value());
+}
+
+TEST(serialize, rejects_forward_references) {
+  EXPECT_FALSE(from_text("axcirc-netlist v1\n"
+                         "inputs 2\n"
+                         "outputs 1\n"
+                         "gate and 0 5\n"
+                         "out 2\n")
+                   .has_value());
+}
+
+TEST(serialize, rejects_unknown_gate) {
+  EXPECT_FALSE(from_text("axcirc-netlist v1\n"
+                         "inputs 2\n"
+                         "outputs 1\n"
+                         "gate frobnicate 0 1\n"
+                         "out 2\n")
+                   .has_value());
+}
+
+TEST(serialize, rejects_out_of_range_output) {
+  EXPECT_FALSE(from_text("axcirc-netlist v1\n"
+                         "inputs 2\n"
+                         "outputs 1\n"
+                         "out 9\n")
+                   .has_value());
+}
+
+TEST(serialize, minimal_wire_netlist) {
+  const auto restored = from_text("axcirc-netlist v1\n"
+                                  "inputs 2\n"
+                                  "outputs 1\n"
+                                  "out 1\n");
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_gates(), 0u);
+  EXPECT_EQ(restored->output(0), 1u);
+}
+
+TEST(serialize, preserves_function_through_text) {
+  const netlist m = mult::broken_array_multiplier(4, 1, 3);
+  const auto restored = from_text(to_text(m));
+  ASSERT_TRUE(restored.has_value());
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    EXPECT_EQ(test::naive_eval(*restored, v), test::naive_eval(m, v));
+  }
+}
+
+}  // namespace
+}  // namespace axc::circuit

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "circuit/structural.h"
+#include "mult/multipliers.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace axc::circuit {
+namespace {
+
+TEST(structural, simple_chain_stats) {
+  netlist nl(2, 1);
+  auto s = nl.add_gate(gate_fn::and2, 0, 1);
+  s = nl.add_gate(gate_fn::xor2, s, 1);
+  s = nl.add_gate(gate_fn::or2, s, 0);
+  nl.set_output(0, s);
+
+  const structural_stats stats = analyze_structure(nl);
+  EXPECT_EQ(stats.total_gates, 3u);
+  EXPECT_EQ(stats.active_gates, 3u);
+  EXPECT_EQ(stats.logic_depth, 3u);
+  EXPECT_EQ(stats.support_size, 2u);
+  EXPECT_EQ(stats.function_histogram[static_cast<std::size_t>(gate_fn::and2)],
+            1u);
+  EXPECT_EQ(stats.function_histogram[static_cast<std::size_t>(gate_fn::xor2)],
+            1u);
+}
+
+TEST(structural, inactive_gates_excluded) {
+  netlist nl(2, 1);
+  const auto used = nl.add_gate(gate_fn::and2, 0, 1);
+  nl.add_gate(gate_fn::xor2, 0, 1);  // dangling
+  nl.set_output(0, used);
+  const structural_stats stats = analyze_structure(nl);
+  EXPECT_EQ(stats.total_gates, 2u);
+  EXPECT_EQ(stats.active_gates, 1u);
+}
+
+TEST(structural, buffers_do_not_add_depth) {
+  netlist nl(1, 1);
+  auto s = nl.add_unary(gate_fn::buf_a, 0);
+  s = nl.add_unary(gate_fn::buf_a, s);
+  s = nl.add_unary(gate_fn::not_a, s);
+  nl.set_output(0, s);
+  const structural_stats stats = analyze_structure(nl);
+  EXPECT_EQ(stats.logic_depth, 1u);
+  EXPECT_EQ(stats.active_gates, 1u);
+}
+
+TEST(structural, support_excludes_unread_inputs) {
+  netlist nl(4, 1);
+  nl.set_output(0, nl.add_gate(gate_fn::and2, 0, 2));
+  const structural_stats stats = analyze_structure(nl);
+  EXPECT_EQ(stats.support_size, 2u);
+}
+
+TEST(structural, fanout_counts_output_uses) {
+  netlist nl(2, 2);
+  const auto g = nl.add_gate(gate_fn::xor2, 0, 1);
+  nl.set_output(0, g);
+  nl.set_output(1, g);
+  const auto fanout = fanout_counts(nl);
+  EXPECT_EQ(fanout[2], 2u);  // both outputs
+  EXPECT_EQ(fanout[0], 1u);
+  const structural_stats stats = analyze_structure(nl);
+  EXPECT_EQ(stats.max_fanout, 2u);
+}
+
+TEST(structural, logic_levels_monotone_along_paths) {
+  rng gen(5);
+  const netlist nl = test::random_netlist(6, 3, 40, gen);
+  const auto levels = logic_levels(nl);
+  const auto active = nl.active_mask();
+  for (std::size_t k = 0; k < nl.num_gates(); ++k) {
+    if (!active[k]) continue;
+    const gate_node& g = nl.gate(k);
+    if (depends_on_a(g.fn)) {
+      EXPECT_GE(levels[nl.num_inputs() + k], levels[g.in0]);
+    }
+    if (depends_on_b(g.fn)) {
+      EXPECT_GE(levels[nl.num_inputs() + k], levels[g.in1]);
+    }
+  }
+}
+
+TEST(structural, multiplier_depth_orderings) {
+  const auto ripple = analyze_structure(mult::unsigned_multiplier(8));
+  const auto wallace = analyze_structure(
+      mult::unsigned_multiplier(8, mult::schedule::wallace));
+  EXPECT_LT(wallace.logic_depth, ripple.logic_depth);
+  EXPECT_GT(ripple.logic_depth, 16u);  // ripple arrays are deep
+  // Both are dominated by AND (partial products) + XOR (adders).
+  const auto ands =
+      ripple.function_histogram[static_cast<std::size_t>(gate_fn::and2)];
+  const auto xors =
+      ripple.function_histogram[static_cast<std::size_t>(gate_fn::xor2)];
+  EXPECT_GT(ands, 60u);
+  EXPECT_GT(xors, 60u);
+}
+
+TEST(structural, truncated_support_shrinks) {
+  // Dropping all partial products below column 8 removes operand-A LSBs
+  // from the support only when every pp using them is gone; with vbl = 15
+  // only pp[7][7] remains (with a modest row restriction).
+  const netlist heavy = mult::broken_array_multiplier(8, 7, 14);
+  const structural_stats stats = analyze_structure(heavy);
+  EXPECT_LT(stats.support_size, 16u);
+}
+
+}  // namespace
+}  // namespace axc::circuit

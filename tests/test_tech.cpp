@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.h"
+#include "support/rng.h"
+#include "tech/analysis.h"
+#include "tech/cell_library.h"
+#include "test_util.h"
+
+namespace axc::tech {
+namespace {
+
+using circuit::gate_fn;
+using circuit::netlist;
+
+TEST(cell_library, free_cells_cost_nothing) {
+  const cell_library& lib = cell_library::nangate45_like();
+  for (const gate_fn fn :
+       {gate_fn::const0, gate_fn::const1, gate_fn::buf_a, gate_fn::buf_b}) {
+    EXPECT_DOUBLE_EQ(lib.cell(fn).area_um2, 0.0);
+    EXPECT_DOUBLE_EQ(lib.cell(fn).delay_ps, 0.0);
+  }
+}
+
+TEST(cell_library, relative_cost_ordering) {
+  const cell_library& lib = cell_library::nangate45_like();
+  // inverter < nand < and < xor, the fundamental CMOS ordering.
+  EXPECT_LT(lib.cell(gate_fn::not_a).area_um2,
+            lib.cell(gate_fn::nand2).area_um2);
+  EXPECT_LT(lib.cell(gate_fn::nand2).area_um2,
+            lib.cell(gate_fn::and2).area_um2);
+  EXPECT_LT(lib.cell(gate_fn::and2).area_um2,
+            lib.cell(gate_fn::xor2).area_um2);
+  EXPECT_LT(lib.cell(gate_fn::nand2).delay_ps,
+            lib.cell(gate_fn::xor2).delay_ps);
+}
+
+TEST(cell_library, unit_library_counts_gates) {
+  const cell_library& lib = cell_library::unit();
+  netlist nl(2, 1);
+  const auto a = nl.add_gate(gate_fn::and2, 0, 1);
+  const auto b = nl.add_gate(gate_fn::xor2, a, 0);
+  nl.set_output(0, b);
+  EXPECT_DOUBLE_EQ(estimate_area(nl, lib), 2.0);
+}
+
+TEST(estimate_area, only_active_gates_count) {
+  const cell_library& lib = cell_library::unit();
+  netlist nl(2, 1);
+  const auto used = nl.add_gate(gate_fn::and2, 0, 1);
+  nl.add_gate(gate_fn::xor2, 0, 1);  // inactive
+  nl.set_output(0, used);
+  EXPECT_DOUBLE_EQ(estimate_area(nl, lib), 1.0);
+}
+
+TEST(estimate_area, empty_cone_is_zero) {
+  netlist nl(2, 1);
+  nl.set_output(0, 0);  // output wired to an input
+  EXPECT_DOUBLE_EQ(estimate_area(nl, cell_library::nangate45_like()), 0.0);
+}
+
+TEST(critical_path, chain_depth_scales_delay) {
+  const cell_library& lib = cell_library::unit();
+  netlist nl(2, 1);
+  std::uint32_t s = nl.add_gate(gate_fn::and2, 0, 1);
+  for (int i = 0; i < 9; ++i) s = nl.add_gate(gate_fn::and2, s, 1);
+  nl.set_output(0, s);
+  EXPECT_DOUBLE_EQ(critical_path_ps(nl, lib), 10.0);
+}
+
+TEST(critical_path, takes_longest_branch) {
+  const cell_library& lib = cell_library::unit();
+  netlist nl(2, 2);
+  const auto shallow = nl.add_gate(gate_fn::or2, 0, 1);
+  auto deep = nl.add_gate(gate_fn::and2, 0, 1);
+  deep = nl.add_gate(gate_fn::and2, deep, 1);
+  deep = nl.add_gate(gate_fn::and2, deep, 1);
+  nl.set_output(0, shallow);
+  nl.set_output(1, deep);
+  EXPECT_DOUBLE_EQ(critical_path_ps(nl, lib), 3.0);
+}
+
+TEST(critical_path, ignored_operand_does_not_lengthen_path) {
+  const cell_library& lib = cell_library::unit();
+  netlist nl(1, 1);
+  auto deep = nl.add_unary(gate_fn::not_a, 0);
+  deep = nl.add_unary(gate_fn::not_a, deep);
+  deep = nl.add_unary(gate_fn::not_a, deep);
+  // not_a ignores operand b; the deep chain on b must not count.
+  const auto out = nl.add_gate(gate_fn::not_a, 0, deep);
+  nl.set_output(0, out);
+  EXPECT_DOUBLE_EQ(critical_path_ps(nl, lib), 1.0);
+}
+
+TEST(power, zero_activity_means_leakage_only) {
+  const cell_library& lib = cell_library::nangate45_like();
+  netlist nl(2, 1);
+  nl.set_output(0, nl.add_gate(gate_fn::and2, 0, 1));
+  const std::vector<std::uint64_t> constant_stream(256, 0b11);
+  const auto activity = circuit::profile_activity(nl, constant_stream);
+  const power_report p = estimate_power(nl, lib, activity);
+  EXPECT_DOUBLE_EQ(p.dynamic_uw, 0.0);
+  EXPECT_GT(p.leakage_uw, 0.0);
+}
+
+TEST(power, more_toggles_more_power) {
+  const cell_library& lib = cell_library::nangate45_like();
+  netlist nl(1, 1);
+  nl.set_output(0, nl.add_unary(gate_fn::not_a, 0));
+
+  std::vector<std::uint64_t> slow(512), fast(512);
+  for (std::size_t t = 0; t < 512; ++t) {
+    slow[t] = (t / 64) & 1;
+    fast[t] = t & 1;
+  }
+  const auto p_slow =
+      estimate_power(nl, lib, circuit::profile_activity(nl, slow));
+  const auto p_fast =
+      estimate_power(nl, lib, circuit::profile_activity(nl, fast));
+  EXPECT_GT(p_fast.dynamic_uw, p_slow.dynamic_uw);
+}
+
+TEST(power, scales_linearly_with_clock) {
+  const cell_library& lib = cell_library::nangate45_like();
+  rng gen(3);
+  const netlist nl = test::random_netlist(6, 3, 25, gen);
+  std::vector<std::uint64_t> stream(512);
+  for (auto& v : stream) v = gen.below(64);
+  const auto activity = circuit::profile_activity(nl, stream);
+  const auto p1 = estimate_power(nl, lib, activity, 1.0);
+  const auto p2 = estimate_power(nl, lib, activity, 2.0);
+  EXPECT_NEAR(p2.dynamic_uw, 2.0 * p1.dynamic_uw, 1e-9);
+  EXPECT_NEAR(p2.leakage_uw, p1.leakage_uw, 1e-12);
+}
+
+TEST(analyze, full_report_is_consistent) {
+  const cell_library& lib = cell_library::nangate45_like();
+  rng gen(5);
+  const netlist nl = test::random_netlist(8, 4, 60, gen);
+  std::vector<std::uint64_t> stream(1024);
+  for (auto& v : stream) v = gen.below(256);
+
+  const circuit_report report = analyze(nl, lib, stream);
+  EXPECT_GE(report.area_um2, 0.0);
+  EXPECT_GE(report.delay_ps, 0.0);
+  EXPECT_GE(report.power.total_uw(),
+            report.power.dynamic_uw);  // leakage non-negative
+  EXPECT_NEAR(report.pdp_fj(),
+              report.power.total_uw() * report.delay_ps * 1e-3, 1e-12);
+  EXPECT_EQ(report.area_um2, estimate_area(nl, lib));
+  EXPECT_EQ(report.delay_ps, critical_path_ps(nl, lib));
+}
+
+TEST(analyze, bigger_circuit_costs_more) {
+  const cell_library& lib = cell_library::nangate45_like();
+  rng gen(6);
+  std::vector<std::uint64_t> stream(512);
+  for (auto& v : stream) v = gen.below(16);
+
+  // A 4-gate XOR chain vs a 1-gate circuit over the same inputs.
+  netlist small(4, 1);
+  small.set_output(0, small.add_gate(gate_fn::xor2, 0, 1));
+  netlist big(4, 1);
+  auto s = big.add_gate(gate_fn::xor2, 0, 1);
+  s = big.add_gate(gate_fn::xor2, s, 2);
+  s = big.add_gate(gate_fn::xor2, s, 3);
+  s = big.add_gate(gate_fn::xnor2, s, 0);
+  big.set_output(0, s);
+
+  const auto rs = analyze(small, lib, stream);
+  const auto rb = analyze(big, lib, stream);
+  EXPECT_LT(rs.area_um2, rb.area_um2);
+  EXPECT_LT(rs.delay_ps, rb.delay_ps);
+  EXPECT_LT(rs.power.total_uw(), rb.power.total_uw());
+}
+
+}  // namespace
+}  // namespace axc::tech

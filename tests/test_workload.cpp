@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/workload.h"
+
+namespace axc::core {
+namespace {
+
+using metrics::mult_spec;
+
+TEST(multiplier_workload, operand_fields_in_range) {
+  const mult_spec spec{8, false};
+  rng gen(1);
+  const auto w =
+      make_multiplier_workload(spec, dist::pmf::uniform(256), 1000, gen);
+  ASSERT_EQ(w.size(), 1000u);
+  for (const auto v : w) {
+    EXPECT_LT(v, std::uint64_t{1} << 16);  // only 16 bits used
+  }
+}
+
+TEST(multiplier_workload, operand_a_follows_distribution) {
+  const mult_spec spec{8, false};
+  // All mass on value 42.
+  std::vector<double> weights(256, 0.0);
+  weights[42] = 1.0;
+  rng gen(2);
+  const auto w = make_multiplier_workload(
+      spec, dist::pmf::from_weights(weights), 500, gen);
+  for (const auto v : w) {
+    EXPECT_EQ(v & 0xFF, 42u);
+  }
+}
+
+TEST(multiplier_workload, operand_b_is_uniformish) {
+  const mult_spec spec{8, false};
+  rng gen(3);
+  const auto w =
+      make_multiplier_workload(spec, dist::pmf::uniform(256), 20000, gen);
+  double mean_b = 0.0;
+  for (const auto v : w) mean_b += static_cast<double>((v >> 8) & 0xFF);
+  mean_b /= static_cast<double>(w.size());
+  EXPECT_NEAR(mean_b, 127.5, 3.0);
+}
+
+TEST(multiplier_workload, deterministic_in_seed) {
+  const mult_spec spec{8, true};
+  const dist::pmf d = dist::pmf::signed_normal(256, 0, 30);
+  rng g1(7), g2(7);
+  EXPECT_EQ(make_multiplier_workload(spec, d, 100, g1),
+            make_multiplier_workload(spec, d, 100, g2));
+}
+
+TEST(mac_workload, accumulator_field_present) {
+  const mult_spec spec{8, true};
+  rng gen(5);
+  const auto w = make_mac_workload(spec, dist::pmf::uniform(256), 20, 500, gen);
+  bool any_acc_bits = false;
+  for (const auto v : w) {
+    EXPECT_LT(v, std::uint64_t{1} << 36);  // 16 + 20 bits
+    any_acc_bits |= (v >> 16) != 0;
+  }
+  EXPECT_TRUE(any_acc_bits);
+}
+
+}  // namespace
+}  // namespace axc::core
