@@ -36,6 +36,38 @@ void bm_simulate_block(benchmark::State& state) {
 }
 BENCHMARK(bm_simulate_block);
 
+void bm_sim_program_8lanes(benchmark::State& state) {
+  // Same circuit as bm_simulate_block, but through the compiled wide-lane
+  // path: one run() covers 8 blocks (512 assignments).
+  const circuit::netlist nl = mult::unsigned_multiplier(8);
+  circuit::sim_program<8> program(nl);
+  std::vector<std::uint64_t> in(16 * 8), out(16 * 8);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t l = 0; l < 8; ++l) {
+      in[i * 8 + l] = circuit::exhaustive_input_word(i, l);
+    }
+  }
+  for (auto _ : state) {
+    program.run(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          8);
+}
+BENCHMARK(bm_sim_program_8lanes);
+
+void bm_sim_program_rebuild(benchmark::State& state) {
+  // Per-candidate compile cost (cone marking + remap), amortized over the
+  // 2^16/64 blocks of one WMED sweep.
+  const circuit::netlist nl = mult::unsigned_multiplier(8);
+  circuit::sim_program<8> program;
+  for (auto _ : state) {
+    program.rebuild(nl);
+    benchmark::DoNotOptimize(program.active_gates());
+  }
+}
+BENCHMARK(bm_sim_program_rebuild);
+
 void bm_evaluate_exhaustive_8bit(benchmark::State& state) {
   const circuit::netlist nl = mult::unsigned_multiplier(8);
   for (auto _ : state) {
@@ -56,6 +88,18 @@ void bm_wmed_evaluate(benchmark::State& state) {
 }
 BENCHMARK(bm_wmed_evaluate);
 
+void bm_wmed_evaluate_reference(benchmark::State& state) {
+  // The pre-refactor sweep (simulate_block + per-assignment gather) on the
+  // same candidate — the baseline bm_wmed_evaluate is measured against.
+  const metrics::mult_spec spec{8, false};
+  metrics::wmed_evaluator evaluator(spec, dist::pmf::half_normal(256, 64.0));
+  const circuit::netlist nl = mult::truncated_multiplier(8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate_reference(nl));
+  }
+}
+BENCHMARK(bm_wmed_evaluate_reference);
+
 void bm_wmed_evaluate_with_abort(benchmark::State& state) {
   const metrics::mult_spec spec{8, false};
   metrics::wmed_evaluator evaluator(spec, dist::pmf::half_normal(256, 64.0));
@@ -65,6 +109,56 @@ void bm_wmed_evaluate_with_abort(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_wmed_evaluate_with_abort);
+
+void bm_wmed_evaluate_reference_with_abort(benchmark::State& state) {
+  const metrics::mult_spec spec{8, false};
+  metrics::wmed_evaluator evaluator(spec, dist::pmf::half_normal(256, 64.0));
+  const circuit::netlist nl = mult::truncated_multiplier(8, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate_reference(nl, 1e-5));
+  }
+}
+BENCHMARK(bm_wmed_evaluate_reference_with_abort);
+
+/// A realistic CGP search candidate: the exact multiplier seeded into a
+/// 460-column genotype (mostly inactive padding) and mutated — what the
+/// evolver actually scores, and where cone restriction pays.
+cgp::genotype search_candidate() {
+  const circuit::netlist seed = mult::unsigned_multiplier(8);
+  cgp::parameters params;
+  params.num_inputs = 16;
+  params.num_outputs = 16;
+  params.columns = seed.num_gates() + 64;
+  params.rows = 1;
+  params.levels_back = params.columns;
+  params.function_set.assign(circuit::default_function_set().begin(),
+                             circuit::default_function_set().end());
+  rng gen(17);
+  cgp::genotype g = cgp::genotype::from_netlist(params, seed, gen);
+  for (int m = 0; m < 10; ++m) g.mutate(gen);
+  return g;
+}
+
+void bm_wmed_evaluate_cgp_candidate(benchmark::State& state) {
+  const metrics::mult_spec spec{8, false};
+  metrics::wmed_evaluator evaluator(spec, dist::pmf::half_normal(256, 64.0));
+  const cgp::genotype g = search_candidate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(g.decode_cone()));
+  }
+}
+BENCHMARK(bm_wmed_evaluate_cgp_candidate);
+
+void bm_wmed_evaluate_cgp_candidate_reference(benchmark::State& state) {
+  // Pre-refactor inner loop: full decode (padding included) + naive sweep.
+  const metrics::mult_spec spec{8, false};
+  metrics::wmed_evaluator evaluator(spec, dist::pmf::half_normal(256, 64.0));
+  const cgp::genotype g = search_candidate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate_reference(g.decode()));
+  }
+}
+BENCHMARK(bm_wmed_evaluate_cgp_candidate_reference);
 
 void bm_cgp_mutate_decode(benchmark::State& state) {
   cgp::parameters params;
@@ -83,6 +177,41 @@ void bm_cgp_mutate_decode(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_cgp_mutate_decode);
+
+void bm_cgp_mutate_decode_cone(benchmark::State& state) {
+  cgp::parameters params;
+  params.num_inputs = 16;
+  params.num_outputs = 16;
+  params.columns = 400;
+  params.rows = 1;
+  params.levels_back = 400;
+  params.function_set.assign(circuit::default_function_set().begin(),
+                             circuit::default_function_set().end());
+  rng gen(1);
+  cgp::genotype g = cgp::genotype::random(params, gen);
+  for (auto _ : state) {
+    g.mutate(gen);
+    benchmark::DoNotOptimize(g.decode_cone());
+  }
+}
+BENCHMARK(bm_cgp_mutate_decode_cone);
+
+void bm_evolver_generation(benchmark::State& state) {
+  // One full (1+lambda) WMED search step per iteration: mutate, decode the
+  // cone, score with early abort — the end-to-end inner-loop cost.
+  const metrics::mult_spec spec{8, false};
+  metrics::wmed_evaluator evaluator(spec, dist::pmf::half_normal(256, 64.0));
+  cgp::genotype g = search_candidate();
+  rng gen(3);
+  const double target = 1e-4;
+  for (auto _ : state) {
+    cgp::genotype child = g;
+    child.mutate(gen);
+    benchmark::DoNotOptimize(evaluator.evaluate(child.decode_cone(), target));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_evolver_generation);
 
 void bm_lut_multiply(benchmark::State& state) {
   const mult::product_lut lut =

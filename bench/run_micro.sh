@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Runs the micro-benchmark suite and records machine-readable results in
+# BENCH_micro.json at the repo root — the perf trajectory the ROADMAP
+# tracks.  Extra arguments are forwarded (e.g. --benchmark_filter=wmed).
+#
+# Usage:  bench/run_micro.sh [build-dir] [benchmark args...]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir="$repo_root/build"
+# A first argument that is not a flag names the build directory.
+if [ $# -gt 0 ]; then
+  case "$1" in
+    -*) ;;
+    *) build_dir=$1; shift ;;
+  esac
+fi
+
+bin="$build_dir/micro_throughput"
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not built (configure with -DAXC_BUILD_MICROBENCH=ON," >&2
+  echo "       which requires google-benchmark)" >&2
+  exit 1
+fi
+
+exec "$bin" \
+  --benchmark_out="$repo_root/BENCH_micro.json" \
+  --benchmark_out_format=json \
+  "$@"

@@ -1,8 +1,11 @@
 #include "cgp/evolver.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "support/assert.h"
+#include "support/thread_pool.h"
 
 namespace axc::cgp {
 
@@ -16,12 +19,17 @@ bool not_worse(const evaluation& a, const evaluation& b) {
   return !better(b, a);
 }
 
-evolver::run_result evolver::run(const genotype& seed,
-                                 const evaluate_fn& evaluate,
-                                 const options& opts, rng& gen) {
-  AXC_EXPECTS(evaluate != nullptr);
+namespace {
 
-  run_result result{seed, evaluate(seed.decode()), 0, 1, 0, 0};
+/// One (1 + lambda) run; `evaluate_offspring` fills evals[0..lambda) for the
+/// already-mutated children of this generation (serially or across a pool).
+template <typename offspring_eval_fn>
+evolver::run_result run_core(const genotype& seed,
+                             const evolver::evaluate_fn& evaluate_parent,
+                             const offspring_eval_fn& evaluate_offspring,
+                             const evolver::options& opts, rng& gen) {
+  evolver::run_result result{seed, evaluate_parent(seed.decode_cone()), 0, 1,
+                             0, 0};
   genotype parent = seed;
   evaluation parent_eval = result.best_eval;
   const std::size_t lambda = parent.params().lambda;
@@ -45,28 +53,30 @@ evolver::run_result evolver::run(const genotype& seed,
     return not_worse(a, b);
   };
 
-  for (std::size_t iter = 0; iter < opts.iterations; ++iter) {
-    genotype best_child = parent;
-    evaluation best_child_eval{};
-    bool have_child = false;
+  std::vector<genotype> children(lambda, parent);
+  std::vector<evaluation> evals(lambda);
 
+  for (std::size_t iter = 0; iter < opts.iterations; ++iter) {
+    // Mutation consumes the shared RNG serially, in offspring order —
+    // identical draws whether evaluation below is serial or parallel.
     for (std::size_t k = 0; k < lambda; ++k) {
-      genotype child = parent;
-      child.mutate(gen);
-      const evaluation child_eval = evaluate(child.decode());
-      ++result.evaluations;
-      if (!have_child || strictly_better(child_eval, best_child_eval)) {
-        best_child = std::move(child);
-        best_child_eval = child_eval;
-        have_child = true;
-      }
+      children[k] = parent;
+      children[k].mutate(gen);
+    }
+    evaluate_offspring(children, evals);
+    result.evaluations += lambda;
+
+    // Deterministic reduction: scan in mutation order, keep the earliest
+    // strictly-best offspring (the serial loop's semantics).
+    std::size_t best_k = 0;
+    for (std::size_t k = 1; k < lambda; ++k) {
+      if (strictly_better(evals[k], evals[best_k])) best_k = k;
     }
 
-    const bool accept = acceptable(best_child_eval, parent_eval);
-    if (accept) {
-      const bool improved = better(best_child_eval, parent_eval);
-      parent = std::move(best_child);
-      parent_eval = best_child_eval;
+    if (acceptable(evals[best_k], parent_eval)) {
+      const bool improved = better(evals[best_k], parent_eval);
+      parent = std::move(children[best_k]);
+      parent_eval = evals[best_k];
       if (improved) {
         ++result.improvements;
         if (opts.on_improvement) opts.on_improvement(iter, parent_eval);
@@ -80,6 +90,60 @@ evolver::run_result evolver::run(const genotype& seed,
   result.best = std::move(parent);
   result.best_eval = parent_eval;
   return result;
+}
+
+}  // namespace
+
+evolver::run_result evolver::run(const genotype& seed,
+                                 const evaluate_fn& evaluate,
+                                 const options& opts, rng& gen) {
+  AXC_EXPECTS(evaluate != nullptr);
+  const auto evaluate_offspring = [&evaluate](std::vector<genotype>& children,
+                                              std::vector<evaluation>& evals) {
+    for (std::size_t k = 0; k < children.size(); ++k) {
+      evals[k] = evaluate(children[k].decode_cone());
+    }
+  };
+  return run_core(seed, evaluate, evaluate_offspring, opts, gen);
+}
+
+evolver::run_result evolver::run_parallel(const genotype& seed,
+                                          const evaluator_factory& factory,
+                                          const options& opts,
+                                          std::size_t threads, rng& gen) {
+  AXC_EXPECTS(factory != nullptr);
+  AXC_EXPECTS(threads >= 1);
+
+  // One evaluator per offspring slot: no sharing across workers, and slot k
+  // always evaluates with the same instance regardless of scheduling.
+  const std::size_t lambda = seed.params().lambda;
+  std::vector<evaluate_fn> evaluators;
+  evaluators.reserve(lambda);
+  for (std::size_t k = 0; k < lambda; ++k) {
+    evaluators.push_back(factory());
+    AXC_EXPECTS(evaluators.back() != nullptr);
+  }
+
+  if (threads == 1 || lambda == 1) {
+    const auto evaluate_offspring =
+        [&evaluators](std::vector<genotype>& children,
+                      std::vector<evaluation>& evals) {
+          for (std::size_t k = 0; k < children.size(); ++k) {
+            evals[k] = evaluators[k](children[k].decode_cone());
+          }
+        };
+    return run_core(seed, evaluators[0], evaluate_offspring, opts, gen);
+  }
+
+  thread_pool pool(std::min(threads, lambda));
+  const auto evaluate_offspring = [&evaluators, &pool](
+                                      std::vector<genotype>& children,
+                                      std::vector<evaluation>& evals) {
+    parallel_for(pool, children.size(), [&](std::size_t k) {
+      evals[k] = evaluators[k](children[k].decode_cone());
+    });
+  };
+  return run_core(seed, evaluators[0], evaluate_offspring, opts, gen);
 }
 
 }  // namespace axc::cgp

@@ -35,6 +35,10 @@ struct evaluation {
 class evolver {
  public:
   using evaluate_fn = std::function<evaluation(const circuit::netlist&)>;
+  /// Creates one evaluator instance per worker thread.  Evaluators commonly
+  /// carry mutable scratch state (e.g. metrics::wmed_evaluator), so the
+  /// parallel evolver never shares one across threads.
+  using evaluator_factory = std::function<evaluate_fn()>;
   /// Called whenever the parent strictly improves.
   using progress_fn =
       std::function<void(std::size_t iteration, const evaluation&)>;
@@ -61,9 +65,23 @@ class evolver {
   };
 
   /// Runs the (1 + lambda) ES from `seed`; lambda and mutation strength
-  /// come from the genotype's parameters.
+  /// come from the genotype's parameters.  Candidates are decoded with
+  /// genotype::decode_cone(), so evaluators only ever see the active cone
+  /// (function-identical to the full decode; area metrics that mask
+  /// inactive gates are unaffected).
   static run_result run(const genotype& seed, const evaluate_fn& evaluate,
                         const options& opts, rng& gen);
+
+  /// Parallel (1 + lambda): each generation's mutants are decoded and
+  /// evaluated across `threads` workers (capped by lambda), each offspring
+  /// slot owning its own evaluator from `factory`.  Mutation draws happen
+  /// serially on `gen` and the offspring reduction scans in mutation order,
+  /// so for a fixed seed and deterministic evaluators the result is
+  /// bit-identical to the serial run().
+  static run_result run_parallel(const genotype& seed,
+                                 const evaluator_factory& factory,
+                                 const options& opts, std::size_t threads,
+                                 rng& gen);
 };
 
 }  // namespace axc::cgp

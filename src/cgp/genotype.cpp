@@ -119,6 +119,41 @@ circuit::netlist genotype::decode() const {
   return nl;
 }
 
+circuit::netlist genotype::decode_cone() const {
+  const parameters& p = params_;
+  const std::uint32_t ni = static_cast<std::uint32_t>(p.num_inputs);
+
+  // Reverse topological cone marking over the genes themselves, mirroring
+  // netlist::active_mask() on the decoded netlist.
+  std::vector<std::uint8_t> active(nodes_.size(), 0);
+  for (const std::uint32_t out : outputs_) {
+    if (out >= ni) active[out - ni] = 1;
+  }
+  for (std::size_t k = nodes_.size(); k-- > 0;) {
+    if (!active[k]) continue;
+    const node_genes& n = nodes_[k];
+    const circuit::gate_fn fn = p.function_set[n.fn];
+    if (circuit::depends_on_a(fn) && n.in0 >= ni) active[n.in0 - ni] = 1;
+    if (circuit::depends_on_b(fn) && n.in1 >= ni) active[n.in1 - ni] = 1;
+  }
+
+  // Emit active nodes in address order; ignored operands pointing at
+  // inactive nodes rewire to address 0, as netlist::compacted() does.
+  circuit::netlist nl(p.num_inputs, p.num_outputs);
+  std::vector<std::uint32_t> remap(ni + nodes_.size(), 0);
+  for (std::uint32_t i = 0; i < ni; ++i) remap[i] = i;
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    if (!active[k]) continue;
+    const node_genes& n = nodes_[k];
+    remap[ni + k] = nl.add_gate(p.function_set[n.fn], remap[n.in0],
+                                remap[n.in1]);
+  }
+  for (std::size_t o = 0; o < outputs_.size(); ++o) {
+    nl.set_output(o, remap[outputs_[o]]);
+  }
+  return nl;
+}
+
 std::size_t genotype::distance(const genotype& other) const {
   AXC_EXPECTS(other.nodes_.size() == nodes_.size());
   AXC_EXPECTS(other.outputs_.size() == outputs_.size());

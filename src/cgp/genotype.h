@@ -67,6 +67,13 @@ class genotype {
   /// analyses mask them out).
   [[nodiscard]] circuit::netlist decode() const;
 
+  /// Cone-restricted decode: emits only the nodes in the transitive fan-in
+  /// cone of the output genes (honouring functions that ignore an operand),
+  /// with addresses renumbered.  Produces exactly decode().compacted()
+  /// without materializing the inactive nodes — the evaluation hot path of
+  /// the CGP search, where most genes are inactive.
+  [[nodiscard]] circuit::netlist decode_cone() const;
+
   [[nodiscard]] const parameters& params() const { return params_; }
 
   struct node_genes {

@@ -77,6 +77,89 @@ std::vector<std::uint64_t> evaluate_exhaustive(const netlist& nl) {
   return result;
 }
 
+template <std::size_t W>
+void sim_program<W>::rebuild(const netlist& nl) {
+  num_inputs_ = nl.num_inputs();
+  const std::span<const gate_node> gates = nl.gates();
+
+  // The cone rule (outputs seed it; functions that ignore an operand do not
+  // pull it in) has a single owner: netlist::active_mask().
+  const std::vector<bool> active = nl.active_mask();
+
+  // Dense remap: inputs keep their slots, active gates are packed after
+  // them in topological order.  Ignored operands of active gates may point
+  // at inactive gates; wire them to slot 0 (the value is never observed).
+  remap_.assign(nl.num_signals(), 0);
+  for (std::uint32_t i = 0; i < num_inputs_; ++i) remap_[i] = i;
+  steps_.clear();
+  std::uint32_t next_slot = static_cast<std::uint32_t>(num_inputs_);
+  for (std::size_t k = 0; k < gates.size(); ++k) {
+    if (!active[k]) continue;
+    const gate_node& g = gates[k];
+    steps_.push_back(step{g.fn, static_cast<std::uint32_t>(remap_[g.in0] * W),
+                          static_cast<std::uint32_t>(remap_[g.in1] * W)});
+    remap_[num_inputs_ + k] = next_slot++;
+  }
+
+  output_slots_.resize(nl.num_outputs());
+  for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+    output_slots_[o] = static_cast<std::uint32_t>(remap_[nl.output(o)] * W);
+  }
+  slots_.resize((num_inputs_ + steps_.size()) * W);
+}
+
+template <std::size_t W>
+void sim_program<W>::run(std::span<const std::uint64_t> inputs,
+                         std::span<std::uint64_t> outputs) {
+  AXC_EXPECTS(inputs.size() == num_inputs_ * W);
+  AXC_EXPECTS(outputs.size() == output_slots_.size() * W);
+
+  std::uint64_t* const base = slots_.data();
+  for (std::size_t i = 0; i < inputs.size(); ++i) base[i] = inputs[i];
+
+  std::uint64_t* out = base + num_inputs_ * W;
+  for (const step& s : steps_) {
+    const std::uint64_t* const a = base + s.in0;
+    const std::uint64_t* const b = base + s.in1;
+    // One branch per gate; each case is a W-wide plain-array bitwise loop
+    // the compiler unrolls/vectorizes.
+    switch (s.fn) {
+#define AXC_LANE_OP(name, expr)                         \
+  case gate_fn::name:                                   \
+    for (std::size_t w = 0; w < W; ++w) out[w] = (expr); \
+    break;
+      AXC_LANE_OP(const0, std::uint64_t{0})
+      AXC_LANE_OP(const1, ~std::uint64_t{0})
+      AXC_LANE_OP(buf_a, a[w])
+      AXC_LANE_OP(not_a, ~a[w])
+      AXC_LANE_OP(buf_b, b[w])
+      AXC_LANE_OP(not_b, ~b[w])
+      AXC_LANE_OP(and2, a[w] & b[w])
+      AXC_LANE_OP(nand2, ~(a[w] & b[w]))
+      AXC_LANE_OP(or2, a[w] | b[w])
+      AXC_LANE_OP(nor2, ~(a[w] | b[w]))
+      AXC_LANE_OP(xor2, a[w] ^ b[w])
+      AXC_LANE_OP(xnor2, ~(a[w] ^ b[w]))
+      AXC_LANE_OP(andn_ab, a[w] & ~b[w])
+      AXC_LANE_OP(andn_ba, ~a[w] & b[w])
+      AXC_LANE_OP(orn_ab, a[w] | ~b[w])
+      AXC_LANE_OP(orn_ba, ~a[w] | b[w])
+#undef AXC_LANE_OP
+    }
+    out += W;
+  }
+
+  for (std::size_t o = 0; o < output_slots_.size(); ++o) {
+    const std::uint64_t* const src = base + output_slots_[o];
+    for (std::size_t w = 0; w < W; ++w) outputs[o * W + w] = src[w];
+  }
+}
+
+template class sim_program<1>;
+template class sim_program<2>;
+template class sim_program<4>;
+template class sim_program<8>;
+
 std::vector<std::uint64_t> simulate_words(
     const netlist& nl, std::span<const std::uint64_t> input_values) {
   const std::size_t ni = nl.num_inputs();

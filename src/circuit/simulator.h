@@ -60,4 +60,63 @@ std::vector<std::uint64_t> evaluate_exhaustive(const netlist& nl);
 std::vector<std::uint64_t> simulate_words(
     const netlist& nl, std::span<const std::uint64_t> input_values);
 
+/// Compiled, cone-restricted, wide-lane simulation schedule — the fast path
+/// of the CGP search inner loop (see README.md in this directory).
+///
+/// Compiling a netlist (a) drops every gate outside the transitive fan-in
+/// cone of the outputs (most CGP genes are inactive, so this typically cuts
+/// gate work severalfold), remapping the survivors onto a dense scratchpad,
+/// and (b) lays the scratchpad out as W consecutive 64-bit words per signal,
+/// so one pass evaluates W*64 input assignments and the per-gate dispatch
+/// cost is amortized over W plain-array bitwise ops that compilers
+/// auto-vectorize (SSE2/AVX2/NEON).
+///
+/// The schedule is rebuildable in place: the CGP inner loop calls rebuild()
+/// once per candidate and run() once per W-block chunk, with no allocation
+/// after the first candidate of a given size.
+///
+/// Lane layout: input i of lane-major span `inputs` occupies
+/// inputs[i*W .. i*W+W); outputs are packed the same way.  Lane l of every
+/// signal carries an independent 64-assignment block, so callers may mix
+/// arbitrary blocks in one pass.
+template <std::size_t W>
+class sim_program {
+ public:
+  static constexpr std::size_t lanes = W;
+
+  sim_program() = default;
+  explicit sim_program(const netlist& nl) { rebuild(nl); }
+
+  /// Recompiles for `nl`, reusing internal storage.
+  void rebuild(const netlist& nl);
+
+  [[nodiscard]] std::size_t num_inputs() const { return num_inputs_; }
+  [[nodiscard]] std::size_t num_outputs() const { return output_slots_.size(); }
+  /// Gates actually simulated (the active cone; <= nl.num_gates()).
+  [[nodiscard]] std::size_t active_gates() const { return steps_.size(); }
+
+  /// One pass over the active cone: W blocks of 64 assignments.
+  /// `inputs` must have num_inputs()*W words, `outputs` num_outputs()*W.
+  void run(std::span<const std::uint64_t> inputs,
+           std::span<std::uint64_t> outputs);
+
+ private:
+  struct step {
+    gate_fn fn{gate_fn::const0};
+    std::uint32_t in0{0};  ///< dense slot offset, premultiplied by W
+    std::uint32_t in1{0};
+  };
+
+  std::vector<step> steps_;
+  std::vector<std::uint32_t> output_slots_;  ///< premultiplied by W
+  std::size_t num_inputs_{0};
+  std::vector<std::uint64_t> slots_;  ///< (inputs + active gates) * W words
+  std::vector<std::uint32_t> remap_;  ///< rebuild() scratch, reused
+};
+
+extern template class sim_program<1>;
+extern template class sim_program<2>;
+extern template class sim_program<4>;
+extern template class sim_program<8>;
+
 }  // namespace axc::circuit

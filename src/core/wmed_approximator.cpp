@@ -1,6 +1,7 @@
 #include "core/wmed_approximator.h"
 
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "metrics/wmed_evaluator.h"
@@ -43,31 +44,49 @@ evolved_design wmed_approximator::approximate(const circuit::netlist& seed,
       cgp::genotype::from_netlist(params, seed, gen);
 
   metrics::wmed_evaluator wmed(config_.spec, config_.distribution);
-  const tech::cell_library& lib = *config_.library;
-
-  cgp::evolver::evaluate_fn evaluate =
-      [&](const circuit::netlist& nl) -> cgp::evaluation {
-    // Eq. 1: abort the error sweep once the candidate is proven infeasible;
-    // area is only ranked among feasible candidates.
-    const double error = wmed.evaluate(nl, target);
-    cgp::evaluation eval;
-    eval.error = error;
-    eval.feasible = error <= target;
-    eval.area = eval.feasible ? tech::estimate_area(nl, lib) : 0.0;
-    return eval;
-  };
+  const tech::cell_library* lib = config_.library;
 
   cgp::evolver::options opts;
   opts.iterations = config_.iterations;
   opts.error_tiebreak = config_.error_tiebreak;
 
-  const cgp::evolver::run_result run =
-      cgp::evolver::run(start, evaluate, opts, gen);
+  // Eq. 1: abort the error sweep once the candidate is proven infeasible;
+  // area is only ranked among feasible candidates.
+  const auto score = [lib, target](metrics::wmed_evaluator& evaluator,
+                                   const circuit::netlist& nl) {
+    const double error = evaluator.evaluate(nl, target);
+    cgp::evaluation eval;
+    eval.error = error;
+    eval.feasible = error <= target;
+    eval.area = eval.feasible ? tech::estimate_area(nl, *lib) : 0.0;
+    return eval;
+  };
 
-  evolved_design design{run.best.decode().compacted(), 0.0, 0.0, target,
+  // Parallel lambda-evaluation gives every offspring slot a private
+  // evaluator (they carry per-candidate scratch and sim programs).
+  const cgp::evolver::evaluator_factory factory =
+      [this, score]() -> cgp::evolver::evaluate_fn {
+    auto evaluator = std::make_shared<metrics::wmed_evaluator>(
+        config_.spec, config_.distribution);
+    return [evaluator, score](const circuit::netlist& nl) {
+      return score(*evaluator, nl);
+    };
+  };
+  const cgp::evolver::run_result run =
+      config_.threads > 1
+          ? cgp::evolver::run_parallel(start, factory, opts, config_.threads,
+                                       gen)
+          : cgp::evolver::run(
+                start,
+                [&wmed, score](const circuit::netlist& nl) {
+                  return score(wmed, nl);
+                },
+                opts, gen);
+
+  evolved_design design{run.best.decode_cone(), 0.0, 0.0, target,
                         run_index, run.evaluations, run.improvements};
   design.wmed = wmed.evaluate(design.netlist);
-  design.area_um2 = tech::estimate_area(design.netlist, lib);
+  design.area_um2 = tech::estimate_area(design.netlist, *lib);
   return design;
 }
 

@@ -36,6 +36,10 @@ struct approximation_config {
   std::size_t extra_columns{64};
   unsigned max_mutations{5};  ///< h
   std::size_t lambda{4};
+  /// Worker threads for evaluating the lambda mutants of each generation
+  /// (1 = serial).  Results are bit-identical across thread counts: each
+  /// offspring slot owns its own evaluator and the reduction is ordered.
+  std::size_t threads{1};
   /// Bias neutral drift toward lower WMED at equal area (see
   /// cgp::evolver::options::error_tiebreak).  On by default: at practical
   /// search budgets it steers the error budget into many small deviations,

@@ -1,0 +1,57 @@
+#include "dist/divergence.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/assert.h"
+
+namespace axc::dist {
+
+double kl_divergence_bits(const pmf& p, const pmf& q) {
+  AXC_EXPECTS(p.size() == q.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == 0.0) continue;
+    if (q[i] == 0.0) return std::numeric_limits<double>::infinity();
+    acc += p[i] * std::log2(p[i] / q[i]);
+  }
+  return acc;
+}
+
+double js_divergence_bits(const pmf& p, const pmf& q) {
+  AXC_EXPECTS(p.size() == q.size());
+  // KL against the mixture, expanded term-wise so zero-mass entries of one
+  // side stay finite (the mixture covers the union of the supports).
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double m = 0.5 * (p[i] + q[i]);
+    if (p[i] > 0.0) acc += 0.5 * p[i] * std::log2(p[i] / m);
+    if (q[i] > 0.0) acc += 0.5 * q[i] * std::log2(q[i] / m);
+  }
+  return acc;
+}
+
+double total_variation(const pmf& p, const pmf& q) {
+  AXC_EXPECTS(p.size() == q.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += std::abs(p[i] - q[i]);
+  }
+  return 0.5 * acc;
+}
+
+double hellinger(const pmf& p, const pmf& q) {
+  AXC_EXPECTS(p.size() == q.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double d = std::sqrt(p[i]) - std::sqrt(q[i]);
+    acc += d * d;
+  }
+  return std::sqrt(0.5 * acc);
+}
+
+double nonuniformity(const pmf& p) {
+  return js_divergence_bits(p, pmf::uniform(p.size()));
+}
+
+}  // namespace axc::dist

@@ -1,0 +1,30 @@
+// Divergences between probability mass functions.
+//
+// Used to quantify how far an operand distribution is from uniform (the
+// regime where WMED-driven approximation beats plain MED-driven
+// approximation) and to compare empirical workload histograms against the
+// design-time distribution.
+#pragma once
+
+#include "dist/pmf.h"
+
+namespace axc::dist {
+
+/// Kullback-Leibler divergence KL(p || q) in bits.  Infinite when p puts
+/// mass where q has none; 0 log 0 terms are dropped.
+double kl_divergence_bits(const pmf& p, const pmf& q);
+
+/// Jensen-Shannon divergence in bits: symmetric, finite, in [0, 1].
+double js_divergence_bits(const pmf& p, const pmf& q);
+
+/// Total variation distance: 0.5 * sum |p_i - q_i|, in [0, 1].
+double total_variation(const pmf& p, const pmf& q);
+
+/// Hellinger distance, in [0, 1].
+double hellinger(const pmf& p, const pmf& q);
+
+/// Distance of p from the uniform distribution on the same support
+/// (Jensen-Shannon, bits).  0 iff p is uniform.
+double nonuniformity(const pmf& p);
+
+}  // namespace axc::dist

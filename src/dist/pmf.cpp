@@ -1,0 +1,150 @@
+#include "dist/pmf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace axc::dist {
+
+pmf::pmf(std::vector<double> mass) : mass_(std::move(mass)) {
+  AXC_EXPECTS(!mass_.empty());
+  normalize();
+}
+
+void pmf::normalize() {
+  double total = 0.0;
+  for (const double m : mass_) {
+    AXC_EXPECTS(m >= 0.0);
+    total += m;
+  }
+  AXC_EXPECTS(total > 0.0);
+  for (double& m : mass_) m /= total;
+
+  cdf_.resize(mass_.size());
+  double run = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    run += mass_[i];
+    cdf_[i] = run;
+  }
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+pmf pmf::uniform(std::size_t n) {
+  return pmf(std::vector<double>(n, 1.0));
+}
+
+pmf pmf::normal(std::size_t n, double mean, double sigma) {
+  AXC_EXPECTS(sigma > 0.0);
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = (static_cast<double>(i) - mean) / sigma;
+    w[i] = std::exp(-0.5 * z * z);
+  }
+  return pmf(std::move(w));
+}
+
+pmf pmf::half_normal(std::size_t n, double sigma) {
+  AXC_EXPECTS(sigma > 0.0);
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = static_cast<double>(i) / sigma;
+    w[i] = std::exp(-0.5 * z * z);
+  }
+  return pmf(std::move(w));
+}
+
+namespace {
+
+/// Two's-complement value of pattern k among n patterns.
+double signed_value(std::size_t k, std::size_t n) {
+  return k < n / 2 ? static_cast<double>(k)
+                   : static_cast<double>(k) - static_cast<double>(n);
+}
+
+}  // namespace
+
+pmf pmf::signed_normal(std::size_t n, double mean, double sigma) {
+  AXC_EXPECTS(sigma > 0.0);
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = (signed_value(i, n) - mean) / sigma;
+    w[i] = std::exp(-0.5 * z * z);
+  }
+  return pmf(std::move(w));
+}
+
+pmf pmf::signed_laplace(std::size_t n, double mean, double b) {
+  AXC_EXPECTS(b > 0.0);
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = std::exp(-std::abs(signed_value(i, n) - mean) / b);
+  }
+  return pmf(std::move(w));
+}
+
+pmf pmf::from_weights(std::span<const double> weights) {
+  return pmf(std::vector<double>(weights.begin(), weights.end()));
+}
+
+pmf pmf::from_counts(std::span<const std::uint64_t> counts) {
+  std::vector<double> w(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    w[i] = static_cast<double>(counts[i]);
+  }
+  return pmf(std::move(w));
+}
+
+pmf pmf::from_int8_samples(std::span<const std::int8_t> samples) {
+  AXC_EXPECTS(!samples.empty());
+  std::vector<double> w(256, 0.0);
+  for (const std::int8_t s : samples) {
+    w[static_cast<std::uint8_t>(s)] += 1.0;
+  }
+  return pmf(std::move(w));
+}
+
+std::size_t pmf::sample(rng& gen) const {
+  const double u = gen.uniform01();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double pmf::mean() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    m += mass_[i] * static_cast<double>(i);
+  }
+  return m;
+}
+
+double pmf::stddev() const {
+  const double m = mean();
+  double var = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    const double d = static_cast<double>(i) - m;
+    var += mass_[i] * d * d;
+  }
+  return std::sqrt(var);
+}
+
+double pmf::entropy_bits() const {
+  double h = 0.0;
+  for (const double m : mass_) {
+    if (m > 0.0) h -= m * std::log2(m);
+  }
+  return h;
+}
+
+pmf pmf::blend(const pmf& other, double t) const {
+  AXC_EXPECTS(other.size() == size());
+  AXC_EXPECTS(t >= 0.0 && t <= 1.0);
+  std::vector<double> w(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    w[i] = (1.0 - t) * mass_[i] + t * other.mass_[i];
+  }
+  return pmf(std::move(w));
+}
+
+}  // namespace axc::dist

@@ -1,0 +1,93 @@
+// Probability mass functions over operand bit patterns.
+//
+// The paper's method is parameterized by the distribution D of operand A
+// (filter coefficient / NN weight).  A dist::pmf is a normalized mass
+// vector indexed by the operand's *bit pattern* (0 .. n-1); for signed
+// operands index k is the two's-complement pattern of value k (so -1 maps
+// to n-1).  Factories cover the paper's distributions: D1 (normal), D2
+// (half-normal), Du (uniform), plus empirical histograms of quantized
+// weights.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace axc::dist {
+
+class pmf {
+ public:
+  /// Flat distribution over n patterns.
+  static pmf uniform(std::size_t n);
+
+  /// Discretized N(mean, sigma) over patterns 0..n-1 (the paper's D1 with
+  /// n = 256, mean = 127, sigma = 32).
+  static pmf normal(std::size_t n, double mean, double sigma);
+
+  /// Half-normal decaying from pattern 0 (the paper's D2): p(i) proportional
+  /// to exp(-i^2 / (2 sigma^2)).
+  static pmf half_normal(std::size_t n, double sigma);
+
+  /// Normal over *values* of a signed n-pattern operand: value v of pattern
+  /// k is k for k < n/2 and k - n otherwise (two's complement).
+  static pmf signed_normal(std::size_t n, double mean, double sigma);
+
+  /// Laplace over signed values: p(v) proportional to exp(-|v - mean| / b).
+  /// Sharper peak than a normal of comparable spread — the shape of trained
+  /// NN weight distributions.
+  static pmf signed_laplace(std::size_t n, double mean, double b);
+
+  /// Normalizes an arbitrary non-negative weight vector.
+  static pmf from_weights(std::span<const double> weights);
+  static pmf from_weights(const std::vector<double>& weights) {
+    return from_weights(std::span<const double>(weights));
+  }
+
+  /// Histogram of event counts -> distribution.
+  static pmf from_counts(std::span<const std::uint64_t> counts);
+  static pmf from_counts(const std::vector<std::uint64_t>& counts) {
+    return from_counts(std::span<const std::uint64_t>(counts));
+  }
+
+  /// Empirical distribution of int8 samples keyed by bit pattern (value -1
+  /// contributes to index 0xFF).  Always 256 entries.
+  static pmf from_int8_samples(std::span<const std::int8_t> samples);
+  static pmf from_int8_samples(const std::vector<std::int8_t>& samples) {
+    return from_int8_samples(std::span<const std::int8_t>(samples));
+  }
+
+  [[nodiscard]] std::size_t size() const { return mass_.size(); }
+  [[nodiscard]] double operator[](std::size_t i) const { return mass_[i]; }
+  [[nodiscard]] std::span<const double> masses() const { return mass_; }
+
+  /// Draws a pattern index with probability mass_[i] (inverse-CDF, binary
+  /// search over a CDF precomputed at construction, so sampling is const
+  /// and safe to share across threads).
+  [[nodiscard]] std::size_t sample(rng& gen) const;
+
+  /// Moments over the *pattern index* (matches how the paper reports D1/D2
+  /// statistics over the 0..255 axis).
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// Shannon entropy in bits; 0 log 0 = 0.
+  [[nodiscard]] double entropy_bits() const;
+
+  /// Convex combination: (1 - t) * this + t * other.  Sizes must match.
+  [[nodiscard]] pmf blend(const pmf& other, double t) const;
+
+  friend bool operator==(const pmf& a, const pmf& b) {
+    return a.mass_ == b.mass_;
+  }
+
+ private:
+  explicit pmf(std::vector<double> mass);
+  void normalize();
+
+  std::vector<double> mass_;
+  /// cdf_[i] = sum of mass_[0..i]; precomputed so sample() is lock-free.
+  std::vector<double> cdf_;
+};
+
+}  // namespace axc::dist

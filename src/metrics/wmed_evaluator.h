@@ -2,11 +2,31 @@
 //
 // Evaluating WMED through product_table() allocates and fills a 2^(2w)
 // table per candidate.  This evaluator instead folds the weighted error
-// accumulation into the exhaustive bit-parallel sweep block by block and
-// supports early abort: once the partial sum exceeds the caller's bound the
-// candidate is already infeasible (the accumulated error only grows), so the
-// remaining blocks are skipped.  In an area-minimizing search most mutants
-// are infeasible, making the abort path the common case.
+// accumulation into an exhaustive bit-parallel sweep and supports early
+// abort: once the partial sum exceeds the caller's bound the candidate is
+// already infeasible (the accumulated error only grows), so the remaining
+// blocks are skipped.  In an area-minimizing search most mutants are
+// infeasible, making the abort path the common case.
+//
+// The fast path (operand width >= 6) rebuilds the sweep around three ideas:
+//
+//  1. *Operand-major enumeration.*  Operand B's low bits occupy the 64
+//     in-word assignment slots, so operand A — the operand the distribution
+//     D weights — is constant within each 64-assignment block.  The block's
+//     error contribution then collapses to weight[a] * sum_t |err_t|, and
+//     sum_t |err_t| is computed entirely in bit-plane arithmetic (bitwise
+//     borrow-propagate subtract, conditional negate, popcount per plane):
+//     no per-assignment gather/transpose at all.
+//  2. *Cone-restricted wide-lane simulation* via circuit::sim_program<8>,
+//     skipping inactive CGP gates and evaluating 8 blocks per pass.
+//  3. *Distribution-ordered sweep.*  Blocks are visited in descending
+//     D(a) mass, so on infeasible mutants the early-abort bound trips
+//     after the fewest possible blocks.
+//
+// Per-operand |error| totals accumulate in exact int64 arithmetic and are
+// reduced in fixed operand order, so a completed evaluation returns a value
+// independent of the block visit order (and identical across serial and
+// parallel searches).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +34,7 @@
 #include <vector>
 
 #include "circuit/netlist.h"
+#include "circuit/simulator.h"
 #include "dist/pmf.h"
 #include "metrics/mult_spec.h"
 
@@ -29,14 +50,42 @@ class wmed_evaluator {
   double evaluate(const circuit::netlist& nl,
                   double abort_above = std::numeric_limits<double>::infinity());
 
+  /// The straightforward pre-refactor sweep (simulate_block + per-assignment
+  /// gather, natural block order).  Kept as the parity/benchmark baseline.
+  double evaluate_reference(
+      const circuit::netlist& nl,
+      double abort_above = std::numeric_limits<double>::infinity());
+
   [[nodiscard]] const mult_spec& spec() const { return spec_; }
 
  private:
+  static constexpr std::size_t kLanes = 8;
+
+  /// Accumulates one block's summed |error| into err_sums_ from the
+  /// candidate output planes in lane `lane`.
+  void scan_block(std::size_t block, std::size_t lane);
+  /// Fixed-order weighted reduction of err_sums_ (the exact partial WMED).
+  [[nodiscard]] double weighted_total() const;
+
   mult_spec spec_;
   /// weight[a] = D(a) / (2^w * 2^(2w)) so that WMED = sum weight[a]*|err|.
   std::vector<double> weight_;
   std::vector<std::int64_t> exact_;
-  // Reused buffers (the point of keeping this a class).
+
+  // --- fast path (width >= 6) ---
+  std::size_t planes_{0};       ///< 2w + 2: signed diff without wraparound
+  std::size_t block_count_{0};  ///< 2^(2w-6), one operand A per block
+  /// Exact product bit planes per block, sign-extended to planes_ planes.
+  std::vector<std::uint64_t> exact_planes_;
+  /// Sweep order: blocks of heavy-mass operands first.
+  std::vector<std::uint32_t> block_order_;
+  /// Exact per-operand-A absolute error totals (int64, order-independent).
+  std::vector<std::int64_t> err_sums_;
+  circuit::sim_program<kLanes> program_;
+  std::vector<std::uint64_t> in_lanes_;
+  std::vector<std::uint64_t> out_lanes_;
+
+  // --- reference path buffers (the point of keeping this a class) ---
   std::vector<std::uint64_t> scratch_;
   std::vector<std::uint64_t> in_words_;
   std::vector<std::uint64_t> out_words_;

@@ -1,0 +1,103 @@
+// Minimal fixed-size worker pool for fan-out/join parallelism.
+//
+// The CGP evolver evaluates the lambda mutants of each generation
+// concurrently; a generation is a submit-all / wait_idle() cycle.  Workers
+// are started once per pool (not per generation), tasks are plain
+// std::function thunks, and wait_idle() blocks until the queue is drained
+// AND every in-flight task has finished.  Tasks must not throw (they run
+// under noexcept semantics; an escaping exception terminates).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace axc {
+
+class thread_pool {
+ public:
+  explicit thread_pool(std::size_t threads) {
+    AXC_EXPECTS(threads >= 1);
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  ~thread_pool() {
+    {
+      std::unique_lock lock(mutex_);
+      stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; runs on some worker, in submission order per worker
+  /// pick-up (no ordering guarantee across workers).
+  void submit(std::function<void()> task) {
+    {
+      std::unique_lock lock(mutex_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    work_available_.notify_one();
+  }
+
+  /// Blocks until every submitted task has completed.
+  void wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        work_available_.wait(lock,
+                             [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::unique_lock lock(mutex_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t pending_{0};
+  bool stopping_{false};
+  std::vector<std::thread> workers_;
+};
+
+/// Fan-out helper: runs fn(0) .. fn(count - 1) across the pool and joins.
+inline void parallel_for(thread_pool& pool, std::size_t count,
+                         const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace axc

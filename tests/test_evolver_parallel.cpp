@@ -1,0 +1,135 @@
+// The parallel (1 + lambda) evolver must be a pure throughput optimization:
+// for a fixed seed it reproduces the serial run bit-for-bit — same mutation
+// stream, same offspring selection, same final genotype.
+#include <gtest/gtest.h>
+
+#include "cgp/evolver.h"
+#include "cgp/genotype.h"
+#include "core/wmed_approximator.h"
+#include "dist/pmf.h"
+#include "mult/multipliers.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace axc::cgp {
+namespace {
+
+parameters small_params() {
+  parameters p;
+  p.num_inputs = 4;
+  p.num_outputs = 2;
+  p.columns = 20;
+  p.rows = 1;
+  p.levels_back = 20;
+  p.function_set.assign(circuit::default_function_set().begin(),
+                        circuit::default_function_set().end());
+  p.max_mutations = 3;
+  p.lambda = 4;
+  return p;
+}
+
+// Pure, stateless objective: output 0 must equal input0 XOR input1.
+evolver::evaluate_fn xor_objective() {
+  return [](const circuit::netlist& nl) -> evaluation {
+    std::size_t wrong = 0;
+    for (std::uint64_t v = 0; v < 16; ++v) {
+      const std::uint64_t expected = (v & 1) ^ ((v >> 1) & 1);
+      if ((test::naive_eval(nl, v) & 1) != expected) ++wrong;
+    }
+    evaluation e;
+    e.error = static_cast<double>(wrong) / 16.0;
+    e.feasible = wrong == 0;
+    e.area = static_cast<double>(nl.active_gate_count());
+    return e;
+  };
+}
+
+evolver::run_result serial_run(std::uint64_t seed_value,
+                               std::size_t iterations) {
+  rng gen(seed_value);
+  const genotype seed = genotype::random(small_params(), gen);
+  evolver::options opts;
+  opts.iterations = iterations;
+  return evolver::run(seed, xor_objective(), opts, gen);
+}
+
+evolver::run_result parallel_run(std::uint64_t seed_value,
+                                 std::size_t iterations, std::size_t threads) {
+  rng gen(seed_value);
+  const genotype seed = genotype::random(small_params(), gen);
+  evolver::options opts;
+  opts.iterations = iterations;
+  return evolver::run_parallel(seed, xor_objective, opts, threads, gen);
+}
+
+TEST(evolver_parallel, reproduces_serial_run_bit_for_bit) {
+  for (const std::uint64_t seed : {11ull, 42ull, 1234ull}) {
+    const auto serial = serial_run(seed, 400);
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      const auto parallel = parallel_run(seed, 400, threads);
+      EXPECT_EQ(parallel.best, serial.best) << "threads=" << threads;
+      EXPECT_EQ(parallel.best_eval.error, serial.best_eval.error);
+      EXPECT_EQ(parallel.best_eval.area, serial.best_eval.area);
+      EXPECT_EQ(parallel.best_eval.feasible, serial.best_eval.feasible);
+      EXPECT_EQ(parallel.evaluations, serial.evaluations);
+      EXPECT_EQ(parallel.improvements, serial.improvements);
+      EXPECT_EQ(parallel.neutral_moves, serial.neutral_moves);
+    }
+  }
+}
+
+TEST(evolver_parallel, repeated_parallel_runs_are_identical) {
+  const auto a = parallel_run(7, 300, 3);
+  const auto b = parallel_run(7, 300, 3);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.improvements, b.improvements);
+  EXPECT_EQ(a.neutral_moves, b.neutral_moves);
+}
+
+TEST(evolver_parallel, more_threads_than_lambda_is_capped_safely) {
+  const auto serial = serial_run(5, 200);
+  const auto wide = parallel_run(5, 200, 16);  // lambda is only 4
+  EXPECT_EQ(wide.best, serial.best);
+  EXPECT_EQ(wide.evaluations, serial.evaluations);
+}
+
+TEST(evolver_parallel, solves_the_toy_problem) {
+  const auto result = parallel_run(9, 2000, 2);
+  EXPECT_TRUE(result.best_eval.feasible);
+  EXPECT_LE(result.best_eval.area, 2.0);
+}
+
+}  // namespace
+}  // namespace axc::cgp
+
+namespace axc::core {
+namespace {
+
+TEST(approximator_threads, parallel_search_reproduces_serial_designs) {
+  // End-to-end: a small WMED-constrained CGP search must return the same
+  // evolved design regardless of the thread count.
+  approximation_config config;
+  config.spec = metrics::mult_spec{6, false};
+  config.distribution = dist::pmf::half_normal(64, 16.0);
+  config.iterations = 60;
+  config.extra_columns = 16;
+  config.rng_seed = 3;
+
+  const circuit::netlist seed = mult::unsigned_multiplier(6);
+
+  config.threads = 1;
+  const evolved_design serial =
+      wmed_approximator(config).approximate(seed, 0.003);
+
+  config.threads = 2;
+  const evolved_design parallel =
+      wmed_approximator(config).approximate(seed, 0.003);
+
+  EXPECT_EQ(parallel.netlist, serial.netlist);
+  EXPECT_EQ(parallel.wmed, serial.wmed);
+  EXPECT_EQ(parallel.area_um2, serial.area_um2);
+  EXPECT_EQ(parallel.evaluations, serial.evaluations);
+}
+
+}  // namespace
+}  // namespace axc::core

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cgp/genotype.h"
+#include "circuit/netlist.h"
+#include "circuit/simulator.h"
+#include "mult/multipliers.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace axc::circuit {
+namespace {
+
+// Reference: simulate one block with the straightforward all-gates path.
+std::vector<std::uint64_t> reference_block(const netlist& nl,
+                                           std::size_t block) {
+  std::vector<std::uint64_t> in(nl.num_inputs()), out(nl.num_outputs()),
+      scratch(nl.num_signals());
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    in[i] = exhaustive_input_word(i, block);
+  }
+  simulate_block(nl, in, out, scratch);
+  return out;
+}
+
+template <std::size_t W>
+void expect_lane_parity(const netlist& nl, rng& gen) {
+  sim_program<W> program(nl);
+  ASSERT_EQ(program.num_inputs(), nl.num_inputs());
+  ASSERT_EQ(program.num_outputs(), nl.num_outputs());
+
+  // Each lane carries an arbitrary, independent block.
+  std::vector<std::size_t> blocks(W);
+  for (auto& b : blocks) b = gen.below(1024);
+
+  std::vector<std::uint64_t> in(nl.num_inputs() * W), out(nl.num_outputs() * W);
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    for (std::size_t l = 0; l < W; ++l) {
+      in[i * W + l] = exhaustive_input_word(i, blocks[l]);
+    }
+  }
+  program.run(in, out);
+
+  for (std::size_t l = 0; l < W; ++l) {
+    const std::vector<std::uint64_t> expected = reference_block(nl, blocks[l]);
+    for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+      EXPECT_EQ(out[o * W + l], expected[o]) << "lane " << l << " output " << o;
+    }
+  }
+}
+
+TEST(sim_program, bit_identical_to_simulate_block_random_netlists) {
+  rng gen(321);
+  for (int trial = 0; trial < 15; ++trial) {
+    const netlist nl = test::random_netlist(10, 6, 80, gen);
+    expect_lane_parity<1>(nl, gen);
+    expect_lane_parity<2>(nl, gen);
+    expect_lane_parity<4>(nl, gen);
+    expect_lane_parity<8>(nl, gen);
+  }
+}
+
+TEST(sim_program, bit_identical_on_multiplier) {
+  rng gen(99);
+  for (const netlist& nl :
+       {mult::unsigned_multiplier(8), mult::signed_multiplier(8),
+        mult::truncated_multiplier(8, 6)}) {
+    expect_lane_parity<8>(nl, gen);
+  }
+}
+
+TEST(sim_program, simulates_only_the_active_cone) {
+  rng gen(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const netlist nl = test::random_netlist(8, 3, 60, gen);
+    const std::vector<bool> mask = nl.active_mask();
+    std::size_t active = 0;
+    for (const bool a : mask) active += a ? 1 : 0;
+    const sim_program<4> program(nl);
+    EXPECT_EQ(program.active_gates(), active);
+    EXPECT_LE(program.active_gates(), nl.num_gates());
+  }
+}
+
+TEST(sim_program, rebuild_reusable_across_candidates) {
+  rng gen(23);
+  sim_program<8> program;
+  for (int trial = 0; trial < 8; ++trial) {
+    const netlist nl = test::random_netlist(6 + trial % 3, 4, 30 + 8 * trial,
+                                            gen);
+    program.rebuild(nl);
+    expect_lane_parity<8>(nl, gen);  // fresh program, same answer...
+    // ...and the reused one agrees too.
+    std::vector<std::uint64_t> in(nl.num_inputs() * 8),
+        out(nl.num_outputs() * 8);
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+      for (std::size_t l = 0; l < 8; ++l) {
+        in[i * 8 + l] = exhaustive_input_word(i, l);
+      }
+    }
+    program.run(in, out);
+    for (std::size_t l = 0; l < 8; ++l) {
+      const std::vector<std::uint64_t> expected = reference_block(nl, l);
+      for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+        EXPECT_EQ(out[o * 8 + l], expected[o]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace axc::circuit
+
+namespace axc::cgp {
+namespace {
+
+parameters wide_params(std::size_t inputs, std::size_t outputs,
+                       std::size_t columns) {
+  parameters p;
+  p.num_inputs = inputs;
+  p.num_outputs = outputs;
+  p.columns = columns;
+  p.rows = 1;
+  p.levels_back = columns;
+  p.function_set.assign(circuit::default_function_set().begin(),
+                        circuit::default_function_set().end());
+  return p;
+}
+
+TEST(decode_cone, equals_decode_then_compacted) {
+  rng gen(42);
+  for (int trial = 0; trial < 25; ++trial) {
+    genotype g = genotype::random(wide_params(6, 4, 40), gen);
+    for (int m = 0; m < trial; ++m) g.mutate(gen);
+    const circuit::netlist cone = g.decode_cone();
+    const circuit::netlist compacted = g.decode().compacted();
+    EXPECT_EQ(cone, compacted) << "trial " << trial;
+  }
+}
+
+TEST(decode_cone, function_identical_to_full_decode) {
+  rng gen(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    genotype g = genotype::random(wide_params(8, 5, 64), gen);
+    for (int m = 0; m < 20; ++m) g.mutate(gen);
+    const circuit::netlist full = g.decode();
+    const circuit::netlist cone = g.decode_cone();
+    EXPECT_TRUE(cone.validate().empty());
+    for (std::uint64_t v = 0; v < 256; ++v) {
+      EXPECT_EQ(test::naive_eval(cone, v), test::naive_eval(full, v))
+          << "v=" << v;
+    }
+  }
+}
+
+TEST(decode_cone, drops_seeded_padding) {
+  const circuit::netlist seed = mult::unsigned_multiplier(3);
+  parameters p = wide_params(6, 6, seed.num_gates() + 50);
+  rng gen(5);
+  const genotype g = genotype::from_netlist(p, seed, gen);
+  // Padding nodes are inactive, so the cone is exactly the seeded function.
+  EXPECT_LE(g.decode_cone().num_gates(), seed.num_gates());
+  EXPECT_EQ(g.decode().num_gates(), p.node_count());
+}
+
+}  // namespace
+}  // namespace axc::cgp

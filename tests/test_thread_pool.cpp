@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace axc {
+namespace {
+
+TEST(thread_pool, runs_every_submitted_task) {
+  thread_pool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(thread_pool, wait_idle_is_reusable_across_generations) {
+  thread_pool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  for (int generation = 0; generation < 20; ++generation) {
+    for (int k = 0; k < 8; ++k) {
+      pool.submit([&sum, k] { sum.fetch_add(k + 1); });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(sum.load(), 20 * 36);
+}
+
+TEST(thread_pool, wait_idle_with_no_tasks_returns_immediately) {
+  thread_pool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(thread_pool, destructor_drains_queued_tasks) {
+  std::atomic<int> counter{0};
+  {
+    thread_pool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(parallel_for, covers_every_index_exactly_once) {
+  thread_pool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(parallel_for, results_slotted_by_index_are_deterministic) {
+  thread_pool pool(3);
+  std::vector<std::uint64_t> out(100);
+  parallel_for(pool, out.size(), [&out](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+}  // namespace
+}  // namespace axc
