@@ -9,8 +9,8 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "cgp/evolver.h"
 #include "core/pareto.h"
+#include "core/wmed_approximator.h"
 #include "metrics/adder_metrics.h"
 #include "mult/adders.h"
 #include "mult/approx_adders.h"
@@ -53,36 +53,23 @@ int main() {
     add("trunc-" + std::to_string(k), mult::truncated_adder(8, k));
   }
 
-  // WMED-evolved adders at a few error budgets.
+  // WMED-evolved adders at a few error budgets, searched through the
+  // generalized approximator: the same genotype-native incremental pipeline
+  // and bit-plane sweep as the multiplier runs — no per-candidate 2^16 sum
+  // tables anywhere in the inner loop (tables above remain the scoring
+  // reference for the survey adders).
   const circuit::netlist seed = mult::ripple_adder(8);
-  cgp::parameters params;
-  params.num_inputs = 16;
-  params.num_outputs = 9;
-  params.columns = seed.num_gates() + 32;
-  params.rows = 1;
-  params.levels_back = params.columns;
-  params.function_set.assign(circuit::default_function_set().begin(),
-                             circuit::default_function_set().end());
-  params.max_mutations = 5;
-  params.lambda = 4;
+  core::adder_approximation_config cfg;
+  cfg.spec = spec;
+  cfg.distribution = d;
+  cfg.iterations = bench::scaled(1200);
+  cfg.extra_columns = 32;
+  cfg.rng_seed = 5;
+  const core::adder_wmed_approximator approx(cfg);
 
   for (const double target : {0.0005, 0.002, 0.01}) {
-    const cgp::evolver::evaluate_fn objective =
-        [&](const circuit::netlist& nl) -> cgp::evaluation {
-      cgp::evaluation e;
-      e.error = metrics::adder_wmed(exact, metrics::sum_table(nl, spec),
-                                    spec, d);
-      e.feasible = e.error <= target;
-      e.area = e.feasible ? tech::estimate_area(nl, lib) : 0.0;
-      return e;
-    };
-    rng gen(5);
-    const auto start = cgp::genotype::from_netlist(params, seed, gen);
-    cgp::evolver::options opts;
-    opts.iterations = bench::scaled(1200);
-    opts.error_tiebreak = true;
-    const auto result = cgp::evolver::run(start, objective, opts, gen);
-    add("evolved@" + std::to_string(target), result.best.decode().compacted());
+    const core::evolved_design design = approx.approximate(seed, target);
+    add("evolved@" + std::to_string(target), design.netlist);
   }
 
   std::printf("%-18s %10s %10s\n", "adder", "WMED%", "area_um2");

@@ -4,19 +4,27 @@
 // quantized inference and the Gaussian filter.
 #include <benchmark/benchmark.h>
 
+#include "cgp/cone_program.h"
+#include "cgp/evolver.h"
 #include "cgp/genotype.h"
 #include "circuit/activity.h"
 #include "circuit/simulator.h"
+#include "core/wmed_approximator.h"
 #include "data/digits.h"
 #include "dist/pmf.h"
 #include "imgproc/gaussian_filter.h"
+#include "metrics/adder_metrics.h"
 #include "metrics/wmed_evaluator.h"
+#include "mult/adders.h"
+#include "mult/approx_adders.h"
 #include "mult/lut.h"
 #include "mult/multipliers.h"
 #include "nn/models.h"
 #include "nn/quantize.h"
 #include "nn/trainer.h"
 #include "support/rng.h"
+#include "tech/analysis.h"
+#include "tech/cell_library.h"
 
 namespace {
 
@@ -197,8 +205,36 @@ void bm_cgp_mutate_decode_cone(benchmark::State& state) {
 BENCHMARK(bm_cgp_mutate_decode_cone);
 
 void bm_evolver_generation(benchmark::State& state) {
-  // One full (1+lambda) WMED search step per iteration: mutate, decode the
-  // cone, score with early abort — the end-to-end inner-loop cost.
+  // One offspring of one (1+lambda) WMED search generation, through the
+  // genotype-native incremental pipeline (what evolver::run_incremental
+  // executes per mutant): record dirty genes, patch/reuse the parent's
+  // compiled schedule, score with early abort, restore the parent binding.
+  // No netlist, no sim_program recompile, no allocation per mutant.
+  const metrics::mult_spec spec{8, false};
+  const dist::pmf d = dist::pmf::half_normal(256, 64.0);
+  const auto& lib = tech::cell_library::nangate45_like();
+  const double target = 1e-4;
+  const auto evaluator =
+      core::make_incremental_wmed_evaluator(spec, d, lib, target);
+  const cgp::genotype parent = search_candidate();
+  evaluator->evaluate_and_bind(parent);
+  rng gen(3);
+  std::vector<std::uint32_t> dirty;
+  cgp::genotype child = parent;  // offspring slots reuse storage
+  for (auto _ : state) {
+    child = parent;
+    dirty.clear();
+    child.mutate(gen, dirty);
+    benchmark::DoNotOptimize(evaluator->evaluate_child(parent, child, dirty));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_evolver_generation);
+
+void bm_evolver_generation_roundtrip(benchmark::State& state) {
+  // The pre-incremental inner loop (PR 1's bm_evolver_generation): mutate,
+  // decode_cone() to a fresh netlist, recompile the sim program, score with
+  // early abort — the baseline bm_evolver_generation is measured against.
   const metrics::mult_spec spec{8, false};
   metrics::wmed_evaluator evaluator(spec, dist::pmf::half_normal(256, 64.0));
   cgp::genotype g = search_candidate();
@@ -211,7 +247,108 @@ void bm_evolver_generation(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(bm_evolver_generation);
+BENCHMARK(bm_evolver_generation_roundtrip);
+
+void bm_cone_bind(benchmark::State& state) {
+  // Full genotype-native compile (mark cone + emit schedule) — the cost an
+  // accepted parent or a topology-shifting mutant pays, replacing
+  // decode_cone() + sim_program::rebuild() + netlist (de)allocation.
+  const cgp::genotype g = search_candidate();
+  cgp::cone_program cone;
+  for (auto _ : state) {
+    cone.bind(g);
+    benchmark::DoNotOptimize(cone.active_nodes());
+  }
+}
+BENCHMARK(bm_cone_bind);
+
+/// An adder search candidate: the exact ripple adder seeded into a padded
+/// genotype and drifted, mirroring search_candidate() for the second
+/// component class.
+cgp::genotype adder_search_candidate() {
+  const circuit::netlist seed = mult::ripple_adder(8);
+  cgp::parameters params;
+  params.num_inputs = 16;
+  params.num_outputs = 9;
+  params.columns = seed.num_gates() + 32;
+  params.rows = 1;
+  params.levels_back = params.columns;
+  params.function_set.assign(circuit::default_function_set().begin(),
+                             circuit::default_function_set().end());
+  rng gen(23);
+  cgp::genotype g = cgp::genotype::from_netlist(params, seed, gen);
+  for (int m = 0; m < 10; ++m) g.mutate(gen);
+  return g;
+}
+
+void bm_adder_wmed_evaluate(benchmark::State& state) {
+  // Full adder WMED sweep on the bit-plane fast path (no tables).
+  const metrics::adder_spec spec{8};
+  metrics::adder_wmed_evaluator evaluator(spec,
+                                          dist::pmf::half_normal(256, 48.0));
+  const circuit::netlist nl = mult::lower_or_adder(8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(nl));
+  }
+}
+BENCHMARK(bm_adder_wmed_evaluate);
+
+void bm_adder_wmed_table(benchmark::State& state) {
+  // The retired search-loop path: allocate + fill a 2^16 sum table per
+  // candidate, then reduce it — kept as the parity/benchmark baseline.
+  const metrics::adder_spec spec{8};
+  const dist::pmf d = dist::pmf::half_normal(256, 48.0);
+  const auto exact = metrics::exact_sum_table(spec);
+  const circuit::netlist nl = mult::lower_or_adder(8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::adder_wmed(exact, metrics::sum_table(nl, spec), spec, d));
+  }
+}
+BENCHMARK(bm_adder_wmed_table);
+
+void bm_evolver_generation_adder(benchmark::State& state) {
+  // One adder-search offspring through the incremental pipeline — the
+  // second component class on the same fast path as the multipliers.
+  const metrics::adder_spec spec{8};
+  const dist::pmf d = dist::pmf::half_normal(256, 48.0);
+  const auto& lib = tech::cell_library::nangate45_like();
+  const double target = 1e-3;
+  const auto evaluator =
+      core::make_incremental_wmed_evaluator(spec, d, lib, target);
+  const cgp::genotype parent = adder_search_candidate();
+  evaluator->evaluate_and_bind(parent);
+  rng gen(7);
+  std::vector<std::uint32_t> dirty;
+  cgp::genotype child = parent;  // offspring slots reuse storage
+  for (auto _ : state) {
+    child = parent;
+    dirty.clear();
+    child.mutate(gen, dirty);
+    benchmark::DoNotOptimize(evaluator->evaluate_child(parent, child, dirty));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_evolver_generation_adder);
+
+void bm_evolver_generation_adder_table(benchmark::State& state) {
+  // The pre-port adder inner loop: decode + exhaustive sum table +
+  // table-based WMED per mutant (what bench/adder_study.cpp used to run).
+  const metrics::adder_spec spec{8};
+  const dist::pmf d = dist::pmf::half_normal(256, 48.0);
+  const auto exact = metrics::exact_sum_table(spec);
+  cgp::genotype g = adder_search_candidate();
+  rng gen(7);
+  for (auto _ : state) {
+    cgp::genotype child = g;
+    child.mutate(gen);
+    const circuit::netlist nl = child.decode_cone();
+    benchmark::DoNotOptimize(
+        metrics::adder_wmed(exact, metrics::sum_table(nl, spec), spec, d));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_evolver_generation_adder_table);
 
 void bm_lut_multiply(benchmark::State& state) {
   const mult::product_lut lut =

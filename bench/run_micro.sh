@@ -1,9 +1,17 @@
 #!/usr/bin/env sh
-# Runs the micro-benchmark suite and records machine-readable results in
-# BENCH_micro.json at the repo root — the perf trajectory the ROADMAP
-# tracks.  Extra arguments are forwarded (e.g. --benchmark_filter=wmed).
+# Runs the micro-benchmark suite and *appends* a tagged run to
+# BENCH_micro.json at the repo root, so the file holds the actual perf
+# trajectory the ROADMAP tracks (one entry per PR / build profile) instead
+# of only the latest numbers.  Each appended run records the git SHA, a
+# UTC timestamp, an optional profile tag, and the google-benchmark context
+# + results.
 #
-# Usage:  bench/run_micro.sh [build-dir] [benchmark args...]
+# Usage:  bench/run_micro.sh [build-dir] [--tag name] [benchmark args...]
+#
+# Examples:
+#   bench/run_micro.sh                                  # default build dir
+#   bench/run_micro.sh build-native --tag native        # -march=native pair
+#   bench/run_micro.sh --benchmark_filter=wmed          # forwarded args
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -16,6 +24,12 @@ if [ $# -gt 0 ]; then
   esac
 fi
 
+tag=""
+if [ $# -ge 2 ] && [ "$1" = "--tag" ]; then
+  tag=$2
+  shift 2
+fi
+
 bin="$build_dir/micro_throughput"
 if [ ! -x "$bin" ]; then
   echo "error: $bin not built (configure with -DAXC_BUILD_MICROBENCH=ON," >&2
@@ -23,7 +37,49 @@ if [ ! -x "$bin" ]; then
   exit 1
 fi
 
-exec "$bin" \
-  --benchmark_out="$repo_root/BENCH_micro.json" \
+sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
+out=$(mktemp "${TMPDIR:-/tmp}/axc_micro.XXXXXX.json")
+trap 'rm -f "$out"' EXIT INT TERM
+
+"$bin" \
+  --benchmark_out="$out" \
   --benchmark_out_format=json \
   "$@"
+
+python3 - "$repo_root/BENCH_micro.json" "$out" "$sha" "$tag" <<'PY'
+import json
+import sys
+
+trajectory_path, run_path, sha, tag = sys.argv[1:5]
+
+with open(run_path) as f:
+    run = json.load(f)
+
+try:
+    with open(trajectory_path) as f:
+        trajectory = json.load(f)
+except (FileNotFoundError, json.JSONDecodeError):
+    trajectory = {"runs": []}
+# Legacy layout (a single google-benchmark report at top level): keep it as
+# the first run of the trajectory.
+if "runs" not in trajectory:
+    trajectory = {"runs": [trajectory]}
+
+entry = {
+    "sha": sha,
+    "date": run.get("context", {}).get("date", ""),
+    "context": run.get("context", {}),
+    "benchmarks": run.get("benchmarks", []),
+}
+if tag:
+    entry["tag"] = tag
+trajectory["runs"].append(entry)
+
+with open(trajectory_path, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+
+print(f"appended run sha={sha} tag={tag or '-'} "
+      f"({len(entry['benchmarks'])} benchmarks, "
+      f"{len(trajectory['runs'])} runs total) to {trajectory_path}")
+PY

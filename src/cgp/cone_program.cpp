@@ -1,0 +1,163 @@
+#include "cgp/cone_program.h"
+
+#include "circuit/gate.h"
+#include "support/assert.h"
+
+namespace axc::cgp {
+
+void cone_program::emit(const genotype& g,
+                        const std::vector<std::uint8_t>& flags) {
+  const parameters& p = g.params();
+  const std::size_t ni = p.num_inputs;
+
+  program_.reset(ni, p.num_outputs, ni + p.node_count());
+  fns_.clear();
+  step_of_node_.assign(p.node_count(), kNoStep);
+
+  const std::vector<genotype::node_genes>& nodes = g.nodes();
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    if (!flags[k]) continue;
+    const circuit::gate_fn fn = p.function_set[nodes[k].fn];
+    step_of_node_[k] = static_cast<std::uint32_t>(fns_.size());
+    // Operand genes are slot indices verbatim: the slot space is the CGP
+    // address space.  Ignored operands may land on unwritten slots, which
+    // run() never reads.
+    program_.push_step(fn, nodes[k].in0, nodes[k].in1,
+                       static_cast<std::uint32_t>(ni + k));
+    fns_.push_back(fn);
+  }
+  for (std::size_t o = 0; o < g.output_genes().size(); ++o) {
+    program_.set_output_slot(o, g.output_genes()[o]);
+  }
+}
+
+void cone_program::bind(const genotype& parent) {
+  parent.mark_cone(active_);
+  emit(parent, active_);
+  step_journal_.clear();
+  output_journal_.clear();
+  state_ = state::synced;
+}
+
+cone_program::delta cone_program::apply(const genotype& parent,
+                                        const genotype& child,
+                                        std::span<const std::uint32_t> dirty) {
+  AXC_EXPECTS(state_ != state::patched);
+  const parameters& p = parent.params();
+  const std::size_t node_gene_count = p.node_count() * 3;
+  const std::vector<circuit::gate_fn>& fs = p.function_set;
+
+  // Pass 1 — classify the mutation against the bound parent.  A gene is
+  // *effective* when its value actually changed and the phenotype can see
+  // it (active node or output gene); it is *edge-changing* when it alters
+  // the dependence-edge structure the cone is computed from.
+  bool effective = false;
+  bool edges_changed = false;
+  for (const std::uint32_t idx : dirty) {
+    if (idx >= node_gene_count) {
+      const std::size_t o = idx - node_gene_count;
+      if (child.output_genes()[o] == parent.output_genes()[o]) continue;
+      effective = true;
+      edges_changed = true;  // output seeds moved: membership may shift
+      continue;
+    }
+    const std::size_t k = idx / 3;
+    const genotype::node_genes& pn = parent.nodes()[k];
+    const genotype::node_genes& cn = child.nodes()[k];
+    if (pn == cn || !active_[k]) continue;
+    const circuit::gate_fn cf = fs[cn.fn];
+    const bool in0_read = circuit::depends_on_a(cf);
+    const bool in1_read = circuit::depends_on_b(cf);
+    const bool in0_rewired = in0_read && pn.in0 != cn.in0;
+    const bool in1_rewired = in1_read && pn.in1 != cn.in1;
+    if (pn.fn == cn.fn && !in0_rewired && !in1_rewired) {
+      continue;  // only ignored operands rewired: phenotype unchanged
+    }
+    effective = true;
+    const circuit::gate_fn pf = fs[pn.fn];
+    if (circuit::depends_on_a(pf) != in0_read ||
+        circuit::depends_on_b(pf) != in1_read) {
+      edges_changed = true;  // dependence pattern itself changed
+    } else if (in0_rewired || in1_rewired) {
+      edges_changed = true;  // a read operand was rewired
+    }
+    // Otherwise: a fn swap with identical dependence — provably no edge
+    // change, membership cannot move.
+  }
+  if (!effective) return delta::identical;
+
+  // Delta cone walk where edges moved: recompute membership over the genes
+  // (no netlist) and compare with the parent's flags.
+  bool membership_same = true;
+  if (edges_changed) {
+    child.mark_cone(scratch_flags_);
+    membership_same = scratch_flags_ == active_;
+  }
+
+  if (membership_same && state_ == state::synced) {
+    // Pass 2 — patch the touched steps in place, journaling previous wiring
+    // for release_child().
+    for (const std::uint32_t idx : dirty) {
+      if (idx >= node_gene_count) {
+        const std::size_t o = idx - node_gene_count;
+        const std::uint32_t slot = child.output_genes()[o];
+        if (slot == parent.output_genes()[o]) continue;
+        output_journal_.push_back(
+            {static_cast<std::uint32_t>(o), program_.output_slot(o)});
+        program_.patch_output(o, slot);
+        continue;
+      }
+      const std::size_t k = idx / 3;
+      const genotype::node_genes& cn = child.nodes()[k];
+      if (parent.nodes()[k] == cn || !active_[k]) continue;
+      const std::uint32_t s = step_of_node_[k];
+      step_journal_.push_back({s, program_.step_at(s)});
+      const circuit::gate_fn cf = fs[cn.fn];
+      program_.patch_step(s, cf, cn.in0, cn.in1);
+      fns_[s] = cf;
+    }
+    state_ = state::patched;
+    return delta::patched;
+  }
+
+  // Membership moved (steps would need splicing — refilling from the genes
+  // costs the same and never renumbers slots), or the schedule was already
+  // stale from a recompiled sibling: compile the child outright.  The
+  // parent's active_ flags are left untouched, so classification of the
+  // next sibling stays valid.
+  emit(child, membership_same ? active_ : scratch_flags_);
+  state_ = state::stale;
+  return delta::recompiled;
+}
+
+void cone_program::release_child(const genotype& parent) {
+  switch (state_) {
+    case state::synced:
+      return;  // identical apply() — nothing to undo
+    case state::patched:
+      // Reverse replay restores the parent wiring even when one step was
+      // journaled twice (duplicate dirty genes).
+      for (std::size_t i = step_journal_.size(); i-- > 0;) {
+        const step_patch& sp = step_journal_[i];
+        program_.patch_step(sp.step, sp.old_ref.fn, sp.old_ref.in0,
+                            sp.old_ref.in1);
+        fns_[sp.step] = sp.old_ref.fn;
+      }
+      for (std::size_t i = output_journal_.size(); i-- > 0;) {
+        program_.patch_output(output_journal_[i].output,
+                              output_journal_[i].old_slot);
+      }
+      step_journal_.clear();
+      output_journal_.clear();
+      state_ = state::synced;
+      return;
+    case state::stale:
+      // Lazy: leave the recompiled child in place.  The next effective
+      // mutant compiles from its own genes anyway; only an explicit bind()
+      // (parent acceptance) resynchronizes.
+      (void)parent;
+      return;
+  }
+}
+
+}  // namespace axc::cgp

@@ -1,0 +1,117 @@
+// Genotype-native compiled cone schedule with incremental patching — the
+// evaluation pipeline of the CGP search without the per-mutant netlist
+// round-trip.
+//
+// PR 1 made the WMED sweep itself fast; the remaining per-mutant cost was
+// the pipeline *around* it: genotype::decode_cone() materializes a netlist,
+// sim_program::rebuild() re-derives the cone and re-packs a dense slot
+// space, both allocating and both repeating work the parent already paid
+// for.  cone_program removes that round-trip with three ideas:
+//
+//  1. *Stable slots.*  The sim_program slot space is the CGP address space
+//     itself (inputs, then one slot per grid node), so operand genes ARE
+//     slot indices and cone-membership changes never renumber anything.
+//     Inactive slots are merely never written — and never read, because an
+//     active node's read operands are active by the cone rule, and
+//     sim_program::run() only reads operands its gate function depends on.
+//  2. *Delta analysis per mutant.*  apply() classifies a child against the
+//     bound parent from its dirty gene list alone: mutations that do not
+//     change any gene value, or only touch inactive nodes, leave the
+//     phenotype identical (the evaluator returns the parent's cached
+//     score — CGP mutants frequently hit the inactive padding); mutations
+//     that provably keep every dependence edge intact patch the affected
+//     steps in place; anything else triggers a cone-membership delta walk.
+//  3. *Cheap full fallback.*  When the delta walk finds membership changed,
+//     the schedule is refilled directly from the genes (mark + emit, no
+//     netlist, no slot resize, no allocation after the first bind).
+//
+// The schedule produced by any path is semantically identical to
+// sim_program(decode_cone()) — parity-tested in
+// tests/test_incremental_eval.cpp — and step_fns() lists the active gate
+// functions in emission (node address) order, which lets area estimation
+// run FP-identically to tech::estimate_area on the decoded cone netlist.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cgp/genotype.h"
+#include "circuit/simulator.h"
+
+namespace axc::cgp {
+
+class cone_program {
+ public:
+  static constexpr std::size_t lanes = 8;
+
+  /// Full genotype-native compile of `parent`'s active cone; `parent`
+  /// becomes the bound base for apply()/release_child().
+  void bind(const genotype& parent);
+
+  /// How apply() retargeted the schedule from parent to child.
+  enum class delta {
+    identical,   ///< phenotype unchanged; schedule untouched
+    patched,     ///< cone membership unchanged; steps patched in place
+    recompiled,  ///< membership changed; schedule refilled from child
+  };
+
+  /// Retargets the schedule to `child`, a copy of the bound parent whose
+  /// mutated flat gene indices are listed in `dirty` (from
+  /// genotype::mutate(rng&, dirty); duplicates and no-op re-randomizations
+  /// are fine).  `parent` must be the genotype passed to the last bind().
+  /// Unless the result is `identical`, call release_child(parent) after
+  /// evaluating before the next apply().
+  ///
+  /// Classification always runs against the parent's cached cone flags, so
+  /// `identical` detection stays O(dirty) even while the compiled program
+  /// still models a previously recompiled sibling (release_child is lazy:
+  /// it replays patch journals but does not recompile the parent — the
+  /// next non-identical mutant compiles straight from its own genes).
+  delta apply(const genotype& parent, const genotype& child,
+              std::span<const std::uint32_t> dirty);
+
+  /// Ends the last non-identical apply(): reverts a patch journal in place;
+  /// after a recompile it merely marks the schedule stale (see apply()).
+  void release_child(const genotype& parent);
+
+  [[nodiscard]] circuit::sim_program<lanes>& program() { return program_; }
+  /// Active gate functions in emission (node address) order — the cone
+  /// netlist's gate list, for netlist-free area estimation.
+  [[nodiscard]] std::span<const circuit::gate_fn> step_fns() const {
+    return fns_;
+  }
+  [[nodiscard]] std::size_t active_nodes() const { return fns_.size(); }
+
+ private:
+  /// Refills steps/outputs from `g` given its cone flags.
+  void emit(const genotype& g, const std::vector<std::uint8_t>& flags);
+
+  circuit::sim_program<lanes> program_;
+  std::vector<circuit::gate_fn> fns_;        ///< per step, emission order
+  std::vector<std::uint8_t> active_;         ///< parent cone flags, per node
+  std::vector<std::uint32_t> step_of_node_;  ///< node -> step index
+  std::vector<std::uint8_t> scratch_flags_;  ///< delta-walk cone recompute
+
+  /// synced: program models the bound parent (patching legal).
+  /// patched: program models a child via the journals (release replays).
+  /// stale: program models some recompiled child (classification still
+  ///        valid — it only needs active_ — but patching is not).
+  enum class state { synced, patched, stale };
+  state state_{state::synced};
+
+  struct step_patch {
+    std::uint32_t step;
+    circuit::sim_program<lanes>::step_ref old_ref;
+  };
+  struct output_patch {
+    std::uint32_t output;
+    std::uint32_t old_slot;
+  };
+  std::vector<step_patch> step_journal_;
+  std::vector<output_patch> output_journal_;
+
+  static constexpr std::uint32_t kNoStep = 0xffffffffu;
+};
+
+}  // namespace axc::cgp

@@ -21,15 +21,20 @@ bool not_worse(const evaluation& a, const evaluation& b) {
 
 namespace {
 
-/// One (1 + lambda) run; `evaluate_offspring` fills evals[0..lambda) for the
-/// already-mutated children of this generation (serially or across a pool).
-template <typename offspring_eval_fn>
-evolver::run_result run_core(const genotype& seed,
-                             const evolver::evaluate_fn& evaluate_parent,
-                             const offspring_eval_fn& evaluate_offspring,
+/// One (1 + lambda) run, shared by the netlist-based and incremental
+/// pipelines.  Hooks:
+///   initial(seed) -> evaluation                     (first parent score)
+///   mutate_children(parent, children, gen)          (refresh + mutate all)
+///   evaluate_offspring(parent, parent_eval, children, evals)
+///   on_accept()                                     (parent was replaced)
+template <typename init_fn, typename mutate_fn, typename eval_fn,
+          typename accept_fn>
+evolver::run_result run_core(const genotype& seed, const init_fn& initial,
+                             const mutate_fn& mutate_children,
+                             const eval_fn& evaluate_offspring,
+                             const accept_fn& on_accept,
                              const evolver::options& opts, rng& gen) {
-  evolver::run_result result{seed, evaluate_parent(seed.decode_cone()), 0, 1,
-                             0, 0};
+  evolver::run_result result{seed, initial(seed), 0, 1, 0, 0};
   genotype parent = seed;
   evaluation parent_eval = result.best_eval;
   const std::size_t lambda = parent.params().lambda;
@@ -59,11 +64,8 @@ evolver::run_result run_core(const genotype& seed,
   for (std::size_t iter = 0; iter < opts.iterations; ++iter) {
     // Mutation consumes the shared RNG serially, in offspring order —
     // identical draws whether evaluation below is serial or parallel.
-    for (std::size_t k = 0; k < lambda; ++k) {
-      children[k] = parent;
-      children[k].mutate(gen);
-    }
-    evaluate_offspring(children, evals);
+    mutate_children(parent, children, gen);
+    evaluate_offspring(parent, parent_eval, children, evals);
     result.evaluations += lambda;
 
     // Deterministic reduction: scan in mutation order, keep the earliest
@@ -77,6 +79,7 @@ evolver::run_result run_core(const genotype& seed,
       const bool improved = better(evals[best_k], parent_eval);
       parent = std::move(children[best_k]);
       parent_eval = evals[best_k];
+      on_accept();
       if (improved) {
         ++result.improvements;
         if (opts.on_improvement) opts.on_improvement(iter, parent_eval);
@@ -92,19 +95,36 @@ evolver::run_result run_core(const genotype& seed,
   return result;
 }
 
+/// The plain mutation hook of the netlist-based pipelines.
+void mutate_plain(const genotype& parent, std::vector<genotype>& children,
+                  rng& gen) {
+  for (genotype& child : children) {
+    child = parent;
+    child.mutate(gen);
+  }
+}
+
+constexpr auto no_accept_hook = [] {};
+
 }  // namespace
 
 evolver::run_result evolver::run(const genotype& seed,
                                  const evaluate_fn& evaluate,
                                  const options& opts, rng& gen) {
   AXC_EXPECTS(evaluate != nullptr);
-  const auto evaluate_offspring = [&evaluate](std::vector<genotype>& children,
+  const auto initial = [&evaluate](const genotype& g) {
+    return evaluate(g.decode_cone());
+  };
+  const auto evaluate_offspring = [&evaluate](const genotype&,
+                                              const evaluation&,
+                                              std::vector<genotype>& children,
                                               std::vector<evaluation>& evals) {
     for (std::size_t k = 0; k < children.size(); ++k) {
       evals[k] = evaluate(children[k].decode_cone());
     }
   };
-  return run_core(seed, evaluate, evaluate_offspring, opts, gen);
+  return run_core(seed, initial, mutate_plain, evaluate_offspring,
+                  no_accept_hook, opts, gen);
 }
 
 evolver::run_result evolver::run_parallel(const genotype& seed,
@@ -123,27 +143,116 @@ evolver::run_result evolver::run_parallel(const genotype& seed,
     evaluators.push_back(factory());
     AXC_EXPECTS(evaluators.back() != nullptr);
   }
+  const auto initial = [&evaluators](const genotype& g) {
+    return evaluators[0](g.decode_cone());
+  };
 
   if (threads == 1 || lambda == 1) {
     const auto evaluate_offspring =
-        [&evaluators](std::vector<genotype>& children,
+        [&evaluators](const genotype&, const evaluation&,
+                      std::vector<genotype>& children,
                       std::vector<evaluation>& evals) {
           for (std::size_t k = 0; k < children.size(); ++k) {
             evals[k] = evaluators[k](children[k].decode_cone());
           }
         };
-    return run_core(seed, evaluators[0], evaluate_offspring, opts, gen);
+    return run_core(seed, initial, mutate_plain, evaluate_offspring,
+                    no_accept_hook, opts, gen);
   }
 
   thread_pool pool(std::min(threads, lambda));
   const auto evaluate_offspring = [&evaluators, &pool](
+                                      const genotype&, const evaluation&,
                                       std::vector<genotype>& children,
                                       std::vector<evaluation>& evals) {
     parallel_for(pool, children.size(), [&](std::size_t k) {
       evals[k] = evaluators[k](children[k].decode_cone());
     });
   };
-  return run_core(seed, evaluators[0], evaluate_offspring, opts, gen);
+  return run_core(seed, initial, mutate_plain, evaluate_offspring,
+                  no_accept_hook, opts, gen);
+}
+
+evolver::run_result evolver::run_incremental(const genotype& seed,
+                                             const incremental_factory& factory,
+                                             const options& opts,
+                                             std::size_t threads, rng& gen) {
+  AXC_EXPECTS(factory != nullptr);
+  AXC_EXPECTS(threads >= 1);
+
+  const std::size_t lambda = seed.params().lambda;
+  const std::size_t workers = std::min(threads, lambda);
+  // Serial: one evaluator serves every slot (one parent compile per
+  // acceptance).  Parallel: one evaluator per slot, never shared across
+  // workers; each rebinds lazily on its first evaluation after the parent
+  // changed.  Evaluations are pure functions of (parent, child), so both
+  // arrangements — and any worker scheduling — are bit-identical.
+  const std::size_t count = workers == 1 ? 1 : lambda;
+  std::vector<std::unique_ptr<incremental_evaluator>> evaluators;
+  evaluators.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    evaluators.push_back(factory());
+    AXC_EXPECTS(evaluators.back() != nullptr);
+  }
+
+  std::uint64_t parent_version = 1;
+  std::vector<std::uint64_t> bound_version(count, 0);
+  const auto initial = [&](const genotype& g) {
+    bound_version[0] = parent_version;
+    return evaluators[0]->evaluate_and_bind(g);
+  };
+
+  // Mutation with dirty-gene recording; RNG draws are identical to the
+  // plain mutate(), so incremental and netlist-based runs share streams.
+  std::vector<std::vector<std::uint32_t>> dirty(lambda);
+  const auto mutate_children = [&dirty](const genotype& parent,
+                                        std::vector<genotype>& children,
+                                        rng& g) {
+    for (std::size_t k = 0; k < children.size(); ++k) {
+      children[k] = parent;
+      dirty[k].clear();
+      children[k].mutate(g, dirty[k]);
+    }
+  };
+
+  const auto eval_one = [&](const genotype& parent,
+                            const evaluation& parent_eval,
+                            std::vector<genotype>& children,
+                            std::vector<evaluation>& evals, std::size_t k) {
+    const std::size_t slot = count == 1 ? 0 : k;
+    incremental_evaluator& ev = *evaluators[slot];
+    if (bound_version[slot] != parent_version) {
+      ev.rebind(parent, parent_eval);
+      bound_version[slot] = parent_version;
+    }
+    evals[k] = ev.evaluate_child(parent, children[k], dirty[k]);
+  };
+  const auto on_accept = [&parent_version] { ++parent_version; };
+
+  if (workers == 1) {
+    const auto evaluate_offspring = [&](const genotype& parent,
+                                        const evaluation& parent_eval,
+                                        std::vector<genotype>& children,
+                                        std::vector<evaluation>& evals) {
+      for (std::size_t k = 0; k < children.size(); ++k) {
+        eval_one(parent, parent_eval, children, evals, k);
+      }
+    };
+    return run_core(seed, initial, mutate_children, evaluate_offspring,
+                    on_accept, opts, gen);
+  }
+
+  thread_pool pool(workers);
+  const auto evaluate_offspring = [&](const genotype& parent,
+                                      const evaluation& parent_eval,
+                                      std::vector<genotype>& children,
+                                      std::vector<evaluation>& evals) {
+    parallel_for(pool, children.size(), [&](std::size_t k) {
+      eval_one(parent, parent_eval, children, evals, k);
+    });
+  };
+  return run_core(seed, initial, mutate_children, evaluate_offspring,
+                  on_accept, opts, gen);
 }
 
 }  // namespace axc::cgp

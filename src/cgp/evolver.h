@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
 
 #include "cgp/genotype.h"
 #include "circuit/netlist.h"
@@ -31,6 +33,35 @@ struct evaluation {
 
 /// "a can replace b" — better or equal (neutral drift acceptance).
 [[nodiscard]] bool not_worse(const evaluation& a, const evaluation& b);
+
+/// Genotype-native incremental evaluation contract (see cone_program): the
+/// evolver hands the evaluator the parent genotype and each mutant's dirty
+/// gene list instead of a materialized netlist, so the evaluator can keep
+/// the parent's compiled sim_program/cone schedule across the lambda
+/// mutants of a generation and patch rather than recompile.
+///
+/// Contract: evaluate_child(parent, child, dirty) must return exactly what
+/// evaluate_and_bind(child) would — the incremental path is a pure
+/// throughput optimization, bit-identical to full recompilation.
+class incremental_evaluator {
+ public:
+  virtual ~incremental_evaluator() = default;
+
+  /// Compiles `parent`'s cone schedule and fully evaluates it; `parent`
+  /// becomes the bound base for evaluate_child().
+  virtual evaluation evaluate_and_bind(const genotype& parent) = 0;
+
+  /// Rebinds to a new parent whose evaluation is already known (an accepted
+  /// child) — compile only, no re-evaluation.
+  virtual void rebind(const genotype& parent, const evaluation& eval) = 0;
+
+  /// Evaluates a mutant of the bound parent.  `dirty` lists the flat gene
+  /// indices touched by mutation (genotype::mutate(rng&, dirty)); the
+  /// binding is left undisturbed.
+  virtual evaluation evaluate_child(const genotype& parent,
+                                    const genotype& child,
+                                    std::span<const std::uint32_t> dirty) = 0;
+};
 
 class evolver {
  public:
@@ -82,6 +113,22 @@ class evolver {
                                  const evaluator_factory& factory,
                                  const options& opts, std::size_t threads,
                                  rng& gen);
+
+  using incremental_factory =
+      std::function<std::unique_ptr<incremental_evaluator>()>;
+
+  /// (1 + lambda) over the genotype-native incremental pipeline: mutants
+  /// are never decoded to netlists; each evaluator keeps the parent's
+  /// compiled schedule and receives (parent, child, dirty genes).  With
+  /// threads > 1 every offspring slot owns one evaluator (rebinding to a
+  /// new parent lazily on first use), with threads == 1 a single evaluator
+  /// serves all slots; both orderings reproduce the same result bit for
+  /// bit, and — given a conforming evaluator — the same result as run()
+  /// over full per-mutant recompilation.
+  static run_result run_incremental(const genotype& seed,
+                                    const incremental_factory& factory,
+                                    const options& opts, std::size_t threads,
+                                    rng& gen);
 };
 
 }  // namespace axc::cgp

@@ -82,7 +82,13 @@ genotype genotype::from_netlist(parameters params, const circuit::netlist& nl,
   return g;
 }
 
-void genotype::mutate(rng& gen) {
+void genotype::mutate(rng& gen) { mutate_impl(gen, nullptr); }
+
+void genotype::mutate(rng& gen, std::vector<std::uint32_t>& dirty) {
+  mutate_impl(gen, &dirty);
+}
+
+void genotype::mutate_impl(rng& gen, std::vector<std::uint32_t>* dirty) {
   const parameters& p = params_;
   const std::size_t node_gene_count = p.node_count() * 3;
   const std::size_t total = p.gene_count();
@@ -90,6 +96,7 @@ void genotype::mutate(rng& gen) {
 
   for (std::uint64_t m = 0; m < changes; ++m) {
     const std::uint64_t g = gen.below(total);
+    if (dirty != nullptr) dirty->push_back(static_cast<std::uint32_t>(g));
     if (g < node_gene_count) {
       const std::size_t k = g / 3;
       const std::size_t column = k / p.rows;
@@ -119,23 +126,34 @@ circuit::netlist genotype::decode() const {
   return nl;
 }
 
-circuit::netlist genotype::decode_cone() const {
+std::size_t genotype::mark_cone(std::vector<std::uint8_t>& flags) const {
   const parameters& p = params_;
   const std::uint32_t ni = static_cast<std::uint32_t>(p.num_inputs);
 
   // Reverse topological cone marking over the genes themselves, mirroring
   // netlist::active_mask() on the decoded netlist.
-  std::vector<std::uint8_t> active(nodes_.size(), 0);
+  flags.assign(nodes_.size(), 0);
   for (const std::uint32_t out : outputs_) {
-    if (out >= ni) active[out - ni] = 1;
+    if (out >= ni) flags[out - ni] = 1;
   }
+  std::size_t count = 0;
   for (std::size_t k = nodes_.size(); k-- > 0;) {
-    if (!active[k]) continue;
+    if (!flags[k]) continue;
+    ++count;
     const node_genes& n = nodes_[k];
     const circuit::gate_fn fn = p.function_set[n.fn];
-    if (circuit::depends_on_a(fn) && n.in0 >= ni) active[n.in0 - ni] = 1;
-    if (circuit::depends_on_b(fn) && n.in1 >= ni) active[n.in1 - ni] = 1;
+    if (circuit::depends_on_a(fn) && n.in0 >= ni) flags[n.in0 - ni] = 1;
+    if (circuit::depends_on_b(fn) && n.in1 >= ni) flags[n.in1 - ni] = 1;
   }
+  return count;
+}
+
+circuit::netlist genotype::decode_cone() const {
+  const parameters& p = params_;
+  const std::uint32_t ni = static_cast<std::uint32_t>(p.num_inputs);
+
+  std::vector<std::uint8_t> active;
+  mark_cone(active);
 
   // Emit active nodes in address order; ignored operands pointing at
   // inactive nodes rewire to address 0, as netlist::compacted() does.

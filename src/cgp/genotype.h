@@ -63,6 +63,22 @@ class genotype {
   /// within its legal range.  Always produces a valid genotype.
   void mutate(rng& gen);
 
+  /// As mutate(), additionally appending each mutated gene's flat index to
+  /// `dirty` (gene 3k+{0,1,2} = node k's in0/in1/fn gene; node_count()*3 + o
+  /// = output gene o).  Consumes the RNG identically to mutate(), so for a
+  /// fixed seed both overloads produce the same genotype.  Indices may
+  /// repeat, and a re-randomized gene may land on its previous value —
+  /// consumers of the incremental evaluation path filter for effective
+  /// change themselves.
+  void mutate(rng& gen, std::vector<std::uint32_t>& dirty);
+
+  /// The marking phase of decode_cone(): flags[k] = 1 iff node k is in the
+  /// transitive fan-in cone of the output genes (honouring functions that
+  /// ignore an operand).  Resizes `flags` to node_count(); returns the
+  /// number of active nodes.  This is the genotype-native cone membership
+  /// primitive of the incremental evaluation path — no netlist involved.
+  std::size_t mark_cone(std::vector<std::uint8_t>& flags) const;
+
   /// Decodes to the netlist IR (includes inactive nodes; netlist-level
   /// analyses mask them out).
   [[nodiscard]] circuit::netlist decode() const;
@@ -95,6 +111,9 @@ class genotype {
   /// past the last: sources are primary inputs plus nodes in columns
   /// [column - levels_back, column).
   [[nodiscard]] std::uint32_t random_source(std::size_t column, rng& gen) const;
+
+  /// Shared body of both mutate() overloads; `dirty` may be null.
+  void mutate_impl(rng& gen, std::vector<std::uint32_t>* dirty);
 
   parameters params_;
   std::vector<node_genes> nodes_;

@@ -74,16 +74,40 @@ constexpr std::uint8_t gate_truth_table(gate_fn fn) {
   return table;
 }
 
+namespace detail {
+
+/// Bit fn of the mask: does fn's output depend on operand a (resp. b)?
+/// Precomputed so the runtime query is one shift — cone marking asks this
+/// for every node of every mutant in the CGP search.
+consteval std::uint16_t dependence_mask(bool operand_a) {
+  std::uint16_t mask = 0;
+  for (std::size_t f = 0; f < gate_fn_count; ++f) {
+    const std::uint8_t t = gate_truth_table(static_cast<gate_fn>(f));
+    bool dep;
+    if (operand_a) {
+      dep = ((t >> 2) & 0b11) != (t & 0b11);
+    } else {
+      dep = (t & 0b101) != ((t >> 1) & 0b101);
+    }
+    if (dep) mask = static_cast<std::uint16_t>(mask | (1u << f));
+  }
+  return mask;
+}
+
+static_assert(gate_fn_count <= 16,
+              "dependence masks pack one bit per gate_fn into uint16_t");
+
+inline constexpr std::uint16_t dep_a_mask = dependence_mask(true);
+inline constexpr std::uint16_t dep_b_mask = dependence_mask(false);
+
+}  // namespace detail
+
 /// True when the function's output depends on operand a (respectively b).
 constexpr bool depends_on_a(gate_fn fn) {
-  const std::uint8_t t = gate_truth_table(fn);
-  return ((t >> 2) & 0b11) != (t & 0b11);
+  return ((detail::dep_a_mask >> static_cast<unsigned>(fn)) & 1) != 0;
 }
 constexpr bool depends_on_b(gate_fn fn) {
-  const std::uint8_t t = gate_truth_table(fn);
-  const std::uint8_t a0 = static_cast<std::uint8_t>(t & 0b101);
-  const std::uint8_t a1 = static_cast<std::uint8_t>((t >> 1) & 0b101);
-  return a0 != a1;
+  return ((detail::dep_b_mask >> static_cast<unsigned>(fn)) & 1) != 0;
 }
 
 /// Short mnemonic used in exports and logs.

@@ -97,7 +97,8 @@ void sim_program<W>::rebuild(const netlist& nl) {
     if (!active[k]) continue;
     const gate_node& g = gates[k];
     steps_.push_back(step{g.fn, static_cast<std::uint32_t>(remap_[g.in0] * W),
-                          static_cast<std::uint32_t>(remap_[g.in1] * W)});
+                          static_cast<std::uint32_t>(remap_[g.in1] * W),
+                          static_cast<std::uint32_t>(next_slot * W)});
     remap_[num_inputs_ + k] = next_slot++;
   }
 
@@ -117,10 +118,10 @@ void sim_program<W>::run(std::span<const std::uint64_t> inputs,
   std::uint64_t* const base = slots_.data();
   for (std::size_t i = 0; i < inputs.size(); ++i) base[i] = inputs[i];
 
-  std::uint64_t* out = base + num_inputs_ * W;
   for (const step& s : steps_) {
     const std::uint64_t* const a = base + s.in0;
     const std::uint64_t* const b = base + s.in1;
+    std::uint64_t* const out = base + s.out;
     // One branch per gate; each case is a W-wide plain-array bitwise loop
     // the compiler unrolls/vectorizes.
     switch (s.fn) {
@@ -146,7 +147,6 @@ void sim_program<W>::run(std::span<const std::uint64_t> inputs,
       AXC_LANE_OP(orn_ba, ~a[w] | b[w])
 #undef AXC_LANE_OP
     }
-    out += W;
   }
 
   for (std::size_t o = 0; o < output_slots_.size(); ++o) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "circuit/netlist.h"
+#include "support/assert.h"
 
 namespace axc::circuit {
 
@@ -79,6 +80,17 @@ std::vector<std::uint64_t> simulate_words(
 /// inputs[i*W .. i*W+W); outputs are packed the same way.  Lane l of every
 /// signal carries an independent 64-assignment block, so callers may mix
 /// arbitrary blocks in one pass.
+///
+/// Besides rebuild(netlist), a schedule can be built *manually* against a
+/// caller-defined slot space (reset/push_step/set_output_slot) and patched
+/// in place (patch_step/patch_output).  This is the genotype-native
+/// incremental compile path of the CGP search (cgp::cone_program): slots
+/// map 1:1 onto CGP addresses, so a point mutation patches one step instead
+/// of recompiling, and cone-membership changes never renumber operands.
+/// Manual schedules must keep the topological contract: every slot a step
+/// *reads* (per gate_fn operand dependence) is an input slot or the output
+/// slot of an earlier step.  Ignored operands may reference unwritten slots;
+/// run() never reads them.
 template <std::size_t W>
 class sim_program {
  public:
@@ -87,7 +99,7 @@ class sim_program {
   sim_program() = default;
   explicit sim_program(const netlist& nl) { rebuild(nl); }
 
-  /// Recompiles for `nl`, reusing internal storage.
+  /// Recompiles for `nl` (cone-restricted, dense slots), reusing storage.
   void rebuild(const netlist& nl);
 
   [[nodiscard]] std::size_t num_inputs() const { return num_inputs_; }
@@ -100,17 +112,75 @@ class sim_program {
   void run(std::span<const std::uint64_t> inputs,
            std::span<std::uint64_t> outputs);
 
+  // --- manual schedule construction & in-place patching ------------------
+  // Slot indices at this interface are *un*-premultiplied: inputs occupy
+  // slots [0, num_inputs); the caller owns the rest of [0, num_slots).
+
+  /// Starts a fresh manual schedule over `num_slots` total slots.  Keeps
+  /// storage; slot words beyond the current size are zero-initialized.
+  void reset(std::size_t num_inputs, std::size_t num_outputs,
+             std::size_t num_slots) {
+    AXC_EXPECTS(num_slots >= num_inputs);
+    num_inputs_ = num_inputs;
+    output_slots_.assign(num_outputs, 0);
+    steps_.clear();
+    slots_.resize(num_slots * W);
+  }
+
+  /// Appends a step writing `out_slot`; reads follow gate_fn dependence.
+  void push_step(gate_fn fn, std::uint32_t in0_slot, std::uint32_t in1_slot,
+                 std::uint32_t out_slot) {
+    steps_.push_back(step{fn, static_cast<std::uint32_t>(in0_slot * W),
+                          static_cast<std::uint32_t>(in1_slot * W),
+                          static_cast<std::uint32_t>(out_slot * W)});
+  }
+
+  /// Drops all steps but keeps the slot space and output bindings — the
+  /// cone-membership-changed refill path.
+  void clear_steps() { steps_.clear(); }
+
+  void set_output_slot(std::size_t o, std::uint32_t slot) {
+    output_slots_[o] = static_cast<std::uint32_t>(slot * W);
+  }
+
+  /// A step's current wiring, in un-premultiplied slot indices.
+  struct step_ref {
+    gate_fn fn;
+    std::uint32_t in0, in1, out;
+  };
+  [[nodiscard]] step_ref step_at(std::size_t i) const {
+    const step& s = steps_[i];
+    return step_ref{s.fn, static_cast<std::uint32_t>(s.in0 / W),
+                    static_cast<std::uint32_t>(s.in1 / W),
+                    static_cast<std::uint32_t>(s.out / W)};
+  }
+  /// Rewires step `i` in place (output slot is identity-stable by design).
+  void patch_step(std::size_t i, gate_fn fn, std::uint32_t in0_slot,
+                  std::uint32_t in1_slot) {
+    step& s = steps_[i];
+    s.fn = fn;
+    s.in0 = static_cast<std::uint32_t>(in0_slot * W);
+    s.in1 = static_cast<std::uint32_t>(in1_slot * W);
+  }
+  [[nodiscard]] std::uint32_t output_slot(std::size_t o) const {
+    return static_cast<std::uint32_t>(output_slots_[o] / W);
+  }
+  void patch_output(std::size_t o, std::uint32_t slot) {
+    output_slots_[o] = static_cast<std::uint32_t>(slot * W);
+  }
+
  private:
   struct step {
     gate_fn fn{gate_fn::const0};
-    std::uint32_t in0{0};  ///< dense slot offset, premultiplied by W
+    std::uint32_t in0{0};  ///< slot offset, premultiplied by W
     std::uint32_t in1{0};
+    std::uint32_t out{0};  ///< slot offset, premultiplied by W
   };
 
   std::vector<step> steps_;
   std::vector<std::uint32_t> output_slots_;  ///< premultiplied by W
   std::size_t num_inputs_{0};
-  std::vector<std::uint64_t> slots_;  ///< (inputs + active gates) * W words
+  std::vector<std::uint64_t> slots_;  ///< num_slots * W words
   std::vector<std::uint32_t> remap_;  ///< rebuild() scratch, reused
 };
 

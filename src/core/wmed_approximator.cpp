@@ -1,28 +1,112 @@
 #include "core/wmed_approximator.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
+#include "cgp/cone_program.h"
 #include "metrics/wmed_evaluator.h"
 #include "support/assert.h"
 #include "tech/analysis.h"
 
 namespace axc::core {
 
-wmed_approximator::wmed_approximator(approximation_config config)
+namespace {
+
+/// cgp::incremental_evaluator over the genotype-native pipeline: compile or
+/// patch the parent's cone schedule, run the bit-plane sweep with early
+/// abort at the target, estimate area straight from the active gate
+/// functions.  Every path is bit-identical to scoring decode_cone() through
+/// the netlist-based evaluator (parity-tested in
+/// tests/test_incremental_eval.cpp).
+template <metrics::component_spec Spec>
+class incremental_wmed final : public cgp::incremental_evaluator {
+ public:
+  incremental_wmed(const Spec& spec, const dist::pmf& d,
+                   const tech::cell_library& lib, double target)
+      : evaluator_(spec, d), lib_(&lib), target_(target) {}
+
+  cgp::evaluation evaluate_and_bind(const cgp::genotype& parent) override {
+    cone_.bind(parent);
+    parent_eval_ = score();
+    return parent_eval_;
+  }
+
+  void rebind(const cgp::genotype& parent,
+              const cgp::evaluation& eval) override {
+    cone_.bind(parent);
+    parent_eval_ = eval;
+  }
+
+  cgp::evaluation evaluate_child(
+      const cgp::genotype& parent, const cgp::genotype& child,
+      std::span<const std::uint32_t> dirty) override {
+    const cgp::cone_program::delta d = cone_.apply(parent, child, dirty);
+    // Phenotype-identical mutants (every mutated gene landed on its old
+    // value or in the inactive padding) score exactly like the parent.
+    if (d == cgp::cone_program::delta::identical) return parent_eval_;
+    const cgp::evaluation eval = score();
+    cone_.release_child(parent);
+    return eval;
+  }
+
+ private:
+  cgp::evaluation score() {
+    cgp::evaluation eval;
+    // Eq. 1: abort the error sweep once the candidate is proven infeasible;
+    // area is only ranked among feasible candidates.
+    eval.error = evaluator_.evaluate_program(cone_.program(), target_);
+    eval.feasible = eval.error <= target_;
+    eval.area =
+        eval.feasible ? tech::estimate_area(cone_.step_fns(), *lib_) : 0.0;
+    return eval;
+  }
+
+  metrics::basic_wmed_evaluator<Spec> evaluator_;
+  cgp::cone_program cone_;
+  const tech::cell_library* lib_;
+  double target_;
+  cgp::evaluation parent_eval_{};
+};
+
+}  // namespace
+
+template <metrics::component_spec Spec>
+std::unique_ptr<cgp::incremental_evaluator> make_incremental_wmed_evaluator(
+    const Spec& spec, const dist::pmf& d, const tech::cell_library& lib,
+    double target) {
+  return std::make_unique<incremental_wmed<Spec>>(spec, d, lib, target);
+}
+
+template <metrics::component_spec Spec>
+basic_wmed_approximator<Spec>::basic_wmed_approximator(
+    basic_approximation_config<Spec> config)
     : config_(std::move(config)) {
-  AXC_EXPECTS(config_.distribution.size() == config_.spec.operand_count());
+  // An unset distribution derives its size from the spec; a set one must
+  // match it — fail loudly instead of silently mis-weighting WMED.
+  if (config_.distribution.empty()) {
+    config_.distribution = dist::pmf::uniform(config_.spec.operand_count());
+  } else if (config_.distribution.size() != config_.spec.operand_count()) {
+    std::fprintf(stderr,
+                 "axc: approximation_config.distribution has %zu entries but "
+                 "spec width %u requires %zu\n",
+                 config_.distribution.size(), config_.spec.width,
+                 config_.spec.operand_count());
+    std::abort();
+  }
   AXC_EXPECTS(config_.library != nullptr);
   AXC_EXPECTS(!config_.function_set.empty());
 }
 
-evolved_design wmed_approximator::approximate(const circuit::netlist& seed,
-                                              double target,
-                                              std::size_t run_index) const {
+template <metrics::component_spec Spec>
+evolved_design basic_wmed_approximator<Spec>::approximate(
+    const circuit::netlist& seed, double target,
+    std::size_t run_index) const {
   AXC_EXPECTS(target >= 0.0 && target <= 1.0);
   AXC_EXPECTS(seed.num_inputs() == 2 * config_.spec.width);
-  AXC_EXPECTS(seed.num_outputs() == 2 * config_.spec.width);
+  AXC_EXPECTS(seed.num_outputs() == config_.spec.result_bits());
 
   cgp::parameters params;
   params.num_inputs = seed.num_inputs();
@@ -43,45 +127,59 @@ evolved_design wmed_approximator::approximate(const circuit::netlist& seed,
   const cgp::genotype start =
       cgp::genotype::from_netlist(params, seed, gen);
 
-  metrics::wmed_evaluator wmed(config_.spec, config_.distribution);
+  metrics::basic_wmed_evaluator<Spec> wmed(config_.spec,
+                                           config_.distribution);
   const tech::cell_library* lib = config_.library;
 
   cgp::evolver::options opts;
   opts.iterations = config_.iterations;
   opts.error_tiebreak = config_.error_tiebreak;
 
-  // Eq. 1: abort the error sweep once the candidate is proven infeasible;
-  // area is only ranked among feasible candidates.
-  const auto score = [lib, target](metrics::wmed_evaluator& evaluator,
-                                   const circuit::netlist& nl) {
-    const double error = evaluator.evaluate(nl, target);
-    cgp::evaluation eval;
-    eval.error = error;
-    eval.feasible = error <= target;
-    eval.area = eval.feasible ? tech::estimate_area(nl, *lib) : 0.0;
-    return eval;
-  };
+  cgp::evolver::run_result run = [&] {
+    if (config_.incremental && config_.spec.width >= 6) {
+      // Genotype-native pipeline: mutants never round-trip through a
+      // netlist; the parent's compiled schedule is shared and patched.
+      const cgp::evolver::incremental_factory factory = [this, target] {
+        return make_incremental_wmed_evaluator(
+            config_.spec, config_.distribution, *config_.library, target);
+      };
+      return cgp::evolver::run_incremental(start, factory, opts,
+                                           config_.threads, gen);
+    }
 
-  // Parallel lambda-evaluation gives every offspring slot a private
-  // evaluator (they carry per-candidate scratch and sim programs).
-  const cgp::evolver::evaluator_factory factory =
-      [this, score]() -> cgp::evolver::evaluate_fn {
-    auto evaluator = std::make_shared<metrics::wmed_evaluator>(
-        config_.spec, config_.distribution);
-    return [evaluator, score](const circuit::netlist& nl) {
-      return score(*evaluator, nl);
+    // Netlist-based fallback (small widths and parity testing).  Eq. 1
+    // scoring as above, with the sweep aborting at the target.
+    const auto score = [lib, target](
+                           metrics::basic_wmed_evaluator<Spec>& evaluator,
+                           const circuit::netlist& nl) {
+      const double error = evaluator.evaluate(nl, target);
+      cgp::evaluation eval;
+      eval.error = error;
+      eval.feasible = error <= target;
+      eval.area = eval.feasible ? tech::estimate_area(nl, *lib) : 0.0;
+      return eval;
     };
-  };
-  const cgp::evolver::run_result run =
-      config_.threads > 1
-          ? cgp::evolver::run_parallel(start, factory, opts, config_.threads,
-                                       gen)
-          : cgp::evolver::run(
-                start,
-                [&wmed, score](const circuit::netlist& nl) {
-                  return score(wmed, nl);
-                },
-                opts, gen);
+    if (config_.threads > 1) {
+      // Parallel lambda-evaluation gives every offspring slot a private
+      // evaluator (they carry per-candidate scratch and sim programs).
+      const cgp::evolver::evaluator_factory factory =
+          [this, score]() -> cgp::evolver::evaluate_fn {
+        auto evaluator = std::make_shared<metrics::basic_wmed_evaluator<Spec>>(
+            config_.spec, config_.distribution);
+        return [evaluator, score](const circuit::netlist& nl) {
+          return score(*evaluator, nl);
+        };
+      };
+      return cgp::evolver::run_parallel(start, factory, opts,
+                                        config_.threads, gen);
+    }
+    return cgp::evolver::run(
+        start,
+        [&wmed, score](const circuit::netlist& nl) {
+          return score(wmed, nl);
+        },
+        opts, gen);
+  }();
 
   evolved_design design{run.best.decode_cone(), 0.0, 0.0, target,
                         run_index, run.evaluations, run.improvements};
@@ -90,7 +188,8 @@ evolved_design wmed_approximator::approximate(const circuit::netlist& seed,
   return design;
 }
 
-std::vector<evolved_design> wmed_approximator::sweep(
+template <metrics::component_spec Spec>
+std::vector<evolved_design> basic_wmed_approximator<Spec>::sweep(
     const circuit::netlist& seed, std::span<const double> targets,
     const std::function<void(const evolved_design&)>& on_design) const {
   std::vector<evolved_design> designs;
@@ -103,6 +202,19 @@ std::vector<evolved_design> wmed_approximator::sweep(
   }
   return designs;
 }
+
+template class basic_wmed_approximator<metrics::mult_spec>;
+template class basic_wmed_approximator<metrics::adder_spec>;
+
+template std::unique_ptr<cgp::incremental_evaluator>
+make_incremental_wmed_evaluator<metrics::mult_spec>(const metrics::mult_spec&,
+                                                    const dist::pmf&,
+                                                    const tech::cell_library&,
+                                                    double);
+template std::unique_ptr<cgp::incremental_evaluator>
+make_incremental_wmed_evaluator<metrics::adder_spec>(
+    const metrics::adder_spec&, const dist::pmf&, const tech::cell_library&,
+    double);
 
 std::vector<double> default_wmed_targets() {
   // 14 log-spaced levels spanning the paper's WMED axis (0.0001 % .. 10 %),

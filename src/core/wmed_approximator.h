@@ -1,16 +1,29 @@
-// The paper's automated approximation method (Sec. III).
+// The paper's automated approximation method (Sec. III), generalized over
+// component classes.
 //
-// Given an exact seed multiplier, a data distribution D and a list of target
+// Given an exact seed circuit, a data distribution D and a list of target
 // error levels E_i, the approximator runs one CGP search per (target, run)
 // pair, each minimizing circuit area under the constraint WMED_D <= E_i
 // (Eq. 1), and returns the evolved designs.  Assembling a Pareto front from
 // several targets reproduces the paper's design-space exploration
 // methodology ("the design process is repeated for several target
 // approximation errors Ei in order to construct the Pareto front").
+//
+// The search is parameterized by a metrics::component_spec, so multipliers
+// (mult_spec) and adders (adder_spec) share one implementation — both run
+// the bit-plane WMED sweep; no per-candidate 2^(2w) tables anywhere in the
+// inner loop.  For fast-path widths (>= 6) candidates are evaluated through
+// the genotype-native incremental pipeline (cgp::cone_program +
+// evolver::run_incremental): mutants never materialize netlists, the
+// parent's compiled schedule is patched per mutant, and phenotype-identical
+// mutants reuse the parent's score.  The incremental path is bit-identical
+// to full per-mutant recompilation (`incremental` toggles it for parity
+// testing).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -18,15 +31,21 @@
 #include "cgp/genotype.h"
 #include "circuit/netlist.h"
 #include "dist/pmf.h"
+#include "metrics/adder_metrics.h"
+#include "metrics/component_spec.h"
 #include "metrics/mult_spec.h"
 #include "tech/cell_library.h"
 
 namespace axc::core {
 
-struct approximation_config {
-  metrics::mult_spec spec{};
-  /// Distribution of operand A (must have 2^width entries).
-  dist::pmf distribution{dist::pmf::uniform(256)};
+template <metrics::component_spec Spec>
+struct basic_approximation_config {
+  Spec spec{};
+  /// Distribution of operand A.  Leave empty (the default) to get the
+  /// uniform distribution over the spec's 2^width operand patterns; a
+  /// non-empty pmf must have exactly 2^width entries (checked with a clear
+  /// error), so non-8-bit widths can never be silently mis-weighted.
+  dist::pmf distribution{};
   /// CGP budget per run (generations of the (1+lambda) loop).
   std::size_t iterations{20000};
   /// Independent repetitions per target (paper: 10 resp. 25).
@@ -45,12 +64,20 @@ struct approximation_config {
   /// search budgets it steers the error budget into many small deviations,
   /// which application-level quality rewards.
   bool error_tiebreak{true};
+  /// Evaluate mutants through the genotype-native incremental pipeline
+  /// (fast-path widths only; smaller widths always use the netlist path).
+  /// Bit-identical either way — off is only useful for parity tests.
+  bool incremental{true};
   std::vector<circuit::gate_fn> function_set{
       circuit::default_function_set().begin(),
       circuit::default_function_set().end()};
   const tech::cell_library* library{&tech::cell_library::nangate45_like()};
   std::uint64_t rng_seed{1};
 };
+
+using approximation_config = basic_approximation_config<metrics::mult_spec>;
+using adder_approximation_config =
+    basic_approximation_config<metrics::adder_spec>;
 
 /// One evolved approximate circuit.
 struct evolved_design {
@@ -63,9 +90,10 @@ struct evolved_design {
   std::size_t improvements{0};
 };
 
-class wmed_approximator {
+template <metrics::component_spec Spec>
+class basic_wmed_approximator {
  public:
-  explicit wmed_approximator(approximation_config config);
+  explicit basic_wmed_approximator(basic_approximation_config<Spec> config);
 
   /// One CGP run at one target.  `run_index` only decorrelates the RNG.
   [[nodiscard]] evolved_design approximate(const circuit::netlist& seed,
@@ -78,11 +106,38 @@ class wmed_approximator {
       const circuit::netlist& seed, std::span<const double> targets,
       const std::function<void(const evolved_design&)>& on_design = {}) const;
 
-  [[nodiscard]] const approximation_config& config() const { return config_; }
+  [[nodiscard]] const basic_approximation_config<Spec>& config() const {
+    return config_;
+  }
 
  private:
-  approximation_config config_;
+  basic_approximation_config<Spec> config_;
 };
+
+extern template class basic_wmed_approximator<metrics::mult_spec>;
+extern template class basic_wmed_approximator<metrics::adder_spec>;
+
+using wmed_approximator = basic_wmed_approximator<metrics::mult_spec>;
+using adder_wmed_approximator = basic_wmed_approximator<metrics::adder_spec>;
+
+/// The incremental (genotype-native) evaluator the search uses when
+/// `incremental` is on: cone_program compile/patch + bit-plane sweep with
+/// early abort at `target` + netlist-free area estimation.  Exposed for
+/// benches and parity tests.
+template <metrics::component_spec Spec>
+std::unique_ptr<cgp::incremental_evaluator> make_incremental_wmed_evaluator(
+    const Spec& spec, const dist::pmf& d, const tech::cell_library& lib,
+    double target);
+
+extern template std::unique_ptr<cgp::incremental_evaluator>
+make_incremental_wmed_evaluator<metrics::mult_spec>(const metrics::mult_spec&,
+                                                    const dist::pmf&,
+                                                    const tech::cell_library&,
+                                                    double);
+extern template std::unique_ptr<cgp::incremental_evaluator>
+make_incremental_wmed_evaluator<metrics::adder_spec>(
+    const metrics::adder_spec&, const dist::pmf&, const tech::cell_library&,
+    double);
 
 /// The 14 log-spaced WMED targets (as fractions) used for case study 1,
 /// spanning the paper's 0.0001 % .. 10 % axis.

@@ -19,6 +19,14 @@ namespace axc::dist {
 
 class pmf {
  public:
+  /// Empty/unset distribution (size() == 0).  Consumers that take a pmf as
+  /// configuration treat an empty one as "derive the right default" — e.g.
+  /// core::approximation_config falls back to uniform over the component's
+  /// operand count instead of hard-coding a size.
+  pmf() = default;
+
+  [[nodiscard]] bool empty() const { return mass_.empty(); }
+
   /// Flat distribution over n patterns.
   static pmf uniform(std::size_t n);
 

@@ -25,11 +25,25 @@ struct adder_spec {
     return static_cast<double>(std::uint64_t{1} << (width + 1));
   }
 
+  // component_spec interface (metrics/component_spec.h): an adder drives
+  // w+1 unsigned sum bits.
+  [[nodiscard]] unsigned result_bits() const { return width + 1; }
+  [[nodiscard]] bool result_is_signed() const { return false; }
+  [[nodiscard]] std::int64_t result_value(std::uint64_t pattern) const {
+    const auto mask = (std::uint64_t{1} << (width + 1)) - 1;
+    return static_cast<std::int64_t>(pattern & mask);
+  }
+
   friend bool operator==(const adder_spec&, const adder_spec&) = default;
 };
 
 /// entry[(b << w) | a] = a + b.
 std::vector<std::int64_t> exact_sum_table(const adder_spec& spec);
+
+/// component_spec exact table hook.
+inline std::vector<std::int64_t> exact_result_table(const adder_spec& spec) {
+  return exact_sum_table(spec);
+}
 
 /// Sum table of a candidate adder netlist (w+1 outputs, unsigned decode).
 std::vector<std::int64_t> sum_table(const circuit::netlist& nl,

@@ -1,0 +1,36 @@
+// The interface contract a combinational component class must satisfy to
+// run on the bit-plane WMED fast path (basic_wmed_evaluator).
+//
+// The sweep only needs four facts about a component: how wide the two
+// operands are (inputs are A at 0..w-1, B at w..2w-1, both LSB first), how
+// many result bits the netlist drives (LSB first), how a result bit
+// pattern decodes to a value (and whether the top bit sign-extends), and
+// the exact result for every operand pair.  mult_spec and adder_spec model
+// the paper's two workloads; any further component class (MACs, dividers,
+// shifters) joins the fast path by satisfying this concept.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+namespace axc::metrics {
+
+template <typename S>
+concept component_spec = requires(const S s, std::uint64_t pattern) {
+  { s.width } -> std::convertible_to<unsigned>;
+  { s.operand_count() } -> std::same_as<std::size_t>;
+  { s.pair_count() } -> std::same_as<std::size_t>;
+  /// Number of result bits R the candidate netlist must output.
+  { s.result_bits() } -> std::convertible_to<unsigned>;
+  /// Whether result bit R-1 sign-extends (two's-complement results).
+  { s.result_is_signed() } -> std::same_as<bool>;
+  /// Decoded value of an R-bit result pattern.
+  { s.result_value(pattern) } -> std::same_as<std::int64_t>;
+  /// WMED normalization constant (the component's output range).
+  { s.output_scale() } -> std::same_as<double>;
+  /// entry[(b << w) | a] = exact result for operand patterns a, b.
+  { exact_result_table(s) } -> std::same_as<std::vector<std::int64_t>>;
+};
+
+}  // namespace axc::metrics

@@ -51,12 +51,25 @@ struct mult_spec {
     return static_cast<double>(std::uint64_t{1} << (2 * width));
   }
 
+  // component_spec interface (metrics/component_spec.h): a multiplier
+  // drives 2w product bits, signed iff the operands are.
+  [[nodiscard]] unsigned result_bits() const { return 2 * width; }
+  [[nodiscard]] bool result_is_signed() const { return is_signed; }
+  [[nodiscard]] std::int64_t result_value(std::uint64_t pattern) const {
+    return product_value(pattern);
+  }
+
   friend bool operator==(const mult_spec&, const mult_spec&) = default;
 };
 
 /// Exact products for every operand-pattern pair: entry[(b << w) | a] =
 /// value(a) * value(b).  Fits int32 for w <= 15.
 std::vector<std::int64_t> exact_product_table(const mult_spec& spec);
+
+/// component_spec exact table hook.
+inline std::vector<std::int64_t> exact_result_table(const mult_spec& spec) {
+  return exact_product_table(spec);
+}
 
 /// Product table of a candidate netlist (its functional signature):
 /// entry[(b << w) | a] = decoded product for operand patterns a, b.

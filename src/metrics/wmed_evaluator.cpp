@@ -8,8 +8,10 @@
 
 namespace axc::metrics {
 
-wmed_evaluator::wmed_evaluator(const mult_spec& spec, const dist::pmf& d)
-    : spec_(spec), exact_(exact_product_table(spec)) {
+template <component_spec Spec>
+basic_wmed_evaluator<Spec>::basic_wmed_evaluator(const Spec& spec,
+                                                 const dist::pmf& d)
+    : spec_(spec), exact_(exact_result_table(spec)) {
   AXC_EXPECTS(d.size() == spec.operand_count());
   AXC_EXPECTS(2 * spec.width >= 6);  // at least one full 64-wide block
   const double denom =
@@ -19,13 +21,13 @@ wmed_evaluator::wmed_evaluator(const mult_spec& spec, const dist::pmf& d)
 
   if (spec_.width < 6) return;  // small widths use the reference sweep
 
-  // --- operand-major exact product planes -------------------------------
+  // --- operand-major exact result planes --------------------------------
   // Block index: (a << (w-6)) | bhi with bhi = operand B >> 6; the 64
   // in-word slots enumerate B's low six bits, so operand A is constant per
   // block.
   const unsigned w = spec_.width;
   const std::size_t bhi_count = std::size_t{1} << (w - 6);
-  planes_ = 2 * w + 2;  // signed diff of two 2w-bit values, no wraparound
+  planes_ = spec_.result_bits() + 2;  // signed diff without wraparound
   block_count_ = std::size_t{1} << (2 * w - 6);
 
   exact_planes_.assign(block_count_ * planes_, 0);
@@ -35,7 +37,7 @@ wmed_evaluator::wmed_evaluator(const mult_spec& spec, const dist::pmf& d)
       std::uint64_t* const pl = &exact_planes_[block * planes_];
       for (std::size_t t = 0; t < 64; ++t) {
         const std::size_t b_op = (bhi << 6) | t;
-        // Two's-complement bits sign-extend negative exact products across
+        // Two's-complement bits sign-extend negative exact results across
         // all planes_ planes for free.
         const auto bits =
             static_cast<std::uint64_t>(exact_[(b_op << w) | a]);
@@ -67,12 +69,14 @@ wmed_evaluator::wmed_evaluator(const mult_spec& spec, const dist::pmf& d)
   err_sums_.resize(spec_.operand_count());
 }
 
-void wmed_evaluator::scan_block(std::size_t block, std::size_t lane) {
+template <component_spec Spec>
+void basic_wmed_evaluator<Spec>::scan_block(std::size_t block,
+                                            std::size_t lane) {
   const unsigned w = spec_.width;
-  const std::size_t no = 2 * w;
+  const std::size_t no = spec_.result_bits();
   const std::uint64_t* const eplanes = &exact_planes_[block * planes_];
   const std::uint64_t cext =
-      spec_.is_signed ? out_lanes_[(no - 1) * kLanes + lane] : 0;
+      spec_.result_is_signed() ? out_lanes_[(no - 1) * kLanes + lane] : 0;
 
   // diff = exact - candidate, bitwise borrow-propagate over planes_ planes
   // (64 assignments at once).
@@ -100,7 +104,8 @@ void wmed_evaluator::scan_block(std::size_t block, std::size_t lane) {
   err_sums_[block >> (w - 6)] += total;
 }
 
-double wmed_evaluator::weighted_total() const {
+template <component_spec Spec>
+double basic_wmed_evaluator<Spec>::weighted_total() const {
   double acc = 0.0;
   for (std::size_t a = 0; a < err_sums_.size(); ++a) {
     acc += weight_[a] * static_cast<double>(err_sums_[a]);
@@ -108,18 +113,13 @@ double wmed_evaluator::weighted_total() const {
   return acc;
 }
 
-double wmed_evaluator::evaluate(const circuit::netlist& nl,
-                                double abort_above) {
-  if (spec_.width < 6) return evaluate_reference(nl, abort_above);
-
+template <component_spec Spec>
+double basic_wmed_evaluator<Spec>::sweep(circuit::sim_program<kLanes>& program,
+                                         double abort_above) {
   const unsigned w = spec_.width;
-  AXC_EXPECTS(nl.num_inputs() == 2 * w);
-  AXC_EXPECTS(nl.num_outputs() == 2 * w);
-
-  program_.rebuild(nl);
   std::fill(err_sums_.begin(), err_sums_.end(), 0);
   in_lanes_.resize(2 * w * kLanes);
-  out_lanes_.resize(2 * w * kLanes);
+  out_lanes_.resize(spec_.result_bits() * kLanes);
 
   // Running abort accumulator; the completed sweep instead returns the
   // fixed-order reduction, which is independent of the visit order.
@@ -143,7 +143,7 @@ double wmed_evaluator::evaluate(const circuit::netlist& nl,
             (bhi >> (j - 6)) & 1 ? ~std::uint64_t{0} : 0;
       }
     }
-    program_.run(in_lanes_, out_lanes_);
+    program.run(in_lanes_, out_lanes_);
 
     for (std::size_t l = 0; l < n; ++l) {
       const std::uint32_t block = block_order_[pos + l];
@@ -157,10 +157,32 @@ double wmed_evaluator::evaluate(const circuit::netlist& nl,
   return weighted_total();
 }
 
-double wmed_evaluator::evaluate_reference(const circuit::netlist& nl,
-                                          double abort_above) {
+template <component_spec Spec>
+double basic_wmed_evaluator<Spec>::evaluate(const circuit::netlist& nl,
+                                            double abort_above) {
+  if (spec_.width < 6) return evaluate_reference(nl, abort_above);
+
   AXC_EXPECTS(nl.num_inputs() == 2 * spec_.width);
-  AXC_EXPECTS(nl.num_outputs() == 2 * spec_.width);
+  AXC_EXPECTS(nl.num_outputs() == spec_.result_bits());
+
+  program_.rebuild(nl);
+  return sweep(program_, abort_above);
+}
+
+template <component_spec Spec>
+double basic_wmed_evaluator<Spec>::evaluate_program(
+    circuit::sim_program<kLanes>& program, double abort_above) {
+  AXC_EXPECTS(spec_.width >= 6);
+  AXC_EXPECTS(program.num_inputs() == 2 * spec_.width);
+  AXC_EXPECTS(program.num_outputs() == spec_.result_bits());
+  return sweep(program, abort_above);
+}
+
+template <component_spec Spec>
+double basic_wmed_evaluator<Spec>::evaluate_reference(
+    const circuit::netlist& nl, double abort_above) {
+  AXC_EXPECTS(nl.num_inputs() == 2 * spec_.width);
+  AXC_EXPECTS(nl.num_outputs() == spec_.result_bits());
 
   const std::size_t ni = nl.num_inputs();
   const std::size_t no = nl.num_outputs();
@@ -180,7 +202,7 @@ double wmed_evaluator::evaluate_reference(const circuit::netlist& nl,
     }
     circuit::simulate_block(nl, in_words_, out_words_, scratch_);
 
-    // Gather packed products for the 64 assignments of this block.
+    // Gather packed results for the 64 assignments of this block.
     for (auto& r : raw) r = 0;
     for (std::size_t o = 0; o < no; ++o) {
       std::uint64_t w = out_words_[o];
@@ -195,7 +217,7 @@ double wmed_evaluator::evaluate_reference(const circuit::netlist& nl,
     for (std::size_t t = 0; t < 64; ++t) {
       const std::size_t v = base + t;
       const std::int64_t err =
-          exact_[v] - spec_.product_value(raw[t]);
+          exact_[v] - spec_.result_value(raw[t]);
       acc += weight_[v & a_mask] *
              static_cast<double>(err < 0 ? -err : err);
     }
@@ -203,5 +225,8 @@ double wmed_evaluator::evaluate_reference(const circuit::netlist& nl,
   }
   return acc;
 }
+
+template class basic_wmed_evaluator<mult_spec>;
+template class basic_wmed_evaluator<adder_spec>;
 
 }  // namespace axc::metrics

@@ -1,12 +1,17 @@
 // Fused simulate-and-score evaluator: the CGP inner loop.
 //
-// Evaluating WMED through product_table() allocates and fills a 2^(2w)
+// Evaluating WMED through a result table allocates and fills a 2^(2w)
 // table per candidate.  This evaluator instead folds the weighted error
 // accumulation into an exhaustive bit-parallel sweep and supports early
 // abort: once the partial sum exceeds the caller's bound the candidate is
 // already infeasible (the accumulated error only grows), so the remaining
 // blocks are skipped.  In an area-minimizing search most mutants are
 // infeasible, making the abort path the common case.
+//
+// The evaluator is generic over the component class: any spec satisfying
+// metrics::component_spec (multipliers, adders, ...) runs the same
+// operand-major bit-plane sweep — the table-based adder path is thereby
+// retired from the search loop (tables remain the parity reference).
 //
 // The fast path (operand width >= 6) rebuilds the sweep around three ideas:
 //
@@ -27,6 +32,11 @@
 // reduced in fixed operand order, so a completed evaluation returns a value
 // independent of the block visit order (and identical across serial and
 // parallel searches).
+//
+// Besides evaluate(netlist), evaluate_program() runs the same sweep over an
+// externally compiled/patched sim_program<8> — the genotype-native
+// incremental search path (cgp::cone_program), which never materializes a
+// netlist per mutant.
 #pragma once
 
 #include <cstdint>
@@ -36,13 +46,18 @@
 #include "circuit/netlist.h"
 #include "circuit/simulator.h"
 #include "dist/pmf.h"
+#include "metrics/adder_metrics.h"
+#include "metrics/component_spec.h"
 #include "metrics/mult_spec.h"
 
 namespace axc::metrics {
 
-class wmed_evaluator {
+template <component_spec Spec>
+class basic_wmed_evaluator {
  public:
-  wmed_evaluator(const mult_spec& spec, const dist::pmf& d);
+  static constexpr std::size_t lanes = 8;
+
+  basic_wmed_evaluator(const Spec& spec, const dist::pmf& d);
 
   /// WMED of the candidate in [0, 1].  If the running sum exceeds
   /// `abort_above` the sweep stops and the partial value (>= abort_above,
@@ -50,32 +65,43 @@ class wmed_evaluator {
   double evaluate(const circuit::netlist& nl,
                   double abort_above = std::numeric_limits<double>::infinity());
 
+  /// The fast sweep over an already-compiled (or incrementally patched)
+  /// program with 2w inputs and result_bits() outputs.  Bit-identical to
+  /// evaluate() on the netlist the program models.  Requires the fast path
+  /// (width >= 6).
+  double evaluate_program(
+      circuit::sim_program<lanes>& program,
+      double abort_above = std::numeric_limits<double>::infinity());
+
   /// The straightforward pre-refactor sweep (simulate_block + per-assignment
   /// gather, natural block order).  Kept as the parity/benchmark baseline.
   double evaluate_reference(
       const circuit::netlist& nl,
       double abort_above = std::numeric_limits<double>::infinity());
 
-  [[nodiscard]] const mult_spec& spec() const { return spec_; }
+  [[nodiscard]] const Spec& spec() const { return spec_; }
 
  private:
-  static constexpr std::size_t kLanes = 8;
+  static constexpr std::size_t kLanes = lanes;
 
+  /// The operand-major bit-plane sweep shared by evaluate() and
+  /// evaluate_program().
+  double sweep(circuit::sim_program<kLanes>& program, double abort_above);
   /// Accumulates one block's summed |error| into err_sums_ from the
   /// candidate output planes in lane `lane`.
   void scan_block(std::size_t block, std::size_t lane);
   /// Fixed-order weighted reduction of err_sums_ (the exact partial WMED).
   [[nodiscard]] double weighted_total() const;
 
-  mult_spec spec_;
-  /// weight[a] = D(a) / (2^w * 2^(2w)) so that WMED = sum weight[a]*|err|.
+  Spec spec_;
+  /// weight[a] = D(a) / (2^w * output_scale) so WMED = sum weight[a]*|err|.
   std::vector<double> weight_;
   std::vector<std::int64_t> exact_;
 
   // --- fast path (width >= 6) ---
-  std::size_t planes_{0};       ///< 2w + 2: signed diff without wraparound
+  std::size_t planes_{0};       ///< result_bits + 2: signed diff headroom
   std::size_t block_count_{0};  ///< 2^(2w-6), one operand A per block
-  /// Exact product bit planes per block, sign-extended to planes_ planes.
+  /// Exact result bit planes per block, sign-extended to planes_ planes.
   std::vector<std::uint64_t> exact_planes_;
   /// Sweep order: blocks of heavy-mass operands first.
   std::vector<std::uint32_t> block_order_;
@@ -90,5 +116,13 @@ class wmed_evaluator {
   std::vector<std::uint64_t> in_words_;
   std::vector<std::uint64_t> out_words_;
 };
+
+extern template class basic_wmed_evaluator<mult_spec>;
+extern template class basic_wmed_evaluator<adder_spec>;
+
+/// The paper's primary workload: w x w multipliers.
+using wmed_evaluator = basic_wmed_evaluator<mult_spec>;
+/// The second component class: w + w adders on the same fast path.
+using adder_wmed_evaluator = basic_wmed_evaluator<adder_spec>;
 
 }  // namespace axc::metrics

@@ -40,6 +40,14 @@ struct circuit_report {
 /// cell areas in um^2.
 double estimate_area(const circuit::netlist& nl, const cell_library& lib);
 
+/// Area of an already-extracted active cone given its gate functions in
+/// topological (emission) order — FP-identical to estimate_area() on the
+/// corresponding compacted netlist, whose gates are all active and appear
+/// in the same order.  Serves the genotype-native incremental search path
+/// (cgp::cone_program::step_fns), which never materializes a netlist.
+double estimate_area(std::span<const circuit::gate_fn> active_fns,
+                     const cell_library& lib);
+
 /// Static timing: critical-path delay in ps over active gates.
 double critical_path_ps(const circuit::netlist& nl, const cell_library& lib);
 

@@ -99,6 +99,38 @@ TEST(wmed_approximator, sweep_covers_targets_and_runs) {
   EXPECT_EQ(designs[3].target, 0.01);
 }
 
+TEST(wmed_approximator, default_distribution_derives_from_spec_width) {
+  // An unset distribution must become uniform over the spec's operand
+  // count — previously it defaulted to uniform(256) regardless of width,
+  // silently mis-weighting (or aborting on) non-8-bit searches.
+  for (const unsigned width : {4u, 6u, 8u}) {
+    approximation_config cfg;
+    cfg.spec = mult_spec{width, false};
+    const wmed_approximator approx(cfg);
+    EXPECT_EQ(approx.config().distribution.size(),
+              std::size_t{1} << width);
+  }
+}
+
+TEST(wmed_approximator, default_distribution_behaves_like_explicit_uniform) {
+  approximation_config defaulted;
+  defaulted.spec = mult_spec{4, false};
+  defaulted.iterations = 300;
+  defaulted.extra_columns = 12;
+  defaulted.rng_seed = 5;
+
+  approximation_config explicit_cfg = defaulted;
+  explicit_cfg.distribution = dist::pmf::uniform(16);
+
+  const circuit::netlist seed = mult::unsigned_multiplier(4);
+  const evolved_design a =
+      wmed_approximator(defaulted).approximate(seed, 0.01);
+  const evolved_design b =
+      wmed_approximator(explicit_cfg).approximate(seed, 0.01);
+  EXPECT_EQ(a.netlist, b.netlist);
+  EXPECT_EQ(a.wmed, b.wmed);
+}
+
 TEST(default_targets, fourteen_log_spaced) {
   const auto targets = default_wmed_targets();
   ASSERT_EQ(targets.size(), 14u);
