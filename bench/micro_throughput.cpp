@@ -9,6 +9,7 @@
 #include "cgp/genotype.h"
 #include "circuit/activity.h"
 #include "circuit/simulator.h"
+#include "core/search_session.h"
 #include "core/wmed_approximator.h"
 #include "data/digits.h"
 #include "dist/pmf.h"
@@ -349,6 +350,59 @@ void bm_evolver_generation_adder_table(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(bm_evolver_generation_adder_table);
+
+/// A small 8-bit session sweep (4 jobs x 24 generations) — the
+/// orchestration overhead benchmark.  The searches themselves are tiny, so
+/// what dominates is exactly what the session layer is supposed to
+/// amortize: building the evaluator's 2^16 exact table + bit planes.
+core::approximation_config sweep_session_config() {
+  core::approximation_config config;
+  config.spec = metrics::mult_spec{8, false};
+  config.distribution = dist::pmf::half_normal(256, 64.0);
+  config.iterations = 24;
+  config.runs_per_target = 2;
+  config.rng_seed = 17;
+  return config;
+}
+
+void bm_sweep_session(benchmark::State& state) {
+  // Shared-cache path: the handle builds the exact planes once per session
+  // and every job attaches to them.
+  const core::approximation_config config = sweep_session_config();
+  const circuit::netlist seed = mult::unsigned_multiplier(8);
+  core::sweep_plan plan;
+  plan.targets = {1e-4, 1e-2};
+  plan.runs_per_target = config.runs_per_target;
+  for (auto _ : state) {
+    core::search_session session(core::make_component(config), seed, plan);
+    session.run();
+    benchmark::DoNotOptimize(session.front().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
+}
+BENCHMARK(bm_sweep_session);
+
+void bm_sweep_session_cold_cache(benchmark::State& state) {
+  // The pre-session behaviour: every job rebuilds the evaluator tables
+  // from scratch (a fresh handle per job) — the baseline bm_sweep_session
+  // is measured against.
+  const core::approximation_config config = sweep_session_config();
+  const circuit::netlist seed = mult::unsigned_multiplier(8);
+  core::sweep_plan plan;
+  plan.targets = {1e-4, 1e-2};
+  plan.runs_per_target = config.runs_per_target;
+  for (auto _ : state) {
+    std::size_t designs = 0;
+    for (const core::sweep_job& job : plan.jobs()) {
+      const auto design = core::make_component(config).run_job(
+          seed, job.target, job.run_index);
+      designs += design.has_value();
+    }
+    benchmark::DoNotOptimize(designs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
+}
+BENCHMARK(bm_sweep_session_cold_cache);
 
 void bm_lut_multiply(benchmark::State& state) {
   const mult::product_lut lut =

@@ -1,22 +1,32 @@
-// Design-space exploration with the library's building blocks alone (no
-// evolution): enumerate truncated, broken-array and zero-exact multiplier
-// configurations, characterize error (four metrics) and hardware cost, and
-// print the Pareto-optimal set.  Useful as a fast baseline study and as a
-// template for plugging in custom generators via filtered_multiplier().
+// Design-space exploration, twice over:
+//
+//   Part 1 — enumerate the library's building blocks (truncated,
+//   broken-array and zero-exact multipliers), characterize error and
+//   hardware cost, and print the Pareto-optimal set: a fast baseline study
+//   with no evolution at all.
+//
+//   Part 2 — run the paper's evolutionary exploration through the session
+//   API: a sweep_plan over several WMED targets, job-parallel CGP runs
+//   sharing one evaluator cache, a live Pareto archive — and the
+//   checkpoint/resume flow: the sweep is cancelled midway, saved to disk,
+//   resumed from the file, and finishes with a front identical to an
+//   uninterrupted run's.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/design_flow.h"
 #include "core/pareto.h"
+#include "core/search_session.h"
 #include "metrics/error_metrics.h"
 #include "mult/multipliers.h"
 
-int main() {
+namespace {
+
+void enumerate_building_blocks(const axc::dist::pmf& d) {
   using namespace axc;
   const metrics::mult_spec spec{8, false};
   const auto exact = metrics::exact_product_table(spec);
-  const dist::pmf d = dist::pmf::half_normal(256, 64.0);
   const auto& lib = tech::cell_library::nangate45_like();
 
   struct row {
@@ -63,9 +73,85 @@ int main() {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     points.push_back({rows[i].wmed, rows[i].pdp, i});
   }
-  std::printf("\nPareto-optimal (WMED vs PDP):\n");
+  std::printf("\nPareto-optimal building blocks (WMED vs PDP):\n");
   for (const auto& p : core::pareto_front(points)) {
     std::printf("  %s\n", rows[p.index].name.c_str());
   }
+}
+
+void evolve_with_session(const axc::dist::pmf& d) {
+  using namespace axc;
+  constexpr const char* kCheckpoint = "explorer_session.axs";
+
+  core::approximation_config config;
+  config.spec = metrics::mult_spec{8, false};
+  config.distribution = d;
+  config.iterations = 1200;  // demo budget; the paper runs ~1 h per job
+  const core::component_handle component = core::make_component(config);
+  const circuit::netlist seed = mult::unsigned_multiplier(8);
+
+  core::sweep_plan plan;
+  plan.targets = {0.0005, 0.002, 0.01, 0.05};
+
+  // Phase 1: start the sweep, then cancel it from the progress stream
+  // after two jobs — as a deadline, a crash or a preempted worker would.
+  core::session_config options;
+  core::search_session* running = nullptr;
+  options.on_progress = [&](const core::progress_event& e) {
+    if (e.kind == core::progress_kind::job_finished) {
+      std::printf("  [job %zu] target %.3f%% -> WMED %.4f%% area %.1f\n",
+                  e.job_id, 100.0 * e.target, 100.0 * e.wmed, e.area_um2);
+      // >= not ==: with job_threads > 1 the completion counter can skip
+      // values between an increment and its event emission.
+      if (e.completed_jobs >= 2) running->request_stop();
+    }
+  };
+  core::search_session session(component, seed, plan, options);
+  running = &session;
+  std::printf("\nEvolutionary sweep, phase 1 (cancelled after 2 jobs):\n");
+  session.run();
+  session.save_file(kCheckpoint);
+  std::printf("  checkpointed %zu/%zu jobs to %s\n", session.completed_jobs(),
+              session.total_jobs(), kCheckpoint);
+
+  // Phase 2: resume from disk — completed designs are restored verbatim,
+  // only the remaining jobs run.  The final archive is identical to an
+  // uninterrupted sweep's (the session parity tests assert this bit for
+  // bit).
+  core::session_config resume_options;
+  resume_options.on_progress = [](const core::progress_event& e) {
+    if (e.kind == core::progress_kind::job_finished) {
+      std::printf("  [job %zu] target %.3f%% -> WMED %.4f%% area %.1f\n",
+                  e.job_id, 100.0 * e.target, 100.0 * e.wmed, e.area_um2);
+    }
+  };
+  auto resumed = core::search_session::resume_file(kCheckpoint, component,
+                                                   resume_options);
+  if (!resumed) {
+    std::printf("  resume failed (checkpoint/component mismatch)\n");
+    return;
+  }
+  std::printf("Evolutionary sweep, phase 2 (resumed %zu/%zu done):\n",
+              resumed->completed_jobs(), resumed->total_jobs());
+  resumed->run();
+
+  std::printf("\nEvolved Pareto front (WMED vs area):\n");
+  for (const auto& p : resumed->front()) {
+    // front() indices are job ids; design() is the id-safe lookup (it
+    // matters on partially completed sessions, where designs() is dense).
+    const auto design = resumed->design(p.index);
+    if (!design) continue;
+    std::printf("  target %.3f%%: WMED %.4f%%  area %.1f um2  (%zu gates)\n",
+                100.0 * design->target, 100.0 * p.x, p.y,
+                design->netlist.active_gate_count());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const axc::dist::pmf d = axc::dist::pmf::half_normal(256, 64.0);
+  enumerate_building_blocks(d);
+  evolve_with_session(d);
   return 0;
 }

@@ -1,17 +1,21 @@
-// Quickstart: evolve an application-tailored approximate multiplier in
-// ~20 lines of API use.
+// Quickstart: evolve application-tailored approximate multipliers through
+// the session API.
 //
 //   1. describe the operand distribution your application produces,
-//   2. pick WMED targets,
-//   3. hand a conventional multiplier to the approximator,
-//   4. get back smaller circuits + LUTs + electrical estimates.
+//   2. pick WMED targets and wrap the config in a component handle,
+//   3. run a search_session over the (targets x runs) plan — watching the
+//      structured progress stream as jobs improve,
+//   4. get back smaller circuits + LUTs + electrical estimates, and a
+//      checkpoint file you could resume or ship to another machine.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "circuit/export.h"
 #include "core/design_flow.h"
+#include "core/search_session.h"
 #include "mult/multipliers.h"
 
 int main() {
@@ -22,40 +26,74 @@ int main() {
   core::approximation_config config;
   config.spec = metrics::mult_spec{8, /*is_signed=*/false};
   config.iterations = 2000;  // raise for better results (paper: ~1 h/run)
+  config.distribution = dist::pmf::half_normal(256, 48.0);
 
-  const dist::pmf operand_dist = dist::pmf::half_normal(256, 48.0);
-  const std::vector<double> wmed_targets{0.0001, 0.001, 0.01};
+  core::sweep_plan plan;
+  plan.targets = {0.0001, 0.001, 0.01};
   const circuit::netlist seed = mult::unsigned_multiplier(8);
 
   std::printf("Evolving approximate 8x8 multipliers (seed: %zu gates)...\n",
               seed.num_gates());
-  const auto designs = core::design_for_distribution(
-      operand_dist, config, wmed_targets, seed);
 
-  std::printf("%-10s %10s %10s %10s %12s\n", "target%", "WMED%", "area_um2",
+  // The session runs one CGP job per (target, run) pair, shares the
+  // evaluator's exact-result planes across all jobs, and reports progress
+  // as a structured event stream.
+  core::session_config options;
+  options.on_progress = [](const core::progress_event& e) {
+    switch (e.kind) {
+      case core::progress_kind::job_started:
+        std::printf("[job %zu] target %.4f%% started\n", e.job_id,
+                    100.0 * e.target);
+        break;
+      case core::progress_kind::job_finished:
+        std::printf("[job %zu] done: WMED %.5f%%  area %.1f um2  (%zu/%zu)\n",
+                    e.job_id, 100.0 * e.wmed, e.area_um2, e.completed_jobs,
+                    e.total_jobs);
+        break;
+      default:
+        break;  // job_improved / job_generation ticks: too chatty here
+    }
+  };
+
+  core::search_session session(core::make_component(config), seed, plan,
+                               options);
+  session.run();
+
+  // Characterize each evolved design under the application's statistics.
+  const auto& lib = *config.library;
+  const auto designs = session.designs();
+  std::printf("\n%-10s %10s %10s %10s %12s\n", "target%", "WMED%", "area_um2",
               "power_uW", "gates");
   for (const auto& d : designs) {
-    std::printf("%-10.4f %10.4f %10.1f %10.2f %12zu\n",
-                100.0 * d.design.target, 100.0 * d.design.wmed,
-                d.multiplier_power.area_um2, d.multiplier_power.power_uw,
-                d.design.netlist.active_gate_count());
+    const auto power = core::characterize_multiplier(
+        d.netlist, config.spec, config.distribution, lib);
+    std::printf("%-10.4f %10.4f %10.1f %10.2f %12zu\n", 100.0 * d.target,
+                100.0 * d.wmed, power.area_um2, power.power_uw,
+                d.netlist.active_gate_count());
   }
 
-  // Use the LUT in software.  Operand A carries the distribution: the
+  // Use a LUT in software.  Operand A carries the distribution: the
   // evolved circuit is accurate where the application actually multiplies
   // (small A) and sloppy where it never looks (large A).
-  const auto& mid = designs[1];
+  const auto& mid_design = designs[1];
+  const mult::product_lut mid_lut(mid_design.netlist, config.spec);
   std::printf("\nLUT check (design @%.2f%% WMED):\n",
-              100.0 * mid.design.target);
+              100.0 * mid_design.target);
   std::printf("  likely operand:  9 x 200 = %6d (exact 1800)\n",
-              mid.lut.multiply(9, 200));
+              mid_lut.multiply(9, 200));
   std::printf("  rare operand:  200 x   9 = %6d (exact 1800)\n",
-              mid.lut.multiply(200, 9));
+              mid_lut.multiply(200, 9));
 
-  // ...and the netlist in hardware.
+  // ...the netlist in hardware...
   std::ofstream verilog("quickstart_multiplier.v");
-  circuit::write_verilog(verilog, designs.back().design.netlist,
-                         "approx_mult_8x8");
+  circuit::write_verilog(verilog, designs.back().netlist, "approx_mult_8x8");
   std::printf("Wrote quickstart_multiplier.v (structural Verilog).\n");
+
+  // ...and the whole session as a checkpoint: resume it later, merge it
+  // into a bigger study, or continue the sweep on another machine
+  // (see examples/design_space_explorer.cpp for the resume half).
+  if (session.save_file("quickstart_session.axs")) {
+    std::printf("Wrote quickstart_session.axs (session checkpoint).\n");
+  }
   return 0;
 }

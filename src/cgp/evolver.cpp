@@ -62,6 +62,10 @@ evolver::run_result run_core(const genotype& seed, const init_fn& initial,
   std::vector<evaluation> evals(lambda);
 
   for (std::size_t iter = 0; iter < opts.iterations; ++iter) {
+    if (opts.should_stop && opts.should_stop()) {
+      result.stopped = true;
+      break;
+    }
     // Mutation consumes the shared RNG serially, in offspring order —
     // identical draws whether evaluation below is serial or parallel.
     mutate_children(parent, children, gen);
@@ -88,6 +92,7 @@ evolver::run_result run_core(const genotype& seed, const init_fn& initial,
       }
     }
     ++result.iterations;
+    if (opts.on_generation) opts.on_generation(iter, parent_eval);
   }
 
   result.best = std::move(parent);

@@ -73,6 +73,11 @@ class evolver {
   /// Called whenever the parent strictly improves.
   using progress_fn =
       std::function<void(std::size_t iteration, const evaluation&)>;
+  /// Called after every generation with the parent's (best-so-far) score —
+  /// same shape as progress_fn, distinct name for call-site clarity.
+  using generation_fn = progress_fn;
+  /// Cooperative cancellation: polled once per generation, before mutating.
+  using stop_fn = std::function<bool()>;
 
   struct options {
     std::size_t iterations{10000};
@@ -84,6 +89,13 @@ class evolver {
     /// budgets (see DESIGN.md ablations).
     bool error_tiebreak{false};
     progress_fn on_improvement{};
+    generation_fn on_generation{};
+    /// Returning true ends the run before the next generation's mutation
+    /// draws; the best-so-far result is returned with `stopped` set.  A
+    /// stopped run consumed a prefix of the full run's RNG stream, so
+    /// restarting the search from scratch (not from the stopped parent) is
+    /// what reproduces the uninterrupted result.
+    stop_fn should_stop{};
   };
 
   struct run_result {
@@ -93,6 +105,7 @@ class evolver {
     std::size_t evaluations{0};
     std::size_t improvements{0};
     std::size_t neutral_moves{0};
+    bool stopped{false};  ///< options::should_stop ended the run early
   };
 
   /// Runs the (1 + lambda) ES from `seed`; lambda and mutation strength

@@ -5,6 +5,13 @@
 // evolve approximate multipliers for a set of WMED targets -> characterize
 // each design (power/delay/PDP under the application's operand statistics)
 // -> hand back LUTs ready to drop into the application model.
+//
+// The sweep underneath runs through core::search_session (see
+// search_session.h and src/core/README.md): job-graph expansion of
+// (targets x runs), shared evaluator caches, progress events, cooperative
+// cancellation and checkpoint/resume.  Use a session directly when you
+// need any of those; the helpers here stay the shortest path from a
+// distribution to characterized LUTs.
 #pragma once
 
 #include <cstdint>

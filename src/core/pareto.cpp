@@ -28,4 +28,29 @@ std::vector<pareto_point> pareto_front(std::span<const pareto_point> points) {
   return front;
 }
 
+bool pareto_archive::insert(const pareto_point& p) {
+  for (pareto_point& q : points_) {
+    if (q.x == p.x && q.y == p.y) {
+      // Coordinate tie: deterministic winner regardless of arrival order.
+      if (p.index < q.index) {
+        q.index = p.index;
+        return true;
+      }
+      return false;
+    }
+    if (dominates(q, p)) return false;
+  }
+
+  std::erase_if(points_,
+                [&p](const pareto_point& q) { return dominates(p, q); });
+  const auto pos = std::lower_bound(
+      points_.begin(), points_.end(), p,
+      [](const pareto_point& a, const pareto_point& b) {
+        if (a.x != b.x) return a.x < b.x;
+        return a.y < b.y;
+      });
+  points_.insert(pos, p);
+  return true;
+}
+
 }  // namespace axc::core

@@ -25,4 +25,29 @@ struct pareto_point {
 [[nodiscard]] std::vector<pareto_point> pareto_front(
     std::span<const pareto_point> points);
 
+/// Incrementally maintained non-dominated set: the live archive of a
+/// search_session, updated as designs stream in instead of re-running
+/// pareto_front() over the full history.  After any insertion sequence the
+/// archived coordinates equal pareto_front() of all inserted points, in any
+/// insertion order; on exact (x, y) ties the lowest index wins, so the
+/// archive is deterministic even when jobs finish in scheduler order.
+class pareto_archive {
+ public:
+  /// Returns true when p now sits in the archive (it was non-dominated, or
+  /// replaced an equal point with a higher index); dominated points are
+  /// rejected and dominated incumbents pruned.
+  bool insert(const pareto_point& p);
+
+  /// Ascending x, strictly descending y (the non-dominated invariant).
+  [[nodiscard]] const std::vector<pareto_point>& points() const {
+    return points_;
+  }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  void clear() { points_.clear(); }
+
+ private:
+  std::vector<pareto_point> points_;
+};
+
 }  // namespace axc::core

@@ -1,0 +1,479 @@
+#include "core/search_session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "circuit/serialize.h"
+#include "support/assert.h"
+#include "support/thread_pool.h"
+
+namespace axc::core {
+
+namespace {
+
+/// Shortest exact decimal representation: %.17g round-trips every double
+/// through the stream extractor, so checkpointed scores and targets compare
+/// bit-identical after resume.
+std::string format_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::nullopt_t resume_error(const char* what) {
+  std::fprintf(stderr, "axc: session resume: %s\n", what);
+  return std::nullopt;
+}
+
+constexpr std::string_view kMagic = "axc-session v1";
+
+/// Plan-size sanity bound for resume(): far above any real sweep (the
+/// paper uses 14 targets x 25 runs) but small enough that a corrupted
+/// count in a checkpoint is rejected instead of driving a huge allocation.
+constexpr std::size_t kMaxPlanEntries = std::size_t{1} << 20;
+
+}  // namespace
+
+std::vector<sweep_job> sweep_plan::jobs() const {
+  std::vector<sweep_job> expanded;
+  expanded.reserve(job_count());
+  std::size_t id = 0;
+  for (const double target : targets) {
+    for (std::size_t run = 0; run < runs_per_target; ++run) {
+      expanded.push_back(sweep_job{id++, target, run});
+    }
+  }
+  return expanded;
+}
+
+struct search_session::impl {
+  impl(component_handle component_in, circuit::netlist seed_in,
+       sweep_plan plan_in, session_config options_in)
+      : component(std::move(component_in)),
+        seed(std::move(seed_in)),
+        plan(std::move(plan_in)),
+        options(std::move(options_in)),
+        jobs(plan.jobs()),
+        results(jobs.size()) {
+    AXC_EXPECTS(static_cast<bool>(component));
+    // runs_per_target == 0 is a legal empty plan (legacy sweep() returned
+    // an empty result for it).
+    AXC_EXPECTS(seed.num_inputs() == component.seed_inputs());
+    AXC_EXPECTS(seed.num_outputs() == component.seed_outputs());
+  }
+
+  [[nodiscard]] progress_event base_event(progress_kind kind,
+                                          const sweep_job& job) const {
+    progress_event event;
+    event.kind = kind;
+    event.job_id = job.id;
+    event.target = job.target;
+    event.run_index = job.run_index;
+    event.completed_jobs = completed.load(std::memory_order_relaxed);
+    event.total_jobs = jobs.size();
+    return event;
+  }
+
+  /// Serializes observer callbacks on their own mutex, never the state
+  /// lock: slow observers (logging every generation) only throttle each
+  /// other, not workers updating results or readers calling
+  /// designs()/front()/save().  Observers may therefore call any session
+  /// accessor; no lock cycle exists because emit_mutex is never acquired
+  /// while state_mutex is held.
+  void emit(const progress_event& event) {
+    if (!options.on_progress) return;
+    std::scoped_lock lock(emit_mutex);
+    options.on_progress(event);
+  }
+
+  void run_one(const sweep_job& job) {
+    emit(base_event(progress_kind::job_started, job));
+
+    search_hooks hooks;
+    hooks.should_stop = [this] {
+      return stop.load(std::memory_order_relaxed);
+    };
+    if (options.on_progress) {
+      hooks.on_improvement = [this, job](std::size_t iteration,
+                                         const cgp::evaluation& eval) {
+        progress_event event = base_event(progress_kind::job_improved, job);
+        event.generation = iteration + 1;
+        event.wmed = eval.error;
+        event.area_um2 = eval.area;
+        emit(event);
+      };
+      if (options.generation_stride > 0) {
+        const std::size_t stride = options.generation_stride;
+        hooks.on_generation = [this, job, stride](
+                                  std::size_t iteration,
+                                  const cgp::evaluation& best) {
+          if ((iteration + 1) % stride != 0) return;
+          progress_event event =
+              base_event(progress_kind::job_generation, job);
+          event.generation = iteration + 1;
+          event.wmed = best.error;
+          event.area_um2 = best.area;
+          emit(event);
+        };
+      }
+    }
+
+    std::optional<evolved_design> design =
+        component.run_job(seed, job.target, job.run_index, hooks);
+    if (!design) return;  // cancelled mid-run: the job stays pending
+
+    // Publish under the state lock, notify outside it.  Reading the slot
+    // afterwards without the lock is safe: each slot is written exactly
+    // once, by this thread.
+    const evolved_design* published = nullptr;
+    {
+      std::scoped_lock lock(state_mutex);
+      archive.insert(pareto_point{design->wmed, design->area_um2, job.id});
+      results[job.id] = std::move(*design);
+      completed.fetch_add(1, std::memory_order_relaxed);
+      published = &*results[job.id];
+    }
+
+    progress_event event = base_event(progress_kind::job_finished, job);
+    event.generation = component.iterations();
+    event.wmed = published->wmed;
+    event.area_um2 = published->area_um2;
+    emit(event);
+    if (options.on_design) {
+      std::scoped_lock lock(emit_mutex);
+      options.on_design(*published);
+    }
+  }
+
+  void run() {
+    // No stop.store(false) here: a request_stop() racing run()'s start
+    // must win (run nothing).  The request is consumed once, at exit.
+    std::vector<sweep_job> pending;
+    {
+      std::scoped_lock lock(state_mutex);
+      for (const sweep_job& job : jobs) {
+        if (!results[job.id]) pending.push_back(job);
+      }
+    }
+
+    if (!pending.empty()) {
+      const std::size_t workers =
+          std::min(std::max<std::size_t>(options.job_threads, 1),
+                   pending.size());
+      if (workers <= 1) {
+        for (const sweep_job& job : pending) {
+          if (stop.load(std::memory_order_relaxed)) break;
+          run_one(job);
+        }
+      } else {
+        thread_pool pool(workers);
+        {
+          std::scoped_lock lock(pool_mutex);
+          active_pool = &pool;
+        }
+        for (const sweep_job& job : pending) {
+          pool.submit([this, job] {
+            if (!stop.load(std::memory_order_relaxed)) run_one(job);
+          });
+        }
+        pool.wait_idle();
+        {
+          std::scoped_lock lock(pool_mutex);
+          active_pool = nullptr;
+        }
+      }
+    }
+
+    // Consume the stop request so the next run() can re-run the abandoned
+    // jobs; record a stop only if it actually cut work short (a request
+    // landing after the final job completed does not make this run
+    // "stopped").
+    const bool requested = stop.exchange(false);
+    last_run_stopped.store(
+        requested && completed.load(std::memory_order_relaxed) != jobs.size());
+
+    // Once-only terminal event, even if run() is called again on an
+    // already-finished session.
+    if (completed.load(std::memory_order_relaxed) == jobs.size() &&
+        !finish_emitted.exchange(true)) {
+      progress_event event;
+      event.kind = progress_kind::session_finished;
+      event.completed_jobs = jobs.size();
+      event.total_jobs = jobs.size();
+      emit(event);
+    }
+  }
+
+  void save(std::ostream& os) const {
+    std::scoped_lock lock(state_mutex);
+    os << kMagic << "\n";
+    os << "component " << component.name() << "\n";
+    os << "width " << component.width() << "\n";
+    os << "rng-seed " << component.rng_seed() << "\n";
+    os << "iterations " << component.iterations() << "\n";
+    os << "fingerprint " << component.fingerprint() << "\n";
+    os << "runs-per-target " << plan.runs_per_target << "\n";
+    os << "targets " << plan.targets.size();
+    for (const double target : plan.targets) {
+      os << " " << format_double(target);
+    }
+    os << "\n";
+    os << "seed-netlist\n";
+    circuit::write_netlist(os, seed);
+
+    os << "completed " << completed.load(std::memory_order_relaxed) << "\n";
+    for (std::size_t id = 0; id < results.size(); ++id) {
+      if (!results[id]) continue;
+      const evolved_design& design = *results[id];
+      os << "job " << id << " target " << format_double(design.target)
+         << " run " << design.run_index << " wmed "
+         << format_double(design.wmed) << " area "
+         << format_double(design.area_um2) << " evaluations "
+         << design.evaluations << " improvements " << design.improvements
+         << "\n";
+      circuit::write_netlist(os, design.netlist);
+    }
+    os << "end\n";
+  }
+
+  component_handle component;
+  circuit::netlist seed;
+  sweep_plan plan;
+  session_config options;
+  std::vector<sweep_job> jobs;
+  std::vector<std::optional<evolved_design>> results;  ///< by job id
+  pareto_archive archive;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> last_run_stopped{false};
+  std::atomic<bool> finish_emitted{false};
+  std::atomic<std::size_t> completed{0};
+  /// Guards results/archive; never held while observer callbacks run.
+  mutable std::mutex state_mutex;
+  /// Serializes observer callbacks (on_progress/on_design).
+  std::mutex emit_mutex;
+  std::mutex pool_mutex;  ///< guards active_pool across run()/request_stop()
+  thread_pool* active_pool{nullptr};
+};
+
+search_session::search_session(component_handle component,
+                               circuit::netlist seed, sweep_plan plan,
+                               session_config options)
+    : impl_(std::make_unique<impl>(std::move(component), std::move(seed),
+                                   std::move(plan), std::move(options))) {}
+
+search_session::search_session(std::unique_ptr<impl> state)
+    : impl_(std::move(state)) {}
+
+search_session::search_session(search_session&&) noexcept = default;
+search_session& search_session::operator=(search_session&&) noexcept =
+    default;
+search_session::~search_session() = default;
+
+void search_session::run() { impl_->run(); }
+
+void search_session::request_stop() {
+  impl_->stop.store(true);
+  std::scoped_lock lock(impl_->pool_mutex);
+  if (impl_->active_pool != nullptr) impl_->active_pool->clear_pending();
+}
+
+bool search_session::stop_requested() const {
+  return impl_->stop.load(std::memory_order_relaxed);
+}
+
+bool search_session::stopped() const {
+  return impl_->last_run_stopped.load(std::memory_order_relaxed);
+}
+
+const component_handle& search_session::component() const {
+  return impl_->component;
+}
+
+const circuit::netlist& search_session::seed() const { return impl_->seed; }
+
+const sweep_plan& search_session::plan() const { return impl_->plan; }
+
+std::size_t search_session::total_jobs() const { return impl_->jobs.size(); }
+
+std::size_t search_session::completed_jobs() const {
+  return impl_->completed.load(std::memory_order_relaxed);
+}
+
+bool search_session::finished() const {
+  return completed_jobs() == total_jobs();
+}
+
+std::vector<evolved_design> search_session::designs() const {
+  std::scoped_lock lock(impl_->state_mutex);
+  std::vector<evolved_design> out;
+  out.reserve(impl_->jobs.size());
+  for (const auto& result : impl_->results) {
+    if (result) out.push_back(*result);
+  }
+  return out;
+}
+
+std::optional<evolved_design> search_session::design(
+    std::size_t job_id) const {
+  std::scoped_lock lock(impl_->state_mutex);
+  if (job_id >= impl_->results.size()) return std::nullopt;
+  return impl_->results[job_id];
+}
+
+std::vector<pareto_point> search_session::front() const {
+  std::scoped_lock lock(impl_->state_mutex);
+  return impl_->archive.points();
+}
+
+void search_session::save(std::ostream& os) const { impl_->save(os); }
+
+bool search_session::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  save(os);
+  return static_cast<bool>(os);
+}
+
+std::optional<search_session> search_session::resume(
+    std::istream& is, component_handle component, session_config options) {
+  if (!component) return resume_error("empty component handle");
+
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    return resume_error("bad magic line");
+  }
+
+  // `read_field("key", value)`: one "key value" line, keyword-checked.
+  const auto read_field = [&is, &line](const char* key, auto& value) {
+    if (!std::getline(is, line)) return false;
+    std::istringstream ls(line);
+    std::string k;
+    return static_cast<bool>(ls >> k >> value) && k == key;
+  };
+
+  std::string name;
+  if (!read_field("component", name)) {
+    return resume_error("missing component line");
+  }
+  if (name != component.name()) {
+    return resume_error("component name does not match the handle");
+  }
+  unsigned width = 0;
+  if (!read_field("width", width) || width != component.width()) {
+    return resume_error("component width does not match the handle");
+  }
+  std::uint64_t rng_seed = 0;
+  if (!read_field("rng-seed", rng_seed) ||
+      rng_seed != component.rng_seed()) {
+    return resume_error("rng seed does not match the handle");
+  }
+  std::size_t iterations = 0;
+  if (!read_field("iterations", iterations) ||
+      iterations != component.iterations()) {
+    return resume_error("iteration budget does not match the handle");
+  }
+  std::uint64_t fingerprint = 0;
+  if (!read_field("fingerprint", fingerprint) ||
+      fingerprint != component.fingerprint()) {
+    return resume_error(
+        "config fingerprint does not match the handle (distribution, "
+        "budget, function set or tie-break policy differ)");
+  }
+
+  sweep_plan plan;
+  if (!read_field("runs-per-target", plan.runs_per_target) ||
+      plan.runs_per_target > kMaxPlanEntries) {
+    return resume_error("bad runs-per-target line");
+  }
+  {
+    if (!std::getline(is, line)) return resume_error("missing targets line");
+    std::istringstream ls(line);
+    std::string k;
+    std::size_t count = 0;
+    if (!(ls >> k >> count) || k != "targets" || count > kMaxPlanEntries) {
+      return resume_error("bad targets line");
+    }
+    plan.targets.resize(count);
+    for (double& target : plan.targets) {
+      if (!(ls >> target)) return resume_error("truncated targets line");
+    }
+  }
+  if (plan.runs_per_target != 0 &&
+      plan.targets.size() > kMaxPlanEntries / plan.runs_per_target) {
+    return resume_error("plan expansion too large");
+  }
+
+  if (!std::getline(is, line) || line != "seed-netlist") {
+    return resume_error("missing seed-netlist section");
+  }
+  std::optional<circuit::netlist> seed = circuit::read_netlist(is);
+  if (!seed) return resume_error("malformed seed netlist");
+  if (seed->num_inputs() != component.seed_inputs() ||
+      seed->num_outputs() != component.seed_outputs()) {
+    return resume_error("seed netlist shape does not match the component");
+  }
+
+  std::size_t completed = 0;
+  if (!read_field("completed", completed)) {
+    return resume_error("bad completed line");
+  }
+
+  auto state = std::make_unique<impl>(std::move(component), *std::move(seed),
+                                      std::move(plan), std::move(options));
+  if (completed > state->jobs.size()) {
+    return resume_error("completed count exceeds the plan");
+  }
+
+  for (std::size_t j = 0; j < completed; ++j) {
+    if (!std::getline(is, line)) return resume_error("truncated job record");
+    std::istringstream ls(line);
+    std::string k0, k1, k2, k3, k4, k5, k6;
+    std::size_t id = 0, run_index = 0, evaluations = 0, improvements = 0;
+    double target = 0.0, wmed = 0.0, area = 0.0;
+    if (!(ls >> k0 >> id >> k1 >> target >> k2 >> run_index >> k3 >> wmed >>
+          k4 >> area >> k5 >> evaluations >> k6 >> improvements) ||
+        k0 != "job" || k1 != "target" || k2 != "run" || k3 != "wmed" ||
+        k4 != "area" || k5 != "evaluations" || k6 != "improvements") {
+      return resume_error("malformed job record");
+    }
+    if (id >= state->jobs.size() || state->results[id].has_value()) {
+      return resume_error("job record id out of range or duplicated");
+    }
+    if (target != state->jobs[id].target ||
+        run_index != state->jobs[id].run_index) {
+      return resume_error("job record does not match the plan expansion");
+    }
+    std::optional<circuit::netlist> nl = circuit::read_netlist(is);
+    if (!nl) return resume_error("malformed job netlist");
+    if (nl->num_inputs() != state->seed.num_inputs() ||
+        nl->num_outputs() != state->seed.num_outputs()) {
+      return resume_error("job netlist shape does not match the component");
+    }
+    state->archive.insert(pareto_point{wmed, area, id});
+    state->results[id] = evolved_design{*std::move(nl), wmed,       area,
+                                        target,         run_index,  evaluations,
+                                        improvements};
+  }
+  state->completed.store(completed, std::memory_order_relaxed);
+
+  if (!std::getline(is, line) || line != "end") {
+    return resume_error("missing end marker");
+  }
+  return search_session(std::move(state));
+}
+
+std::optional<search_session> search_session::resume_file(
+    const std::string& path, component_handle component,
+    session_config options) {
+  std::ifstream is(path);
+  if (!is) return resume_error("cannot open checkpoint file");
+  return resume(is, std::move(component), std::move(options));
+}
+
+}  // namespace axc::core

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "cgp/cone_program.h"
+#include "core/component_handle.h"
+#include "core/search_session.h"
 #include "metrics/wmed_evaluator.h"
 #include "support/assert.h"
 #include "tech/analysis.h"
@@ -24,9 +26,9 @@ namespace {
 template <metrics::component_spec Spec>
 class incremental_wmed final : public cgp::incremental_evaluator {
  public:
-  incremental_wmed(const Spec& spec, const dist::pmf& d,
+  incremental_wmed(wmed_shared_cache<Spec> cache,
                    const tech::cell_library& lib, double target)
-      : evaluator_(spec, d), lib_(&lib), target_(target) {}
+      : evaluator_(std::move(cache)), lib_(&lib), target_(target) {}
 
   cgp::evaluation evaluate_and_bind(const cgp::genotype& parent) override {
     cone_.bind(parent);
@@ -74,52 +76,65 @@ class incremental_wmed final : public cgp::incremental_evaluator {
 }  // namespace
 
 template <metrics::component_spec Spec>
-std::unique_ptr<cgp::incremental_evaluator> make_incremental_wmed_evaluator(
-    const Spec& spec, const dist::pmf& d, const tech::cell_library& lib,
-    double target) {
-  return std::make_unique<incremental_wmed<Spec>>(spec, d, lib, target);
-}
-
-template <metrics::component_spec Spec>
-basic_wmed_approximator<Spec>::basic_wmed_approximator(
-    basic_approximation_config<Spec> config)
-    : config_(std::move(config)) {
+void finalize_config(basic_approximation_config<Spec>& config) {
   // An unset distribution derives its size from the spec; a set one must
   // match it — fail loudly instead of silently mis-weighting WMED.
-  if (config_.distribution.empty()) {
-    config_.distribution = dist::pmf::uniform(config_.spec.operand_count());
-  } else if (config_.distribution.size() != config_.spec.operand_count()) {
+  if (config.distribution.empty()) {
+    config.distribution = dist::pmf::uniform(config.spec.operand_count());
+  } else if (config.distribution.size() != config.spec.operand_count()) {
     std::fprintf(stderr,
                  "axc: approximation_config.distribution has %zu entries but "
                  "spec width %u requires %zu\n",
-                 config_.distribution.size(), config_.spec.width,
-                 config_.spec.operand_count());
+                 config.distribution.size(), config.spec.width,
+                 config.spec.operand_count());
     std::abort();
   }
-  AXC_EXPECTS(config_.library != nullptr);
-  AXC_EXPECTS(!config_.function_set.empty());
+  AXC_EXPECTS(config.library != nullptr);
+  AXC_EXPECTS(!config.function_set.empty());
 }
 
 template <metrics::component_spec Spec>
-evolved_design basic_wmed_approximator<Spec>::approximate(
-    const circuit::netlist& seed, double target,
-    std::size_t run_index) const {
+std::unique_ptr<cgp::incremental_evaluator> make_incremental_wmed_evaluator(
+    wmed_shared_cache<Spec> cache, const tech::cell_library& lib,
+    double target) {
+  return std::make_unique<incremental_wmed<Spec>>(std::move(cache), lib,
+                                                  target);
+}
+
+template <metrics::component_spec Spec>
+std::unique_ptr<cgp::incremental_evaluator> make_incremental_wmed_evaluator(
+    const Spec& spec, const dist::pmf& d, const tech::cell_library& lib,
+    double target) {
+  return make_incremental_wmed_evaluator<Spec>(
+      metrics::basic_wmed_evaluator<Spec>::make_shared_state(spec, d), lib,
+      target);
+}
+
+template <metrics::component_spec Spec>
+std::optional<evolved_design> run_search_job(
+    const basic_approximation_config<Spec>& config,
+    const wmed_shared_cache<Spec>& cache, const circuit::netlist& seed,
+    double target, std::size_t run_index, const search_hooks& hooks) {
+  AXC_EXPECTS(cache != nullptr);
+  AXC_EXPECTS(cache->spec == config.spec);
   AXC_EXPECTS(target >= 0.0 && target <= 1.0);
-  AXC_EXPECTS(seed.num_inputs() == 2 * config_.spec.width);
-  AXC_EXPECTS(seed.num_outputs() == config_.spec.result_bits());
+  AXC_EXPECTS(seed.num_inputs() == 2 * config.spec.width);
+  AXC_EXPECTS(seed.num_outputs() == config.spec.result_bits());
 
   cgp::parameters params;
   params.num_inputs = seed.num_inputs();
   params.num_outputs = seed.num_outputs();
-  params.columns = seed.num_gates() + config_.extra_columns;
+  params.columns = seed.num_gates() + config.extra_columns;
   params.rows = 1;
   params.levels_back = params.columns;
-  params.function_set = config_.function_set;
-  params.max_mutations = config_.max_mutations;
-  params.lambda = config_.lambda;
+  params.function_set = config.function_set;
+  params.max_mutations = config.max_mutations;
+  params.lambda = config.lambda;
 
-  // Decorrelate runs/targets deterministically from the base seed.
-  std::uint64_t mix = config_.rng_seed;
+  // Decorrelate runs/targets deterministically from the base seed; the
+  // stream depends only on (rng_seed, target, run_index), never on job
+  // scheduling, so sessions can run jobs in any order on any thread.
+  std::uint64_t mix = config.rng_seed;
   mix ^= 0x9e3779b97f4a7c15ULL * (run_index + 1);
   mix ^= static_cast<std::uint64_t>(target * 1e12) * 0xd1342543de82ef95ULL;
   rng gen(splitmix64(mix));
@@ -127,24 +142,26 @@ evolved_design basic_wmed_approximator<Spec>::approximate(
   const cgp::genotype start =
       cgp::genotype::from_netlist(params, seed, gen);
 
-  metrics::basic_wmed_evaluator<Spec> wmed(config_.spec,
-                                           config_.distribution);
-  const tech::cell_library* lib = config_.library;
+  metrics::basic_wmed_evaluator<Spec> wmed(cache);
+  const tech::cell_library* lib = config.library;
 
   cgp::evolver::options opts;
-  opts.iterations = config_.iterations;
-  opts.error_tiebreak = config_.error_tiebreak;
+  opts.iterations = config.iterations;
+  opts.error_tiebreak = config.error_tiebreak;
+  opts.on_improvement = hooks.on_improvement;
+  opts.on_generation = hooks.on_generation;
+  opts.should_stop = hooks.should_stop;
 
   cgp::evolver::run_result run = [&] {
-    if (config_.incremental && config_.spec.width >= 6) {
+    if (config.incremental && config.spec.width >= 6) {
       // Genotype-native pipeline: mutants never round-trip through a
       // netlist; the parent's compiled schedule is shared and patched.
-      const cgp::evolver::incremental_factory factory = [this, target] {
-        return make_incremental_wmed_evaluator(
-            config_.spec, config_.distribution, *config_.library, target);
+      const cgp::evolver::incremental_factory factory = [&cache, lib,
+                                                         target] {
+        return make_incremental_wmed_evaluator<Spec>(cache, *lib, target);
       };
       return cgp::evolver::run_incremental(start, factory, opts,
-                                           config_.threads, gen);
+                                           config.threads, gen);
     }
 
     // Netlist-based fallback (small widths and parity testing).  Eq. 1
@@ -159,19 +176,19 @@ evolved_design basic_wmed_approximator<Spec>::approximate(
       eval.area = eval.feasible ? tech::estimate_area(nl, *lib) : 0.0;
       return eval;
     };
-    if (config_.threads > 1) {
+    if (config.threads > 1) {
       // Parallel lambda-evaluation gives every offspring slot a private
       // evaluator (they carry per-candidate scratch and sim programs).
       const cgp::evolver::evaluator_factory factory =
-          [this, score]() -> cgp::evolver::evaluate_fn {
-        auto evaluator = std::make_shared<metrics::basic_wmed_evaluator<Spec>>(
-            config_.spec, config_.distribution);
+          [&cache, score]() -> cgp::evolver::evaluate_fn {
+        auto evaluator =
+            std::make_shared<metrics::basic_wmed_evaluator<Spec>>(cache);
         return [evaluator, score](const circuit::netlist& nl) {
           return score(*evaluator, nl);
         };
       };
       return cgp::evolver::run_parallel(start, factory, opts,
-                                        config_.threads, gen);
+                                        config.threads, gen);
     }
     return cgp::evolver::run(
         start,
@@ -181,6 +198,8 @@ evolved_design basic_wmed_approximator<Spec>::approximate(
         opts, gen);
   }();
 
+  if (run.stopped) return std::nullopt;
+
   evolved_design design{run.best.decode_cone(), 0.0, 0.0, target,
                         run_index, run.evaluations, run.improvements};
   design.wmed = wmed.evaluate(design.netlist);
@@ -189,22 +208,58 @@ evolved_design basic_wmed_approximator<Spec>::approximate(
 }
 
 template <metrics::component_spec Spec>
+basic_wmed_approximator<Spec>::basic_wmed_approximator(
+    basic_approximation_config<Spec> config)
+    : config_(std::move(config)) {
+  finalize_config(config_);
+  cache_ = metrics::basic_wmed_evaluator<Spec>::make_shared_state(
+      config_.spec, config_.distribution);
+}
+
+template <metrics::component_spec Spec>
+evolved_design basic_wmed_approximator<Spec>::approximate(
+    const circuit::netlist& seed, double target,
+    std::size_t run_index) const {
+  // No stop hook, so the job always completes.
+  return *run_search_job(config_, cache_, seed, target, run_index);
+}
+
+template <metrics::component_spec Spec>
 std::vector<evolved_design> basic_wmed_approximator<Spec>::sweep(
     const circuit::netlist& seed, std::span<const double> targets,
     const std::function<void(const evolved_design&)>& on_design) const {
-  std::vector<evolved_design> designs;
-  designs.reserve(targets.size() * config_.runs_per_target);
-  for (const double target : targets) {
-    for (std::size_t run = 0; run < config_.runs_per_target; ++run) {
-      designs.push_back(approximate(seed, target, run));
-      if (on_design) on_design(designs.back());
-    }
-  }
-  return designs;
+  // One single-plan serial session: same job order and RNG streams as the
+  // historic nested target/run loop, with the evaluator cache shared
+  // across all jobs.
+  sweep_plan plan;
+  plan.targets.assign(targets.begin(), targets.end());
+  plan.runs_per_target = config_.runs_per_target;
+
+  session_config options;
+  options.on_design = on_design;
+
+  search_session session(make_component(config_, cache_), seed,
+                         std::move(plan), std::move(options));
+  session.run();
+  return session.designs();
 }
 
 template class basic_wmed_approximator<metrics::mult_spec>;
 template class basic_wmed_approximator<metrics::adder_spec>;
+
+template void finalize_config<metrics::mult_spec>(
+    basic_approximation_config<metrics::mult_spec>&);
+template void finalize_config<metrics::adder_spec>(
+    basic_approximation_config<metrics::adder_spec>&);
+
+template std::optional<evolved_design> run_search_job<metrics::mult_spec>(
+    const basic_approximation_config<metrics::mult_spec>&,
+    const wmed_shared_cache<metrics::mult_spec>&, const circuit::netlist&,
+    double, std::size_t, const search_hooks&);
+template std::optional<evolved_design> run_search_job<metrics::adder_spec>(
+    const basic_approximation_config<metrics::adder_spec>&,
+    const wmed_shared_cache<metrics::adder_spec>&, const circuit::netlist&,
+    double, std::size_t, const search_hooks&);
 
 template std::unique_ptr<cgp::incremental_evaluator>
 make_incremental_wmed_evaluator<metrics::mult_spec>(const metrics::mult_spec&,
@@ -215,6 +270,12 @@ template std::unique_ptr<cgp::incremental_evaluator>
 make_incremental_wmed_evaluator<metrics::adder_spec>(
     const metrics::adder_spec&, const dist::pmf&, const tech::cell_library&,
     double);
+template std::unique_ptr<cgp::incremental_evaluator>
+make_incremental_wmed_evaluator<metrics::mult_spec>(
+    wmed_shared_cache<metrics::mult_spec>, const tech::cell_library&, double);
+template std::unique_ptr<cgp::incremental_evaluator>
+make_incremental_wmed_evaluator<metrics::adder_spec>(
+    wmed_shared_cache<metrics::adder_spec>, const tech::cell_library&, double);
 
 std::vector<double> default_wmed_targets() {
   // 14 log-spaced levels spanning the paper's WMED axis (0.0001 % .. 10 %),

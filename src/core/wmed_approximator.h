@@ -9,6 +9,12 @@
 // methodology ("the design process is repeated for several target
 // approximation errors Ei in order to construct the Pareto front").
 //
+// Orchestration note: approximate() and sweep() are thin wrappers over the
+// session layer (core::run_search_job / core::search_session) — one job
+// per (target, run) pair, all jobs sharing this approximator's immutable
+// evaluator cache.  search_session.h adds job parallelism, progress
+// events, cancellation and checkpoint/resume on the same primitives.
+//
 // The search is parameterized by a metrics::component_spec, so multipliers
 // (mult_spec) and adders (adder_spec) share one implementation — both run
 // the bit-plane WMED sweep; no per-candidate 2^(2w) tables anywhere in the
@@ -24,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -34,6 +41,7 @@
 #include "metrics/adder_metrics.h"
 #include "metrics/component_spec.h"
 #include "metrics/mult_spec.h"
+#include "metrics/wmed_evaluator.h"
 #include "tech/cell_library.h"
 
 namespace axc::core {
@@ -79,6 +87,19 @@ using approximation_config = basic_approximation_config<metrics::mult_spec>;
 using adder_approximation_config =
     basic_approximation_config<metrics::adder_spec>;
 
+/// Finalizes a config in place: an unset distribution becomes uniform over
+/// the spec's operand count, a set one must match it (aborts with a clear
+/// error otherwise), and the library/function-set invariants are checked.
+/// Every entry point that accepts a config (approximator, component_handle)
+/// funnels through this.
+template <metrics::component_spec Spec>
+void finalize_config(basic_approximation_config<Spec>& config);
+
+extern template void finalize_config<metrics::mult_spec>(
+    basic_approximation_config<metrics::mult_spec>&);
+extern template void finalize_config<metrics::adder_spec>(
+    basic_approximation_config<metrics::adder_spec>&);
+
 /// One evolved approximate circuit.
 struct evolved_design {
   circuit::netlist netlist;  ///< compacted (inactive gates removed)
@@ -89,6 +110,46 @@ struct evolved_design {
   std::size_t evaluations{0};
   std::size_t improvements{0};
 };
+
+/// Observation and cancellation hooks threaded through one search job (one
+/// CGP run).  All optional; semantics follow cgp::evolver::options.
+struct search_hooks {
+  cgp::evolver::progress_fn on_improvement{};
+  cgp::evolver::generation_fn on_generation{};
+  cgp::evolver::stop_fn should_stop{};
+};
+
+/// The per-(spec, distribution) immutable evaluator tables a sweep shares
+/// across runs (exact-result table / bit planes / block order).
+template <metrics::component_spec Spec>
+using wmed_shared_state =
+    typename metrics::basic_wmed_evaluator<Spec>::shared_state;
+template <metrics::component_spec Spec>
+using wmed_shared_cache = std::shared_ptr<const wmed_shared_state<Spec>>;
+
+/// One CGP run at one (target, run_index) against a pre-built shared cache
+/// — the unit of work a search_session schedules.  The RNG stream is a pure
+/// function of (config.rng_seed, target, run_index), so jobs are
+/// order-independent and job-parallel sweeps are bit-identical to serial
+/// ones.  Returns nullopt iff hooks.should_stop ended the run early (a
+/// cancelled job must be re-run from scratch; see evolver::options).
+/// `config` must already be finalized (finalize_config).
+template <metrics::component_spec Spec>
+[[nodiscard]] std::optional<evolved_design> run_search_job(
+    const basic_approximation_config<Spec>& config,
+    const wmed_shared_cache<Spec>& cache, const circuit::netlist& seed,
+    double target, std::size_t run_index, const search_hooks& hooks = {});
+
+extern template std::optional<evolved_design>
+run_search_job<metrics::mult_spec>(
+    const basic_approximation_config<metrics::mult_spec>&,
+    const wmed_shared_cache<metrics::mult_spec>&, const circuit::netlist&,
+    double, std::size_t, const search_hooks&);
+extern template std::optional<evolved_design>
+run_search_job<metrics::adder_spec>(
+    const basic_approximation_config<metrics::adder_spec>&,
+    const wmed_shared_cache<metrics::adder_spec>&, const circuit::netlist&,
+    double, std::size_t, const search_hooks&);
 
 template <metrics::component_spec Spec>
 class basic_wmed_approximator {
@@ -101,7 +162,10 @@ class basic_wmed_approximator {
                                            std::size_t run_index = 0) const;
 
   /// Full sweep: every target x runs_per_target.  `on_design` (optional)
-  /// observes designs as they complete.
+  /// observes designs as they complete.  Thin wrapper over a single-plan
+  /// core::search_session (serial job order, shared evaluator cache); use a
+  /// session directly for job parallelism, progress events, cancellation
+  /// and checkpointing.
   [[nodiscard]] std::vector<evolved_design> sweep(
       const circuit::netlist& seed, std::span<const double> targets,
       const std::function<void(const evolved_design&)>& on_design = {}) const;
@@ -110,8 +174,15 @@ class basic_wmed_approximator {
     return config_;
   }
 
+  /// The per-(spec, distribution) evaluator tables, built once at
+  /// construction and reused by every approximate()/sweep() call.
+  [[nodiscard]] const wmed_shared_cache<Spec>& shared_cache() const {
+    return cache_;
+  }
+
  private:
   basic_approximation_config<Spec> config_;
+  wmed_shared_cache<Spec> cache_;
 };
 
 extern template class basic_wmed_approximator<metrics::mult_spec>;
@@ -128,6 +199,20 @@ template <metrics::component_spec Spec>
 std::unique_ptr<cgp::incremental_evaluator> make_incremental_wmed_evaluator(
     const Spec& spec, const dist::pmf& d, const tech::cell_library& lib,
     double target);
+
+/// Same, attaching to a pre-built shared cache instead of rebuilding the
+/// exact planes — what run_search_job hands each lambda slot.
+template <metrics::component_spec Spec>
+std::unique_ptr<cgp::incremental_evaluator> make_incremental_wmed_evaluator(
+    wmed_shared_cache<Spec> cache, const tech::cell_library& lib,
+    double target);
+
+extern template std::unique_ptr<cgp::incremental_evaluator>
+make_incremental_wmed_evaluator<metrics::mult_spec>(
+    wmed_shared_cache<metrics::mult_spec>, const tech::cell_library&, double);
+extern template std::unique_ptr<cgp::incremental_evaluator>
+make_incremental_wmed_evaluator<metrics::adder_spec>(
+    wmed_shared_cache<metrics::adder_spec>, const tech::cell_library&, double);
 
 extern template std::unique_ptr<cgp::incremental_evaluator>
 make_incremental_wmed_evaluator<metrics::mult_spec>(const metrics::mult_spec&,

@@ -3,45 +3,50 @@
 #include <algorithm>
 #include <bit>
 #include <numeric>
+#include <utility>
 
 #include "support/assert.h"
 
 namespace axc::metrics {
 
 template <component_spec Spec>
-basic_wmed_evaluator<Spec>::basic_wmed_evaluator(const Spec& spec,
-                                                 const dist::pmf& d)
-    : spec_(spec), exact_(exact_result_table(spec)) {
+std::shared_ptr<const typename basic_wmed_evaluator<Spec>::shared_state>
+basic_wmed_evaluator<Spec>::make_shared_state(const Spec& spec,
+                                              const dist::pmf& d) {
   AXC_EXPECTS(d.size() == spec.operand_count());
   AXC_EXPECTS(2 * spec.width >= 6);  // at least one full 64-wide block
+
+  auto state = std::make_shared<shared_state>();
+  state->spec = spec;
+  state->exact = exact_result_table(spec);
   const double denom =
       static_cast<double>(spec.operand_count()) * spec.output_scale();
-  weight_.resize(d.size());
-  for (std::size_t a = 0; a < d.size(); ++a) weight_[a] = d[a] / denom;
+  state->weight.resize(d.size());
+  for (std::size_t a = 0; a < d.size(); ++a) state->weight[a] = d[a] / denom;
 
-  if (spec_.width < 6) return;  // small widths use the reference sweep
+  if (spec.width < 6) return state;  // small widths use the reference sweep
 
   // --- operand-major exact result planes --------------------------------
   // Block index: (a << (w-6)) | bhi with bhi = operand B >> 6; the 64
   // in-word slots enumerate B's low six bits, so operand A is constant per
   // block.
-  const unsigned w = spec_.width;
+  const unsigned w = spec.width;
   const std::size_t bhi_count = std::size_t{1} << (w - 6);
-  planes_ = spec_.result_bits() + 2;  // signed diff without wraparound
-  block_count_ = std::size_t{1} << (2 * w - 6);
+  state->planes = spec.result_bits() + 2;  // signed diff without wraparound
+  state->block_count = std::size_t{1} << (2 * w - 6);
 
-  exact_planes_.assign(block_count_ * planes_, 0);
-  for (std::size_t a = 0; a < spec_.operand_count(); ++a) {
+  state->exact_planes.assign(state->block_count * state->planes, 0);
+  for (std::size_t a = 0; a < spec.operand_count(); ++a) {
     for (std::size_t bhi = 0; bhi < bhi_count; ++bhi) {
       const std::size_t block = (a << (w - 6)) | bhi;
-      std::uint64_t* const pl = &exact_planes_[block * planes_];
+      std::uint64_t* const pl = &state->exact_planes[block * state->planes];
       for (std::size_t t = 0; t < 64; ++t) {
         const std::size_t b_op = (bhi << 6) | t;
         // Two's-complement bits sign-extend negative exact results across
-        // all planes_ planes for free.
+        // all planes for free.
         const auto bits =
-            static_cast<std::uint64_t>(exact_[(b_op << w) | a]);
-        for (std::size_t p = 0; p < planes_; ++p) {
+            static_cast<std::uint64_t>(state->exact[(b_op << w) | a]);
+        for (std::size_t p = 0; p < state->planes; ++p) {
           pl[p] |= ((bits >> p) & 1) << t;
         }
       }
@@ -52,37 +57,51 @@ basic_wmed_evaluator<Spec>::basic_wmed_evaluator(const Spec& spec,
   // Heaviest D(a) mass first: on infeasible mutants the early-abort bound
   // accumulates fastest and trips after the fewest blocks.  Ties (and the
   // uniform distribution) fall back to ascending a for determinism.
-  std::vector<std::uint32_t> a_order(spec_.operand_count());
+  std::vector<std::uint32_t> a_order(spec.operand_count());
   std::iota(a_order.begin(), a_order.end(), 0u);
   std::stable_sort(a_order.begin(), a_order.end(),
-                   [this](std::uint32_t x, std::uint32_t y) {
-                     return weight_[x] > weight_[y];
+                   [&state](std::uint32_t x, std::uint32_t y) {
+                     return state->weight[x] > state->weight[y];
                    });
-  block_order_.reserve(block_count_);
+  state->block_order.reserve(state->block_count);
   for (const std::uint32_t a : a_order) {
     for (std::size_t bhi = 0; bhi < bhi_count; ++bhi) {
-      block_order_.push_back(
+      state->block_order.push_back(
           static_cast<std::uint32_t>((std::size_t{a} << (w - 6)) | bhi));
     }
   }
+  return state;
+}
 
-  err_sums_.resize(spec_.operand_count());
+template <component_spec Spec>
+basic_wmed_evaluator<Spec>::basic_wmed_evaluator(const Spec& spec,
+                                                 const dist::pmf& d)
+    : basic_wmed_evaluator(make_shared_state(spec, d)) {}
+
+template <component_spec Spec>
+basic_wmed_evaluator<Spec>::basic_wmed_evaluator(
+    std::shared_ptr<const shared_state> shared)
+    : shared_(std::move(shared)) {
+  AXC_EXPECTS(shared_ != nullptr);
+  err_sums_.resize(shared_->spec.operand_count());
 }
 
 template <component_spec Spec>
 void basic_wmed_evaluator<Spec>::scan_block(std::size_t block,
                                             std::size_t lane) {
-  const unsigned w = spec_.width;
-  const std::size_t no = spec_.result_bits();
-  const std::uint64_t* const eplanes = &exact_planes_[block * planes_];
+  const shared_state& s = *shared_;
+  const unsigned w = s.spec.width;
+  const std::size_t no = s.spec.result_bits();
+  const std::size_t planes = s.planes;
+  const std::uint64_t* const eplanes = &s.exact_planes[block * planes];
   const std::uint64_t cext =
-      spec_.result_is_signed() ? out_lanes_[(no - 1) * kLanes + lane] : 0;
+      s.spec.result_is_signed() ? out_lanes_[(no - 1) * kLanes + lane] : 0;
 
-  // diff = exact - candidate, bitwise borrow-propagate over planes_ planes
+  // diff = exact - candidate, bitwise borrow-propagate over `planes` planes
   // (64 assignments at once).
   std::uint64_t diff[34];
   std::uint64_t borrow = 0;
-  for (std::size_t p = 0; p < planes_; ++p) {
+  for (std::size_t p = 0; p < planes; ++p) {
     const std::uint64_t ep = eplanes[p];
     const std::uint64_t cp = p < no ? out_lanes_[p * kLanes + lane] : cext;
     const std::uint64_t x = ep ^ cp;
@@ -92,10 +111,10 @@ void basic_wmed_evaluator<Spec>::scan_block(std::size_t block,
 
   // |diff|: two's-complement negate of the lanes whose sign plane is set,
   // then sum via weighted popcounts.
-  const std::uint64_t sign = diff[planes_ - 1];
+  const std::uint64_t sign = diff[planes - 1];
   std::uint64_t carry = sign;
   std::int64_t total = 0;
-  for (std::size_t p = 0; p < planes_; ++p) {
+  for (std::size_t p = 0; p < planes; ++p) {
     const std::uint64_t x = diff[p] ^ sign;
     const std::uint64_t ap = x ^ carry;
     carry = x & carry;
@@ -108,7 +127,7 @@ template <component_spec Spec>
 double basic_wmed_evaluator<Spec>::weighted_total() const {
   double acc = 0.0;
   for (std::size_t a = 0; a < err_sums_.size(); ++a) {
-    acc += weight_[a] * static_cast<double>(err_sums_[a]);
+    acc += shared_->weight[a] * static_cast<double>(err_sums_[a]);
   }
   return acc;
 }
@@ -116,19 +135,20 @@ double basic_wmed_evaluator<Spec>::weighted_total() const {
 template <component_spec Spec>
 double basic_wmed_evaluator<Spec>::sweep(circuit::sim_program<kLanes>& program,
                                          double abort_above) {
-  const unsigned w = spec_.width;
+  const shared_state& s = *shared_;
+  const unsigned w = s.spec.width;
   std::fill(err_sums_.begin(), err_sums_.end(), 0);
   in_lanes_.resize(2 * w * kLanes);
-  out_lanes_.resize(spec_.result_bits() * kLanes);
+  out_lanes_.resize(s.spec.result_bits() * kLanes);
 
   // Running abort accumulator; the completed sweep instead returns the
   // fixed-order reduction, which is independent of the visit order.
   double acc = 0.0;
-  for (std::size_t pos = 0; pos < block_count_; pos += kLanes) {
-    const std::size_t n = std::min(kLanes, block_count_ - pos);
+  for (std::size_t pos = 0; pos < s.block_count; pos += kLanes) {
+    const std::size_t n = std::min(kLanes, s.block_count - pos);
     for (std::size_t l = 0; l < kLanes; ++l) {
       // Tail passes replicate the last block into the unused lanes.
-      const std::uint32_t block = block_order_[pos + (l < n ? l : n - 1)];
+      const std::uint32_t block = s.block_order[pos + (l < n ? l : n - 1)];
       const std::size_t a = block >> (w - 6);
       const std::size_t bhi = block & ((std::size_t{1} << (w - 6)) - 1);
       for (unsigned i = 0; i < w; ++i) {
@@ -146,10 +166,10 @@ double basic_wmed_evaluator<Spec>::sweep(circuit::sim_program<kLanes>& program,
     program.run(in_lanes_, out_lanes_);
 
     for (std::size_t l = 0; l < n; ++l) {
-      const std::uint32_t block = block_order_[pos + l];
+      const std::uint32_t block = s.block_order[pos + l];
       const std::int64_t before = err_sums_[block >> (w - 6)];
       scan_block(block, l);
-      acc += weight_[block >> (w - 6)] *
+      acc += s.weight[block >> (w - 6)] *
              static_cast<double>(err_sums_[block >> (w - 6)] - before);
       if (acc > abort_above) return acc;
     }
@@ -160,10 +180,10 @@ double basic_wmed_evaluator<Spec>::sweep(circuit::sim_program<kLanes>& program,
 template <component_spec Spec>
 double basic_wmed_evaluator<Spec>::evaluate(const circuit::netlist& nl,
                                             double abort_above) {
-  if (spec_.width < 6) return evaluate_reference(nl, abort_above);
+  if (shared_->spec.width < 6) return evaluate_reference(nl, abort_above);
 
-  AXC_EXPECTS(nl.num_inputs() == 2 * spec_.width);
-  AXC_EXPECTS(nl.num_outputs() == spec_.result_bits());
+  AXC_EXPECTS(nl.num_inputs() == 2 * shared_->spec.width);
+  AXC_EXPECTS(nl.num_outputs() == shared_->spec.result_bits());
 
   program_.rebuild(nl);
   return sweep(program_, abort_above);
@@ -172,22 +192,23 @@ double basic_wmed_evaluator<Spec>::evaluate(const circuit::netlist& nl,
 template <component_spec Spec>
 double basic_wmed_evaluator<Spec>::evaluate_program(
     circuit::sim_program<kLanes>& program, double abort_above) {
-  AXC_EXPECTS(spec_.width >= 6);
-  AXC_EXPECTS(program.num_inputs() == 2 * spec_.width);
-  AXC_EXPECTS(program.num_outputs() == spec_.result_bits());
+  AXC_EXPECTS(shared_->spec.width >= 6);
+  AXC_EXPECTS(program.num_inputs() == 2 * shared_->spec.width);
+  AXC_EXPECTS(program.num_outputs() == shared_->spec.result_bits());
   return sweep(program, abort_above);
 }
 
 template <component_spec Spec>
 double basic_wmed_evaluator<Spec>::evaluate_reference(
     const circuit::netlist& nl, double abort_above) {
-  AXC_EXPECTS(nl.num_inputs() == 2 * spec_.width);
-  AXC_EXPECTS(nl.num_outputs() == spec_.result_bits());
+  const shared_state& s = *shared_;
+  AXC_EXPECTS(nl.num_inputs() == 2 * s.spec.width);
+  AXC_EXPECTS(nl.num_outputs() == s.spec.result_bits());
 
   const std::size_t ni = nl.num_inputs();
   const std::size_t no = nl.num_outputs();
-  const std::size_t blocks = spec_.pair_count() / 64;
-  const std::uint64_t a_mask = (std::uint64_t{1} << spec_.width) - 1;
+  const std::size_t blocks = s.spec.pair_count() / 64;
+  const std::uint64_t a_mask = (std::uint64_t{1} << s.spec.width) - 1;
 
   scratch_.resize(nl.num_signals());
   in_words_.resize(ni);
@@ -217,8 +238,8 @@ double basic_wmed_evaluator<Spec>::evaluate_reference(
     for (std::size_t t = 0; t < 64; ++t) {
       const std::size_t v = base + t;
       const std::int64_t err =
-          exact_[v] - spec_.result_value(raw[t]);
-      acc += weight_[v & a_mask] *
+          s.exact[v] - s.spec.result_value(raw[t]);
+      acc += s.weight[v & a_mask] *
              static_cast<double>(err < 0 ? -err : err);
     }
     if (acc > abort_above) return acc;

@@ -37,10 +37,17 @@
 // externally compiled/patched sim_program<8> — the genotype-native
 // incremental search path (cgp::cone_program), which never materializes a
 // netlist per mutant.
+//
+// The immutable inputs of the sweep (exact-result table, weights, exact bit
+// planes, block visit order) are split into a ref-counted shared_state so a
+// design-space sweep builds them once per (spec, distribution) and shares
+// them across every run's evaluators (see core::search_session); the
+// two-argument constructor keeps the old build-your-own behaviour.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "circuit/netlist.h"
@@ -57,7 +64,37 @@ class basic_wmed_evaluator {
  public:
   static constexpr std::size_t lanes = 8;
 
+  /// Everything the sweep needs that is a pure function of
+  /// (spec, distribution): the exact-result table, the per-operand weights,
+  /// the exact result bit planes and the distribution-ordered block visit
+  /// order.  Building this dominates evaluator construction (it enumerates
+  /// all 2^(2w) operand pairs), yet a design-space sweep uses the same
+  /// (spec, distribution) for every run — so a session builds it once via
+  /// make_shared_state() and every evaluator (one per job, plus one per
+  /// lambda slot in parallel searches) attaches to the same immutable copy.
+  struct shared_state {
+    Spec spec{};
+    /// weight[a] = D(a) / (2^w * output_scale) so WMED = sum weight[a]*|err|.
+    std::vector<double> weight;
+    std::vector<std::int64_t> exact;
+
+    // --- fast path (width >= 6) ---
+    std::size_t planes{0};       ///< result_bits + 2: signed diff headroom
+    std::size_t block_count{0};  ///< 2^(2w-6), one operand A per block
+    /// Exact result bit planes per block, sign-extended to `planes` planes.
+    std::vector<std::uint64_t> exact_planes;
+    /// Sweep order: blocks of heavy-mass operands first.
+    std::vector<std::uint32_t> block_order;
+  };
+
+  /// Builds the immutable tables once; share the result across evaluators.
+  static std::shared_ptr<const shared_state> make_shared_state(
+      const Spec& spec, const dist::pmf& d);
+
+  /// Convenience: builds a private shared_state (the pre-session behaviour).
   basic_wmed_evaluator(const Spec& spec, const dist::pmf& d);
+  /// Attaches to an existing cache; only per-candidate scratch is allocated.
+  explicit basic_wmed_evaluator(std::shared_ptr<const shared_state> shared);
 
   /// WMED of the candidate in [0, 1].  If the running sum exceeds
   /// `abort_above` the sweep stops and the partial value (>= abort_above,
@@ -79,7 +116,11 @@ class basic_wmed_evaluator {
       const circuit::netlist& nl,
       double abort_above = std::numeric_limits<double>::infinity());
 
-  [[nodiscard]] const Spec& spec() const { return spec_; }
+  [[nodiscard]] const Spec& spec() const { return shared_->spec; }
+  /// The attached immutable tables (for cache-reuse assertions/sharing).
+  [[nodiscard]] const std::shared_ptr<const shared_state>& shared() const {
+    return shared_;
+  }
 
  private:
   static constexpr std::size_t kLanes = lanes;
@@ -93,18 +134,7 @@ class basic_wmed_evaluator {
   /// Fixed-order weighted reduction of err_sums_ (the exact partial WMED).
   [[nodiscard]] double weighted_total() const;
 
-  Spec spec_;
-  /// weight[a] = D(a) / (2^w * output_scale) so WMED = sum weight[a]*|err|.
-  std::vector<double> weight_;
-  std::vector<std::int64_t> exact_;
-
-  // --- fast path (width >= 6) ---
-  std::size_t planes_{0};       ///< result_bits + 2: signed diff headroom
-  std::size_t block_count_{0};  ///< 2^(2w-6), one operand A per block
-  /// Exact result bit planes per block, sign-extended to planes_ planes.
-  std::vector<std::uint64_t> exact_planes_;
-  /// Sweep order: blocks of heavy-mass operands first.
-  std::vector<std::uint32_t> block_order_;
+  std::shared_ptr<const shared_state> shared_;
   /// Exact per-operand-A absolute error totals (int64, order-independent).
   std::vector<std::int64_t> err_sums_;
   circuit::sim_program<kLanes> program_;

@@ -62,6 +62,23 @@ class thread_pool {
     idle_.wait(lock, [this] { return pending_ == 0; });
   }
 
+  /// Drops tasks that are still queued (not yet picked up by a worker) and
+  /// returns how many were discarded.  In-flight tasks are unaffected, so a
+  /// concurrent wait_idle() still joins them.  Cooperative-cancellation
+  /// helper: flip your stop flag, then clear the backlog so cancellation
+  /// does not wait behind work that has not even started.
+  std::size_t clear_pending() {
+    std::deque<std::function<void()>> dropped;
+    {
+      std::unique_lock lock(mutex_);
+      dropped.swap(queue_);
+      pending_ -= dropped.size();
+      if (pending_ == 0) idle_.notify_all();
+    }
+    // Task destructors (captured state) run outside the pool lock.
+    return dropped.size();
+  }
+
  private:
   void worker_loop() {
     for (;;) {

@@ -209,6 +209,63 @@ TEST(evolver, deterministic_given_seed) {
   EXPECT_EQ(a.best, b.best);
 }
 
+TEST(evolver, should_stop_ends_run_early_with_best_so_far) {
+  rng gen(11);
+  const genotype seed = genotype::random(small_params(), gen);
+  evolver::options opts;
+  opts.iterations = 1000;
+  std::size_t polls = 0;
+  opts.should_stop = [&polls] { return ++polls > 100; };
+  const auto result = evolver::run(seed, toy_objective(), opts, gen);
+  EXPECT_TRUE(result.stopped);
+  EXPECT_EQ(result.iterations, 100u);
+  EXPECT_EQ(result.evaluations, 1 + 100 * 4);
+
+  // Without the stop hook nothing is stopped and nothing is polled.
+  rng gen2(11);
+  const genotype seed2 = genotype::random(small_params(), gen2);
+  evolver::options plain;
+  plain.iterations = 1000;
+  const auto full = evolver::run(seed2, toy_objective(), plain, gen2);
+  EXPECT_FALSE(full.stopped);
+  EXPECT_EQ(full.iterations, 1000u);
+}
+
+TEST(evolver, generation_callback_ticks_every_generation) {
+  rng gen(12);
+  const genotype seed = genotype::random(small_params(), gen);
+  evolver::options opts;
+  opts.iterations = 250;
+  std::vector<std::size_t> ticks;
+  opts.on_generation = [&](std::size_t iteration, const evaluation&) {
+    ticks.push_back(iteration);
+  };
+  (void)evolver::run(seed, toy_objective(), opts, gen);
+  ASSERT_EQ(ticks.size(), 250u);
+  EXPECT_EQ(ticks.front(), 0u);
+  EXPECT_EQ(ticks.back(), 249u);
+}
+
+TEST(evolver, hooks_do_not_perturb_rng_stream) {
+  // Observation must be free: a run with hooks lands on the identical
+  // genotype as a run without them.
+  const auto run_once = [](bool hooked) {
+    rng gen(13);
+    const genotype seed = genotype::random(small_params(), gen);
+    evolver::options opts;
+    opts.iterations = 400;
+    if (hooked) {
+      opts.on_generation = [](std::size_t, const evaluation&) {};
+      opts.should_stop = [] { return false; };
+    }
+    return evolver::run(seed, toy_objective(), opts, gen);
+  };
+  const auto plain = run_once(false);
+  const auto hooked = run_once(true);
+  EXPECT_EQ(plain.best, hooked.best);
+  EXPECT_EQ(plain.improvements, hooked.improvements);
+}
+
 TEST(evolver, improvement_callback_fires_monotonically) {
   rng gen(9);
   const genotype seed = genotype::random(small_params(), gen);

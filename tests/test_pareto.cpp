@@ -59,6 +59,76 @@ TEST(pareto_front, empty_input) {
   EXPECT_TRUE(pareto_front(std::vector<pareto_point>{}).empty());
 }
 
+TEST(pareto_archive, incremental_equals_batch_in_any_order) {
+  // The live session archive must converge to pareto_front() of the full
+  // history regardless of job completion order.
+  std::vector<pareto_point> points;
+  std::uint64_t state = 42;
+  for (std::size_t i = 0; i < 120; ++i) {
+    const double x = static_cast<double>(splitmix64(state) % 50);
+    const double y = static_cast<double>(splitmix64(state) % 50);
+    points.push_back({x, y, i});
+  }
+  const auto batch = pareto_front(points);
+
+  rng gen(5);
+  for (int shuffle = 0; shuffle < 4; ++shuffle) {
+    // Fisher-Yates with the repo rng: a different insertion order each time.
+    std::vector<pareto_point> order = points;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[gen.below(i)]);
+    }
+    pareto_archive archive;
+    for (const auto& p : order) archive.insert(p);
+
+    ASSERT_EQ(archive.size(), batch.size()) << "shuffle " << shuffle;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(archive.points()[i].x, batch[i].x);
+      EXPECT_EQ(archive.points()[i].y, batch[i].y);
+    }
+  }
+}
+
+TEST(pareto_archive, prunes_dominated_and_rejects_dominated) {
+  pareto_archive archive;
+  EXPECT_TRUE(archive.insert({2, 2, 0}));
+  EXPECT_FALSE(archive.insert({3, 3, 1}));  // dominated: rejected
+  EXPECT_TRUE(archive.insert({1, 3, 2}));   // trade-off: kept
+  EXPECT_TRUE(archive.insert({1, 1, 3}));   // dominates both incumbents
+  ASSERT_EQ(archive.size(), 1u);
+  EXPECT_EQ(archive.points()[0].index, 3u);
+}
+
+TEST(pareto_archive, coordinate_ties_keep_lowest_index) {
+  // Jobs can finish in any scheduler order; exact (x, y) ties must still
+  // resolve deterministically.
+  pareto_archive a;
+  EXPECT_TRUE(a.insert({1, 1, 5}));
+  EXPECT_TRUE(a.insert({1, 1, 2}));   // lower index replaces
+  EXPECT_FALSE(a.insert({1, 1, 9}));  // higher index rejected
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.points()[0].index, 2u);
+
+  pareto_archive b;
+  EXPECT_TRUE(b.insert({1, 1, 2}));
+  EXPECT_FALSE(b.insert({1, 1, 5}));
+  EXPECT_EQ(b.points()[0].index, 2u);
+}
+
+TEST(pareto_archive, maintains_sorted_invariant) {
+  pareto_archive archive;
+  archive.insert({5, 1, 0});
+  archive.insert({1, 9, 1});
+  archive.insert({3, 4, 2});
+  archive.insert({2, 6, 3});
+  archive.insert({4, 2, 4});
+  const auto& front = archive.points();
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].x, front[i - 1].x);
+    EXPECT_LT(front[i].y, front[i - 1].y);
+  }
+}
+
 TEST(pareto_front, no_front_point_dominated) {
   // Property: nothing on the front is dominated by any input point.
   std::vector<pareto_point> points;

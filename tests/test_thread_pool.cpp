@@ -49,6 +49,35 @@ TEST(thread_pool, destructor_drains_queued_tasks) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(thread_pool, clear_pending_drops_only_queued_tasks) {
+  // One worker pinned on a gate: everything behind it is still queued and
+  // must be discardable, while the in-flight task completes normally.
+  thread_pool pool(1);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::yield();
+    ran.fetch_add(1);
+  });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  // The gate task may or may not have been picked up yet (FIFO queue, so a
+  // follower can never run before it): either all 51 are dropped, or the
+  // gate is in flight and exactly the 50 followers are dropped.
+  const std::size_t dropped = pool.clear_pending();
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(ran.load() + static_cast<int>(dropped), 51);
+  EXPECT_GE(dropped, 50u);
+
+  // The pool stays usable after a purge.
+  std::atomic<int> after{0};
+  pool.submit([&after] { after.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(after.load(), 1);
+}
+
 TEST(parallel_for, covers_every_index_exactly_once) {
   thread_pool pool(4);
   std::vector<std::atomic<int>> hits(257);
