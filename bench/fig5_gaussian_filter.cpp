@@ -3,13 +3,17 @@
 // small operands, like the filter's coefficients 1/2/4) should give the
 // best PSNR-per-power trade-off; D1- and Du-evolved multipliers trail.
 // PSNR is the mean over 25 noisy synthetic images, as in the paper.
+//
+// Thin driver over core::app_eval: each distribution family is one search
+// session; the session candidates are re-ranked by the shipped
+// Gaussian-PSNR and multiplier-power app_metrics (power under the filter's
+// coefficient statistics).
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
-#include "core/design_flow.h"
-#include "core/wmed_approximator.h"
-#include "imgproc/gaussian_filter.h"
+#include "core/app_eval.h"
 #include "mult/multipliers.h"
 
 int main() {
@@ -27,9 +31,8 @@ int main() {
   const std::size_t image_count = bench::scaled(25);
   const circuit::netlist seed = mult::unsigned_multiplier(8);
 
-  std::printf("%-14s %10s %12s %12s %10s\n", "series", "target%", "power_uW",
-              "mean_PSNR", "min_PSNR");
-
+  // One session per family; every completed design becomes a candidate.
+  std::vector<core::app_candidate> candidates;
   for (int di = 0; di < 3; ++di) {
     core::approximation_config cfg;
     cfg.spec = spec;
@@ -37,25 +40,54 @@ int main() {
     cfg.iterations = iterations;
     cfg.extra_columns = 64;
     cfg.rng_seed = 500 + static_cast<std::uint64_t>(di);
-    const core::wmed_approximator approximator(cfg);
+    core::sweep_plan plan;
+    plan.targets = targets;
+    core::search_session session(core::make_component(cfg), seed, plan);
+    session.run();
+    core::append_candidates(
+        candidates,
+        core::session_candidates(session, /*front_only=*/false, names[di]));
+  }
 
-    for (const double target : targets) {
-      const auto design = approximator.approximate(seed, target);
-      const mult::product_lut lut(design.netlist, spec);
-      // Power under the filter's operand statistics (coefficients 1/2/4).
-      std::vector<double> w(256, 0.0);
-      w[1] = 4;
-      w[2] = 8;
-      w[4] = 4;
-      const auto power = core::characterize_multiplier(
-          design.netlist, spec, dist::pmf::from_weights(w),
-          tech::cell_library::nangate45_like(), 2048);
-      const auto quality =
-          imgproc::evaluate_filter_quality(lut, image_count, 64);
-      std::printf("%-14s %10.4f %12.2f %12.2f %10.2f\n", names[di],
-                  100.0 * target, power.power_uw, quality.mean_psnr_db,
-                  quality.min_psnr_db);
-    }
+  // Power under the filter's operand statistics (coefficients 1/2/4).
+  std::vector<double> coefficient_mass(256, 0.0);
+  coefficient_mass[1] = 4;
+  coefficient_mass[2] = 8;
+  coefficient_mass[4] = 4;
+
+  std::vector<std::unique_ptr<core::app_metric>> app_metrics;
+  core::gaussian_psnr_options psnr;
+  psnr.image_count = image_count;
+  psnr.cache = core::make_psnr_cache();  // one filter sweep, mean+min columns
+  app_metrics.push_back(core::make_gaussian_psnr_metric(psnr));
+  core::power_metric_options power;
+  power.distribution = dist::pmf::from_weights(coefficient_mass);
+  power.workload_samples = 2048;
+  app_metrics.push_back(core::make_power_metric(std::move(power)));
+  core::gaussian_psnr_options worst = psnr;
+  worst.report_min = true;
+  worst.name = "min_psnr_db";
+  app_metrics.push_back(core::make_gaussian_psnr_metric(worst));
+
+  core::rerank_config rcfg;
+  rcfg.spec = spec;
+  const core::rerank_result result =
+      core::rerank_front(std::move(candidates), app_metrics, rcfg);
+
+  std::printf("%-14s %10s %12s %12s %10s\n", "series", "target%", "power_uW",
+              "mean_PSNR", "min_PSNR");
+  for (const core::reranked_design& d : result.designs) {
+    std::printf("%-14s %10.4f %12.2f %12.2f %10.2f\n",
+                d.candidate.family.c_str(), 100.0 * d.candidate.target,
+                d.scores[1], d.scores[0], d.scores[2]);
+  }
+
+  std::printf("\napplication-level front (PSNR vs power):\n");
+  for (const core::pareto_point& p : result.front) {
+    const core::reranked_design& d = result.at(p);
+    std::printf("  %-14s @%.4f%%: %6.2f dB at %6.2f uW\n",
+                d.candidate.family.c_str(), 100.0 * d.candidate.target,
+                d.scores[0], d.scores[1]);
   }
 
   std::printf(

@@ -4,13 +4,21 @@
 // multipliers, broken-array multipliers, and zero-exact-guarantee wrappers
 // (the [6]-style baseline).  Accuracy is without fine-tuning, relative to
 // the quantized exact-multiplier network, as in the paper's figure.
+//
+// Thin driver over core::app_eval: the evolved families run as search
+// sessions whose *saved checkpoints* feed the deployment pipeline
+// (checkpoint -> candidates -> compiled tables -> rerank_front), exactly
+// the session-connected path applications use; the fixed baseline families
+// join as plain candidates.  The printed accuracy/power values are
+// computed by the shipped nn-accuracy and MAC-power app_metrics.
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
-#include "core/design_flow.h"
-#include "core/wmed_approximator.h"
+#include "core/app_eval.h"
 #include "mult/multipliers.h"
 #include "nn/quantize.h"
 
@@ -18,85 +26,108 @@ namespace {
 
 using namespace axc;
 
-struct entry {
-  std::string family;
-  circuit::netlist netlist;
-};
-
 void run_case(const char* name, const bench::classification_task& task,
+              const std::function<nn::network()>& build,
               nn::network& trained, unsigned acc_width) {
   const metrics::mult_spec spec{8, true};
-  const auto& lib = tech::cell_library::nangate45_like();
   const circuit::netlist seed = mult::signed_multiplier(8);
-  const auto exact_lut = mult::product_lut::exact(spec);
 
+  // Operand A statistics: the quantized network's weight distribution.
   nn::quantized_network qnet(
       trained, std::span<const nn::tensor>(task.train_x).subspan(0, 64));
-  const double ref_acc =
-      qnet.accuracy(task.test_x, task.test_set.labels, exact_lut);
   const dist::pmf weight_dist =
       dist::pmf::from_int8_samples(qnet.quantized_weights());
-  const double exact_power =
-      core::characterize_mac(seed, spec, weight_dist, acc_width, lib)
-          .power_uw;
 
-  std::vector<entry> entries;
+  std::vector<core::app_candidate> candidates;
+  const auto add = [&](std::string family, circuit::netlist nl) {
+    candidates.push_back(core::app_candidate{candidates.size(),
+                                             std::move(family), 0.0, 0.0,
+                                             0.0, std::move(nl)});
+  };
+  add("exact", seed);
+
   const std::vector<double> targets{0.0005, 0.002, 0.01, 0.03};
   const std::size_t iterations = bench::scaled(1600);
 
-  {  // proposed: tailored to this network's weight distribution
+  // Evolved families: search session -> checkpoint on disk -> restored
+  // candidates, the session-connected deployment path.
+  const auto evolve_family = [&](const char* family, const dist::pmf& d,
+                                 std::uint64_t rng_seed) {
     core::approximation_config cfg;
     cfg.spec = spec;
-    cfg.distribution = weight_dist;
+    cfg.distribution = d;
     cfg.iterations = iterations;
     cfg.extra_columns = 64;
-    cfg.rng_seed = 800;
-    const core::wmed_approximator approximator(cfg);
-    for (const double t : targets) {
-      entries.push_back(
-          {"proposed", approximator.approximate(seed, t).netlist});
-    }
-  }
-  {  // EvoApprox-like: same search under *uniform* operands
-    core::approximation_config cfg;
-    cfg.spec = spec;
-    cfg.distribution = dist::pmf::uniform(256);
-    cfg.iterations = iterations;
-    cfg.extra_columns = 64;
-    cfg.rng_seed = 801;
-    const core::wmed_approximator approximator(cfg);
-    for (const double t : targets) {
-      entries.push_back(
-          {"evoapprox-like", approximator.approximate(seed, t).netlist});
-    }
-  }
+    cfg.rng_seed = rng_seed;
+    core::sweep_plan plan;
+    plan.targets = targets;
+    core::search_session session(core::make_component(cfg), seed, plan);
+    session.run();
+
+    const std::string path =
+        std::string("fig7_") + family + "_session.axs";
+    if (!session.save_file(path)) std::abort();
+    const std::vector<std::string> paths{path};
+    auto restored = core::checkpoint_candidates(
+        std::span<const std::string>(paths), core::make_component(cfg),
+        /*front_only=*/false, family);
+    if (!restored) std::abort();
+    core::append_candidates(candidates, std::move(*restored));
+  };
+  evolve_family("proposed", weight_dist, 800);
+  evolve_family("evoapprox-like", dist::pmf::uniform(256), 801);
+
   for (const unsigned drop : {5u, 6u, 7u}) {
-    entries.push_back(
-        {"truncated", mult::truncated_multiplier(8, drop, true)});
+    add("truncated", mult::truncated_multiplier(8, drop, true));
   }
   for (const auto [hbl, vbl] :
        {std::pair{1u, 5u}, std::pair{2u, 6u}, std::pair{2u, 8u}}) {
-    entries.push_back(
-        {"broken-array", mult::broken_array_multiplier(8, hbl, vbl, true)});
+    add("broken-array", mult::broken_array_multiplier(8, hbl, vbl, true));
   }
   for (const unsigned drop : {6u, 8u}) {
-    entries.push_back(
-        {"zero-exact[6]", mult::zero_exact_wrapper(
-                              mult::truncated_multiplier(8, drop, true), 8)});
+    add("zero-exact[6]", mult::zero_exact_wrapper(
+                             mult::truncated_multiplier(8, drop, true), 8));
   }
 
+  // Application-level metrics: accuracy (quality) vs MAC power (cost).
+  std::vector<std::unique_ptr<core::app_metric>> app_metrics;
+  core::nn_accuracy_options acc;
+  acc.build = build;
+  acc.trained_weights = core::save_network_weights(trained);
+  acc.calibration =
+      std::span<const nn::tensor>(task.train_x).subspan(0, 64);
+  acc.test_x = task.test_x;
+  acc.test_labels = task.test_set.labels;
+  app_metrics.push_back(core::make_nn_accuracy_metric(std::move(acc)));
+  core::power_metric_options power;
+  power.distribution = weight_dist;
+  power.mac_acc_width = acc_width;
+  app_metrics.push_back(core::make_power_metric(std::move(power)));
+
+  core::rerank_config rcfg;
+  rcfg.spec = spec;
+  const core::rerank_result result =
+      core::rerank_front(std::move(candidates), app_metrics, rcfg);
+
+  const double ref_acc = result.designs[0].scores[0];
+  const double exact_power = result.designs[0].scores[1];
   std::printf("\n=== %s (reference accuracy %.2f%%, exact MAC %.1f uW) ===\n",
               name, 100.0 * ref_acc, exact_power);
   std::printf("%-16s %14s %12s\n", "family", "rel_power%", "acc_delta%");
-  for (const entry& e : entries) {
-    const mult::product_lut lut(e.netlist, spec);
-    const double acc =
-        qnet.accuracy(task.test_x, task.test_set.labels, lut);
-    const double power =
-        core::characterize_mac(e.netlist, spec, weight_dist, acc_width, lib)
-            .power_uw;
-    std::printf("%-16s %13.1f%% %+11.2f%%\n", e.family.c_str(),
-                100.0 * power / exact_power, 100.0 * (acc - ref_acc));
+  for (std::size_t i = 1; i < result.designs.size(); ++i) {
+    const core::reranked_design& d = result.designs[i];
+    std::printf("%-16s %13.1f%% %+11.2f%%\n", d.candidate.family.c_str(),
+                100.0 * d.scores[1] / exact_power,
+                100.0 * (d.scores[0] - ref_acc));
+  }
+
+  std::printf("\napplication-level front (accuracy vs MAC power):\n");
+  for (const core::pareto_point& p : result.front) {
+    const core::reranked_design& d = result.at(p);
+    std::printf("  %-16s acc %+6.2f%%  power %6.1f%%\n",
+                d.candidate.family.c_str(),
+                100.0 * (d.scores[0] - ref_acc),
+                100.0 * d.scores[1] / exact_power);
   }
 }
 
@@ -107,11 +138,14 @@ int main() {
 
   auto svhn = bench::make_svhn_task();
   nn::network lenet = bench::svhn_lenet(svhn);
-  run_case("LeNet-5 on SVHN-like", svhn, lenet, 25);
+  run_case("LeNet-5 on SVHN-like", svhn,
+           [] { return nn::make_lenet5(7777, bench::lenet_channel_scale()); },
+           lenet, 25);
 
   auto mnist = bench::make_mnist_task();
   nn::network mlp = bench::mnist_mlp(mnist);
-  run_case("MLP on MNIST-like", mnist, mlp, 26);
+  run_case("MLP on MNIST-like", mnist, [] { return nn::make_mlp(4242); },
+           mlp, 26);
 
   std::printf(
       "\nPaper reference (shape): proposed points dominate — they hold\n"

@@ -15,6 +15,7 @@
 #include "dist/pmf.h"
 #include "imgproc/gaussian_filter.h"
 #include "metrics/adder_metrics.h"
+#include "metrics/compiled_table.h"
 #include "metrics/wmed_evaluator.h"
 #include "mult/adders.h"
 #include "mult/approx_adders.h"
@@ -403,6 +404,34 @@ void bm_sweep_session_cold_cache(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
 }
 BENCHMARK(bm_sweep_session_cold_cache);
+
+void bm_compiled_table_fill(benchmark::State& state) {
+  // Exhaustive characterization through the wide-lane batch path (what the
+  // compiled_table constructor runs when the deployment pipeline compiles a
+  // front member): cone-restricted sim_program<8>, 512 assignments/pass.
+  const circuit::netlist nl = mult::unsigned_multiplier(8);
+  const metrics::mult_spec spec{8, false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::result_table_wide(nl, spec));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          65536);
+}
+BENCHMARK(bm_compiled_table_fill);
+
+void bm_compiled_table_fill_scalar(benchmark::State& state) {
+  // The pre-PR-4 product_lut path: per-entry scalar simulation
+  // (simulate_block, 64 assignments/pass) — the baseline
+  // bm_compiled_table_fill is measured against.
+  const circuit::netlist nl = mult::unsigned_multiplier(8);
+  const metrics::mult_spec spec{8, false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::result_table(nl, spec));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          65536);
+}
+BENCHMARK(bm_compiled_table_fill_scalar);
 
 void bm_lut_multiply(benchmark::State& state) {
   const mult::product_lut lut =

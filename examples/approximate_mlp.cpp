@@ -1,14 +1,15 @@
 // Case-study-2 workflow end to end on a small scale: train a digit
 // classifier, quantize it to 8-bit (Ristretto-style), derive the WMED
-// weights from the trained weight histogram, evolve an approximate signed
-// multiplier, and measure classification accuracy before and after
-// approximate-aware fine-tuning.
+// weights from the trained weight histogram, evolve approximate signed
+// multipliers at two error budgets through the session API, checkpoint the
+// session, and re-rank the restored front by what the application
+// observes — classification accuracy (before and after approximate-aware
+// fine-tuning) vs MAC power — via core::app_eval.
 #include <cstdio>
 
-#include "core/design_flow.h"
+#include "core/app_eval.h"
 #include "data/digits.h"
 #include "mult/multipliers.h"
-#include "nn/finetune.h"
 #include "nn/models.h"
 #include "nn/quantize.h"
 #include "nn/trainer.h"
@@ -22,7 +23,8 @@ int main() {
   const auto train_x = data::to_tensors(train_set);
   const auto test_x = data::to_tensors(test_set);
 
-  nn::network mlp = nn::make_mlp(/*seed=*/7, 28 * 28, 100);
+  const auto build = [] { return nn::make_mlp(/*seed=*/7, 28 * 28, 100); };
+  nn::network mlp = build();
   nn::train_config tcfg;
   tcfg.epochs = 4;
   tcfg.learning_rate = 0.08f;
@@ -30,15 +32,10 @@ int main() {
   std::printf("float accuracy:      %.2f%%\n",
               100.0 * nn::accuracy(mlp, test_x, test_set.labels));
 
-  // 2. 8-bit quantization + exact-multiplier reference.
+  // 2. 8-bit quantization (for the weight histogram; the reference
+  //    accuracy comes out of the re-ranking below).
   nn::quantized_network qnet(
       mlp, std::span<const nn::tensor>(train_x).subspan(0, 64));
-  const auto exact_lut =
-      mult::product_lut::exact(metrics::mult_spec{8, true});
-  const double quant_acc =
-      qnet.accuracy(test_x, test_set.labels, exact_lut);
-  std::printf("quantized accuracy:  %.2f%% (exact 8-bit multipliers)\n",
-              100.0 * quant_acc);
 
   // 3. WMED weights from the trained network's weight histogram, floored
   //    with 10 % uniform mass so rare-but-critical operands (output-layer
@@ -52,43 +49,89 @@ int main() {
               weight_dist.stddev(), weight_dist.entropy_bits(),
               weights.size());
 
-  // 4. Evolve a tailored approximate multiplier at WMED <= 0.1%.
+  // 4. Evolve tailored approximate multipliers at two WMED budgets and
+  //    checkpoint the session (the artifact a deployment would ship).
   core::approximation_config cfg;
   cfg.spec = metrics::mult_spec{8, true};
   cfg.iterations = 2500;
   cfg.distribution = weight_dist;
-  const core::wmed_approximator approximator(cfg);
-  const auto design =
-      approximator.approximate(mult::signed_multiplier(8), 0.001);
-  std::printf("evolved multiplier:  WMED %.3f%%, %zu gates (seed had %zu)\n",
-              100.0 * design.wmed, design.netlist.active_gate_count(),
-              mult::signed_multiplier(8).num_gates());
+  core::sweep_plan plan;
+  plan.targets = {0.001, 0.01};
+  const circuit::netlist seed = mult::signed_multiplier(8);
+  core::search_session session(core::make_component(cfg), seed, plan);
+  session.run();
+  if (!session.save_file("approximate_mlp_session.axs")) return 1;
+  std::printf("evolved multipliers: %zu designs, checkpoint "
+              "approximate_mlp_session.axs\n",
+              session.designs().size());
 
-  // 5. Accuracy with the approximate multiplier, before/after fine-tuning.
-  const mult::product_lut approx_lut(design.netlist, cfg.spec);
-  const double before =
-      qnet.accuracy(test_x, test_set.labels, approx_lut);
+  // 5. The deployment pipeline: restore the checkpoint, compile each front
+  //    member once, and score accuracy / fine-tuned accuracy / MAC power.
+  const std::vector<std::string> paths{"approximate_mlp_session.axs"};
+  auto restored = core::checkpoint_candidates(
+      std::span<const std::string>(paths), core::make_component(cfg),
+      /*front_only=*/false, "tailored");
+  if (!restored) return 1;
+  std::vector<core::app_candidate> candidates;
+  candidates.push_back(core::app_candidate{0, "exact", 0.0, 0.0, 0.0, seed});
+  core::append_candidates(candidates, std::move(*restored));
+
+  core::nn_accuracy_options acc;
+  acc.build = build;
+  acc.trained_weights = core::save_network_weights(mlp);
+  acc.calibration = std::span<const nn::tensor>(train_x).subspan(0, 64);
+  acc.test_x = test_x;
+  acc.test_labels = test_set.labels;
+  acc.name = "accuracy";
+  core::nn_accuracy_options tuned = acc;
   nn::finetune_config ft;
   ft.epochs = 3;
   ft.learning_rate = 0.002f;  // gentle: the forward path saturates
-  nn::finetune(qnet, train_x, train_set.labels, approx_lut, ft);
-  const double after = qnet.accuracy(test_x, test_set.labels, approx_lut);
+  tuned.finetune = ft;
+  tuned.train_x = train_x;
+  tuned.train_labels = train_set.labels;
+  tuned.name = "tuned";
 
-  std::printf("approx accuracy:     %.2f%% before / %.2f%% after "
-              "fine-tuning (delta vs quantized: %+.2f%% / %+.2f%%)\n",
-              100.0 * before, 100.0 * after, 100.0 * (before - quant_acc),
-              100.0 * (after - quant_acc));
+  std::vector<std::unique_ptr<core::app_metric>> app_metrics;
+  app_metrics.push_back(core::make_nn_accuracy_metric(std::move(acc)));
+  app_metrics.push_back(core::make_nn_accuracy_metric(std::move(tuned)));
+  core::power_metric_options power;
+  power.distribution = weight_dist;
+  power.mac_acc_width = 26;
+  power.cache = core::make_power_cache();  // one characterization, 2 columns
+  core::power_metric_options pdp = power;
+  pdp.report = core::power_metric_options::quantity::pdp_fj;
+  pdp.name = "pdp_fj";
+  app_metrics.push_back(core::make_power_metric(std::move(power)));
+  app_metrics.push_back(core::make_power_metric(std::move(pdp)));
 
-  // 6. MAC-unit electrical summary.
-  const auto exact_mac = core::characterize_mac(
-      mult::signed_multiplier(8), cfg.spec, weight_dist, 26,
-      tech::cell_library::nangate45_like());
-  const auto approx_mac = core::characterize_mac(
-      design.netlist, cfg.spec, weight_dist, 26,
-      tech::cell_library::nangate45_like());
-  std::printf("MAC PDP: %.1f -> %.1f fJ (%.0f%%), power %.1f -> %.1f uW\n",
-              exact_mac.pdp_fj, approx_mac.pdp_fj,
-              100.0 * (approx_mac.pdp_fj / exact_mac.pdp_fj - 1.0),
-              exact_mac.power_uw, approx_mac.power_uw);
+  core::rerank_config rcfg;
+  rcfg.spec = cfg.spec;
+  rcfg.quality_metric = 0;  // accuracy ...
+  rcfg.cost_metric = 2;     // ... vs MAC power
+  const core::rerank_result result =
+      core::rerank_front(std::move(candidates), app_metrics, rcfg);
+
+  // 6. Report: every design, then the application-level front.
+  const std::vector<double>& exact = result.designs[0].scores;
+  std::printf("\n%-10s %10s %12s %12s %12s %12s\n", "design", "target%",
+              "accuracy%", "tuned%", "MAC_uW", "MAC_PDP_fJ");
+  for (const core::reranked_design& d : result.designs) {
+    std::printf("%-10s %10.2f %12.2f %12.2f %12.1f %12.1f\n",
+                d.candidate.family.c_str(), 100.0 * d.candidate.target,
+                100.0 * d.scores[0], 100.0 * d.scores[1], d.scores[2],
+                d.scores[3]);
+  }
+  std::printf("\naccuracy-vs-power front (deltas vs exact):\n");
+  for (const core::pareto_point& p : result.front) {
+    const core::reranked_design& d = result.at(p);
+    std::printf("  %-10s @%.2f%%: accuracy %+.2f%% (tuned %+.2f%%), "
+                "power %.0f%%, PDP %.0f%%\n",
+                d.candidate.family.c_str(), 100.0 * d.candidate.target,
+                100.0 * (d.scores[0] - exact[0]),
+                100.0 * (d.scores[1] - exact[0]),
+                100.0 * d.scores[2] / exact[2],
+                100.0 * d.scores[3] / exact[3]);
+  }
   return 0;
 }

@@ -1,13 +1,15 @@
 // Case-study-1 workflow on a concrete application: a 3x3 Gaussian denoising
 // filter.  The filter's multiplier sees coefficients {1, 2, 4} on one
 // operand — a sharply non-uniform distribution.  We (a) profile that
-// distribution, (b) evolve multipliers tailored to it, (c) drop them into
-// the filter, and (d) compare image quality and power against a uniform-
-// optimized multiplier of similar cost.
+// distribution, (b) evolve multipliers tailored to it (and a uniform-
+// optimized competitor) through the session API, and (c) re-rank every
+// design by what the application observes — filter PSNR vs multiplier
+// power — via core::app_eval, before (d) dropping one compiled table into
+// the filter for a visual check.
 #include <cstdio>
 #include <fstream>
 
-#include "core/design_flow.h"
+#include "core/app_eval.h"
 #include "imgproc/gaussian_filter.h"
 #include "mult/multipliers.h"
 
@@ -24,44 +26,74 @@ int main() {
   std::printf("Coefficient distribution: P(1)=%.2f P(2)=%.2f P(4)=%.2f\n",
               coeff_dist[1], coeff_dist[2], coeff_dist[4]);
 
-  // (b) Evolve tailored multipliers at a few error budgets.
-  core::approximation_config config;
-  config.spec = metrics::mult_spec{8, false};
-  config.iterations = 2500;
+  // (b) Evolve tailored and uniform-optimized multipliers at a few error
+  //     budgets — one search session per family.
   const std::vector<double> targets{0.0001, 0.001, 0.01};
   const circuit::netlist seed = mult::unsigned_multiplier(8);
-  const auto tailored =
-      core::design_for_distribution(coeff_dist, config, targets, seed);
+  std::vector<core::app_candidate> candidates;
+  const auto evolve = [&](const char* family, const dist::pmf& d,
+                          std::uint64_t rng_seed) {
+    core::approximation_config config;
+    config.spec = metrics::mult_spec{8, false};
+    config.iterations = 2500;
+    config.distribution = d;
+    config.rng_seed = rng_seed;
+    core::sweep_plan plan;
+    plan.targets = targets;
+    core::search_session session(core::make_component(config), seed, plan);
+    session.run();
+    core::append_candidates(
+        candidates,
+        core::session_candidates(session, /*front_only=*/false, family));
+  };
+  evolve("tailored", coeff_dist, 1);
+  evolve("uniform", dist::pmf::uniform(256), 2);
 
-  // A uniform-optimized competitor at the same budgets.
-  config.rng_seed = 2;
-  const auto generic = core::design_for_distribution(
-      dist::pmf::uniform(256), config, targets, seed);
+  // (c) Re-rank by application-level quality and cost: mean PSNR over 25
+  //     noisy scenes vs power under the coefficient statistics.
+  std::vector<std::unique_ptr<core::app_metric>> app_metrics;
+  core::gaussian_psnr_options psnr;
+  psnr.cache = core::make_psnr_cache();  // one filter sweep, mean+min columns
+  app_metrics.push_back(core::make_gaussian_psnr_metric(psnr));
+  core::power_metric_options power;
+  power.distribution = coeff_dist;
+  app_metrics.push_back(core::make_power_metric(std::move(power)));
+  core::gaussian_psnr_options worst = psnr;
+  worst.report_min = true;
+  worst.name = "min_psnr_db";
+  app_metrics.push_back(core::make_gaussian_psnr_metric(worst));
 
-  // (c) + (d) Apply in the filter and compare.
+  core::rerank_config rcfg;
+  rcfg.spec = metrics::mult_spec{8, false};
+  const core::rerank_result result =
+      core::rerank_front(std::move(candidates), app_metrics, rcfg);
+
   std::printf("\n%-22s %10s %12s %12s\n", "multiplier", "power_uW",
               "mean_PSNR", "min_PSNR");
-  const auto report = [&](const char* name,
-                          const core::tailored_multiplier& m) {
-    const auto quality = imgproc::evaluate_filter_quality(m.lut, 25, 64);
-    std::printf("%-22s %10.2f %12.2f %12.2f\n", name,
-                m.multiplier_power.power_uw, quality.mean_psnr_db,
-                quality.min_psnr_db);
-  };
-  report("tailored  @0.01%", tailored[0]);
-  report("tailored  @0.1%", tailored[1]);
-  report("tailored  @1.0%", tailored[2]);
-  report("uniform   @0.01%", generic[0]);
-  report("uniform   @0.1%", generic[1]);
-  report("uniform   @1.0%", generic[2]);
+  for (const core::reranked_design& d : result.designs) {
+    std::printf("%-10s @%-8.2g %10.2f %12.2f %12.2f\n",
+                d.candidate.family.c_str(), 100.0 * d.candidate.target,
+                d.scores[1], d.scores[0], d.scores[2]);
+  }
+  std::printf("\nPSNR-vs-power front:\n");
+  for (const core::pareto_point& p : result.front) {
+    const core::reranked_design& d = result.at(p);
+    std::printf("  %-10s @%.2g%%: %6.2f dB at %6.2f uW\n",
+                d.candidate.family.c_str(), 100.0 * d.candidate.target,
+                d.scores[0], d.scores[1]);
+  }
 
-  // Bonus: write one denoised image for visual inspection.
+  // (d) Write one denoised image for visual inspection, through the
+  //     compiled table of the tailored @0.1% design.
+  const core::reranked_design& pick = result.designs[1];  // tailored @0.1%
+  const metrics::compiled_mult_table table(pick.candidate.netlist,
+                                           rcfg.spec);
   const imgproc::image clean = imgproc::make_test_scene(96, 96, 42);
   rng noise_gen(7);
   const imgproc::image noisy =
       imgproc::add_gaussian_noise(clean, 12.0, noise_gen);
   const imgproc::image denoised =
-      imgproc::gaussian_filter_approx(noisy, tailored[1].lut);  // @0.1%
+      imgproc::gaussian_filter_approx(noisy, table);
   std::ofstream pgm("gaussian_filter_output.pgm", std::ios::binary);
   imgproc::write_pgm(pgm, denoised);
   std::printf("\nWrote gaussian_filter_output.pgm.\n");

@@ -72,11 +72,11 @@ int main() {
                 d.netlist.active_gate_count());
   }
 
-  // Use a LUT in software.  Operand A carries the distribution: the
-  // evolved circuit is accurate where the application actually multiplies
-  // (small A) and sloppy where it never looks (large A).
+  // Use a compiled table in software.  Operand A carries the distribution:
+  // the evolved circuit is accurate where the application actually
+  // multiplies (small A) and sloppy where it never looks (large A).
   const auto& mid_design = designs[1];
-  const mult::product_lut mid_lut(mid_design.netlist, config.spec);
+  const metrics::compiled_mult_table mid_lut(mid_design.netlist, config.spec);
   std::printf("\nLUT check (design @%.2f%% WMED):\n",
               100.0 * mid_design.target);
   std::printf("  likely operand:  9 x 200 = %6d (exact 1800)\n",

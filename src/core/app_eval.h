@@ -1,0 +1,237 @@
+// Application-level evaluation and re-ranking of design-space fronts (the
+// deployment half of the method).
+//
+// A search_session ranks designs by the search surrogates (WMED vs area);
+// the paper's headline results (Figs. 5-7, Table I) re-rank those fronts by
+// what the *application* observes: MLP digit accuracy, Gaussian-filter
+// PSNR, and power/PDP under the real operand workload.  app_eval makes
+// that last mile a subsystem instead of bench-only code:
+//
+//   * app_metric — one application-level score of a compiled design.
+//     Shipped implementations: quantized-NN accuracy on digits (optionally
+//     after approximate-aware fine-tuning, wrapping nn::finetune),
+//     Gaussian-filter PSNR (imgproc), and power/PDP/area via
+//     core::make_multiplier_workload + circuit::profile_activity +
+//     tech::analyze (the characterize_* flow).
+//   * rerank_front() — compiles each front member once (the wide-lane
+//     metrics::basic_compiled_table batch path), scores every
+//     (member x metric) job on a thread_pool, and assembles the
+//     application-level front (e.g. accuracy vs power).  Each job writes
+//     its own slot, so results are bit-identical at any thread count.
+//   * session_candidates() / checkpoint_candidates() — feed a live
+//     search_session, or one or more saved session checkpoints (fronts
+//     merged via pareto_archive::merge), into the re-ranking.
+//
+// This is the autoAx-style library -> application QoR step: the search
+// works in cheap surrogates, the deployment re-ranks the survivors by the
+// metrics users actually ship.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pareto.h"
+#include "core/search_session.h"
+#include "dist/pmf.h"
+#include "metrics/compiled_table.h"
+#include "nn/finetune.h"
+#include "nn/network.h"
+#include "tech/cell_library.h"
+
+namespace axc::core {
+
+/// One design under application-level evaluation.
+struct app_candidate {
+  std::size_t index{0};   ///< caller payload (session job id / list position)
+  std::string family{};   ///< series tag for reports ("proposed", ...)
+  double target{0.0};     ///< the search target E_i (0 for fixed baselines)
+  double wmed{0.0};       ///< search-level scores, when known
+  double area_um2{0.0};
+  circuit::netlist netlist;
+};
+
+/// One application-level score.  Implementations must be thread-safe and
+/// deterministic: rerank_front() calls score() concurrently for different
+/// candidates, and bit-identical results at any thread count are part of
+/// the contract (asserted in tests/test_app_eval.cpp).
+class app_metric {
+ public:
+  virtual ~app_metric() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  /// True when larger scores are better (accuracy, PSNR); false for cost
+  /// metrics (power, PDP, area).
+  [[nodiscard]] virtual bool higher_is_better() const = 0;
+  /// Scores one candidate; `table` is its compiled characterization
+  /// (compiled once per candidate, shared by all metrics).
+  [[nodiscard]] virtual double score(
+      const circuit::netlist& nl,
+      const metrics::compiled_mult_table& table) const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Shipped metrics
+// ---------------------------------------------------------------------------
+
+/// save_weights() blob of a trained network (what nn_accuracy_options
+/// carries so every evaluation starts from an identical clone).
+std::string save_network_weights(const nn::network& net);
+
+struct nn_accuracy_options {
+  /// Builds the (untrained) architecture; must match `trained_weights`.
+  std::function<nn::network()> build;
+  /// save_network_weights() blob of the trained float network.
+  std::string trained_weights;
+  /// Dataset fields are views into caller-owned storage (datasets are
+  /// large; an init + tuned metric pair must not duplicate them) — the
+  /// caller keeps them alive for the metric's lifetime.
+  /// Calibration images for the Ristretto-style range analysis.
+  std::span<const nn::tensor> calibration;
+  std::span<const nn::tensor> test_x;
+  std::span<const int> test_labels;
+  /// When set, fine-tune on (train_x, train_labels) with the candidate's
+  /// table before measuring (Table I "after finetuning").
+  std::optional<nn::finetune_config> finetune{};
+  std::span<const nn::tensor> train_x;
+  std::span<const int> train_labels;
+  std::string name{"accuracy"};
+};
+
+/// Quantized digit-classification accuracy in [0, 1], higher is better.
+/// Every evaluation rebuilds the network from the trained weights, so
+/// fine-tuning runs never leak state between candidates.
+std::unique_ptr<app_metric> make_nn_accuracy_metric(
+    nn_accuracy_options options);
+
+/// Opaque memo shared by several PSNR metrics (see
+/// gaussian_psnr_options::cache).
+class filter_quality_cache;
+std::shared_ptr<filter_quality_cache> make_psnr_cache();
+
+struct gaussian_psnr_options {
+  std::size_t image_count{25};
+  std::size_t image_size{64};
+  double noise_sigma{12.0};
+  std::uint64_t seed{2026};
+  bool report_min{false};  ///< report the worst image instead of the mean
+  std::string name{"psnr_db"};
+  /// Optional: a mean + min metric pair sharing one cache (make_psnr_cache)
+  /// runs the filter sweep once per candidate and reads both fields.  Same
+  /// validation semantics as power_metric_options::cache.
+  std::shared_ptr<filter_quality_cache> cache{};
+};
+
+/// Mean (or min) PSNR of the approximate 3x3 Gaussian filter vs the exact
+/// one, in dB; higher is better.
+std::unique_ptr<app_metric> make_gaussian_psnr_metric(
+    gaussian_psnr_options options = {});
+
+/// Opaque memo shared by several power metrics (see
+/// power_metric_options::cache).
+class power_characterization_cache;
+std::shared_ptr<power_characterization_cache> make_power_cache();
+
+struct power_metric_options {
+  /// Operand A statistics of the application (coefficients / NN weights).
+  dist::pmf distribution;
+  const tech::cell_library* library{&tech::cell_library::nangate45_like()};
+  /// 0: characterize the bare multiplier; > 0: the full MAC unit with an
+  /// accumulator of this width (Table I / Fig. 7 granularity).
+  unsigned mac_acc_width{0};
+  std::size_t workload_samples{4096};
+  std::uint64_t workload_seed{7};
+  enum class quantity : std::uint8_t { power_uw, pdp_fj, area_um2, delay_ps };
+  quantity report{quantity::power_uw};
+  std::string name{"power_uw"};
+  /// Optional: metrics sharing one cache (make_power_cache) characterize
+  /// each candidate once — concurrent sharers wait on that one run — and
+  /// read different quantities from the same result, e.g. a pdp + power +
+  /// area column set.  Hits are validated against the candidate netlist's
+  /// contents and a fingerprint of every option except `report`/`name`, so
+  /// mismatches (stale addresses after a previous rerank, metrics with
+  /// different workloads) recompute instead of serving wrong figures;
+  /// sharers therefore only *benefit* when their options agree.
+  std::shared_ptr<power_characterization_cache> cache{};
+};
+
+/// Electrical cost under the application's operand workload; lower is
+/// better.  The component spec comes from the candidate's compiled table.
+std::unique_ptr<app_metric> make_power_metric(power_metric_options options);
+
+// ---------------------------------------------------------------------------
+// Re-ranking
+// ---------------------------------------------------------------------------
+
+struct rerank_config {
+  /// Spec the candidate netlists are compiled against.
+  metrics::mult_spec spec{8, false};
+  /// Worker threads for the (candidate x metric) jobs; results are
+  /// bit-identical at any setting.
+  std::size_t threads{1};
+  /// Indices into the metric list spanning the application-level front:
+  /// the quality axis (maximized) and the cost axis (minimized).
+  std::size_t quality_metric{0};
+  std::size_t cost_metric{1};
+};
+
+struct reranked_design {
+  app_candidate candidate;
+  /// scores[m] = metric m's score of this candidate.
+  std::vector<double> scores;
+};
+
+struct rerank_result {
+  std::vector<std::string> metric_names;
+  /// One entry per input candidate, in input order.
+  std::vector<reranked_design> designs;
+  /// The application-level front over (quality, cost).  Minimization form:
+  /// x = quality score negated when the metric is higher-is-better, y =
+  /// cost score; index = position in `designs`.
+  std::vector<pareto_point> front;
+
+  [[nodiscard]] const reranked_design& at(const pareto_point& p) const {
+    return designs[p.index];
+  }
+};
+
+/// Compiles each candidate once, scores all (candidate x metric) jobs on a
+/// thread_pool, and assembles the quality-vs-cost front.
+rerank_result rerank_front(std::vector<app_candidate> candidates,
+                           std::span<const std::unique_ptr<app_metric>> metrics,
+                           const rerank_config& config = {});
+
+/// Appends `extra` onto `candidates`, re-indexing the appended members
+/// onto the combined list — how drivers accumulate several families
+/// (sessions, checkpoints, fixed baselines) into one rerank input without
+/// hand-rolled index bookkeeping.
+void append_candidates(std::vector<app_candidate>& candidates,
+                       std::vector<app_candidate> extra);
+
+/// Candidates of a live session: every completed design, or only the
+/// archive front members (`front_only`).  index = session job id.
+std::vector<app_candidate> session_candidates(const search_session& session,
+                                              bool front_only = false,
+                                              std::string family = {});
+
+/// Restores one or more session checkpoints (search_session::resume
+/// semantics — same component fingerprint required) and returns their
+/// candidates re-indexed globally.  With `front_only` the per-session
+/// fronts are unioned via pareto_archive::merge(), so a sweep sharded
+/// across machines re-ranks as one front.  nullopt on a malformed
+/// checkpoint or fingerprint mismatch.
+std::optional<std::vector<app_candidate>> checkpoint_candidates(
+    std::span<const std::string> paths, const component_handle& component,
+    bool front_only = false, std::string family = {});
+
+/// Stream variant of the above (one istream per checkpoint).
+std::optional<std::vector<app_candidate>> checkpoint_candidates(
+    std::span<std::istream* const> streams, const component_handle& component,
+    bool front_only = false, std::string family = {});
+
+}  // namespace axc::core

@@ -58,7 +58,7 @@ std::vector<tailored_multiplier> design_for_distribution(
         best = std::move(candidate);
       }
     }
-    mult::product_lut lut(best->netlist, cfg.spec);
+    metrics::compiled_mult_table lut(best->netlist, cfg.spec);
     const design_power power =
         characterize_multiplier(best->netlist, cfg.spec, d, lib);
     result.push_back(

@@ -20,7 +20,7 @@
 
 #include "core/wmed_approximator.h"
 #include "dist/pmf.h"
-#include "mult/lut.h"
+#include "metrics/compiled_table.h"
 #include "tech/analysis.h"
 
 namespace axc::core {
@@ -54,7 +54,7 @@ design_power characterize_mac(const circuit::netlist& multiplier,
 /// electrical characterization.
 struct tailored_multiplier {
   evolved_design design;
-  mult::product_lut lut;
+  metrics::compiled_mult_table lut;
   design_power multiplier_power;
 };
 

@@ -53,4 +53,13 @@ bool pareto_archive::insert(const pareto_point& p) {
   return true;
 }
 
+std::size_t pareto_archive::merge(const pareto_archive& other) {
+  if (&other == this) return 0;  // self-union: insert() would invalidate
+  std::size_t kept = 0;
+  for (const pareto_point& p : other.points_) {
+    kept += insert(p) ? 1 : 0;
+  }
+  return kept;
+}
+
 }  // namespace axc::core

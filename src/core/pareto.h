@@ -38,6 +38,14 @@ class pareto_archive {
   /// rejected and dominated incumbents pruned.
   bool insert(const pareto_point& p);
 
+  /// Set union with another archive: inserts every point of `other` and
+  /// returns how many survived as non-dominated.  Deterministic and
+  /// order-independent — a.merge(b) and b.merge(a) end on the same
+  /// coordinate set (ties keep the lowest index), so cross-session front
+  /// merging (split a sweep's checkpoints across machines, union the
+  /// archives) needs no canonical merge order.
+  std::size_t merge(const pareto_archive& other);
+
   /// Ascending x, strictly descending y (the non-dominated invariant).
   [[nodiscard]] const std::vector<pareto_point>& points() const {
     return points_;

@@ -48,7 +48,7 @@ image gaussian_filter_exact(const image& src, const gaussian_kernel3& kernel) {
 }
 
 image gaussian_filter_approx(const image& src,
-                             const mult::product_lut& multiplier,
+                             const metrics::compiled_mult_table& multiplier,
                              const gaussian_kernel3& kernel) {
   AXC_EXPECTS(multiplier.spec().width == 8);
   AXC_EXPECTS(!multiplier.spec().is_signed);
@@ -58,7 +58,7 @@ image gaussian_filter_approx(const image& src,
                      });
 }
 
-filter_quality evaluate_filter_quality(const mult::product_lut& multiplier,
+filter_quality evaluate_filter_quality(const metrics::compiled_mult_table& multiplier,
                                        std::size_t image_count,
                                        std::size_t image_size,
                                        double noise_sigma,

@@ -12,7 +12,7 @@
 #include <cstdint>
 
 #include "imgproc/image.h"
-#include "mult/lut.h"
+#include "metrics/compiled_table.h"
 
 namespace axc::imgproc {
 
@@ -33,7 +33,7 @@ image gaussian_filter_exact(const image& src,
 /// (an unsigned 8x8 product LUT).  Accumulation stays exact, as in the
 /// paper's hardware model where only multipliers are approximated.
 image gaussian_filter_approx(const image& src,
-                             const mult::product_lut& multiplier,
+                             const metrics::compiled_mult_table& multiplier,
                              const gaussian_kernel3& kernel = {});
 
 /// Average PSNR of `filtered vs. gaussian_filter_exact` over a set of noisy
@@ -43,7 +43,7 @@ struct filter_quality {
   double min_psnr_db{0.0};
 };
 
-filter_quality evaluate_filter_quality(const mult::product_lut& multiplier,
+filter_quality evaluate_filter_quality(const metrics::compiled_mult_table& multiplier,
                                        std::size_t image_count = 25,
                                        std::size_t image_size = 64,
                                        double noise_sigma = 12.0,

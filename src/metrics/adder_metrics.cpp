@@ -2,7 +2,7 @@
 
 #include <cstdlib>
 
-#include "circuit/simulator.h"
+#include "metrics/compiled_table.h"
 #include "support/assert.h"
 
 namespace axc::metrics {
@@ -20,14 +20,7 @@ std::vector<std::int64_t> exact_sum_table(const adder_spec& spec) {
 
 std::vector<std::int64_t> sum_table(const circuit::netlist& nl,
                                     const adder_spec& spec) {
-  AXC_EXPECTS(nl.num_inputs() == 2 * spec.width);
-  AXC_EXPECTS(nl.num_outputs() == spec.width + 1);
-  const std::vector<std::uint64_t> raw = circuit::evaluate_exhaustive(nl);
-  std::vector<std::int64_t> table(raw.size());
-  for (std::size_t v = 0; v < raw.size(); ++v) {
-    table[v] = static_cast<std::int64_t>(raw[v]);
-  }
-  return table;
+  return result_table(nl, spec);
 }
 
 double adder_wmed(std::span<const std::int64_t> exact,

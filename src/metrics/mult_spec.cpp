@@ -1,7 +1,6 @@
 #include "metrics/mult_spec.h"
 
-#include "circuit/simulator.h"
-#include "support/assert.h"
+#include "metrics/compiled_table.h"
 
 namespace axc::metrics {
 
@@ -19,14 +18,7 @@ std::vector<std::int64_t> exact_product_table(const mult_spec& spec) {
 
 std::vector<std::int64_t> product_table(const circuit::netlist& nl,
                                         const mult_spec& spec) {
-  AXC_EXPECTS(nl.num_inputs() == 2 * spec.width);
-  AXC_EXPECTS(nl.num_outputs() == 2 * spec.width);
-  const std::vector<std::uint64_t> raw = circuit::evaluate_exhaustive(nl);
-  std::vector<std::int64_t> table(raw.size());
-  for (std::size_t v = 0; v < raw.size(); ++v) {
-    table[v] = spec.product_value(raw[v]);
-  }
-  return table;
+  return result_table(nl, spec);
 }
 
 }  // namespace axc::metrics

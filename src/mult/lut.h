@@ -1,53 +1,16 @@
-// Product lookup tables: the bridge from gate-level multipliers to
-// application-level simulation (image filters, quantized NN inference).
+// Legacy entry point for multiplier product tables.
 //
-// An 8-bit multiplier is fully characterized by its 65536-entry product
-// table; applications then "execute" the approximate circuit at LUT speed,
-// exactly as the paper evaluates approximate NNs.
+// product_lut is now the multiplier instantiation of the spec-generic
+// metrics::basic_compiled_table (metrics/compiled_table.h): one compile,
+// wide-lane batch characterization, same 65536-entry 8-bit product table
+// the applications "execute" at LUT speed.  Kept so historic call sites
+// (and the paper-facing name) keep working unchanged.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "circuit/netlist.h"
-#include "metrics/mult_spec.h"
+#include "metrics/compiled_table.h"
 
 namespace axc::mult {
 
-class product_lut {
- public:
-  /// Characterizes a multiplier netlist exhaustively.
-  product_lut(const circuit::netlist& multiplier,
-              const metrics::mult_spec& spec);
-
-  /// Behavioural LUT for the exact product (reference paths).
-  static product_lut exact(const metrics::mult_spec& spec);
-
-  /// Product by operand *bit patterns* (masked to width).
-  [[nodiscard]] std::int32_t by_pattern(std::uint32_t a,
-                                        std::uint32_t b) const {
-    const std::uint32_t mask = (1u << spec_.width) - 1u;
-    return table_[((b & mask) << spec_.width) | (a & mask)];
-  }
-
-  /// Product by operand *values*; signed specs accept negative operands.
-  /// Operand A is the distribution-carrying operand (coefficient/weight).
-  [[nodiscard]] std::int32_t multiply(std::int32_t a, std::int32_t b) const {
-    return by_pattern(static_cast<std::uint32_t>(a),
-                      static_cast<std::uint32_t>(b));
-  }
-
-  [[nodiscard]] const metrics::mult_spec& spec() const { return spec_; }
-  [[nodiscard]] const std::vector<std::int32_t>& table() const {
-    return table_;
-  }
-
- private:
-  product_lut(metrics::mult_spec spec, std::vector<std::int32_t> table)
-      : spec_(spec), table_(std::move(table)) {}
-
-  metrics::mult_spec spec_;
-  std::vector<std::int32_t> table_;
-};
+using product_lut = metrics::compiled_mult_table;
 
 }  // namespace axc::mult

@@ -81,7 +81,7 @@ tensor conv2d::backward(const tensor& grad) {
 }
 
 tensor conv2d::forward_quantized(const tensor& x, const layer_qparams& qp,
-                                 const mult::product_lut& lut, bool training) {
+                                 const metrics::compiled_mult_table& lut, bool training) {
   AXC_EXPECTS(x.channels() == in_c_);
   AXC_EXPECTS(qp.weights.size() == w_.size());
   AXC_EXPECTS(qp.bias.size() == b_.size());

@@ -54,7 +54,7 @@ tensor dense::backward(const tensor& grad) {
 }
 
 tensor dense::forward_quantized(const tensor& x, const layer_qparams& qp,
-                                const mult::product_lut& lut, bool training) {
+                                const metrics::compiled_mult_table& lut, bool training) {
   AXC_EXPECTS(x.size() == in_);
   AXC_EXPECTS(qp.weights.size() == w_.size());
   AXC_EXPECTS(qp.bias.size() == b_.size());

@@ -17,7 +17,7 @@ class dense : public layer {
   tensor forward(const tensor& x, bool training) override;
   tensor backward(const tensor& grad) override;
   tensor forward_quantized(const tensor& x, const layer_qparams& qp,
-                           const mult::product_lut& lut,
+                           const metrics::compiled_mult_table& lut,
                            bool training) override;
   [[nodiscard]] std::array<std::size_t, 3> output_shape(
       std::array<std::size_t, 3> input_shape) const override;

@@ -10,7 +10,7 @@
 namespace axc::nn {
 
 void finetune(quantized_network& qnet, std::span<const tensor> images,
-              std::span<const int> labels, const mult::product_lut& lut,
+              std::span<const int> labels, const metrics::compiled_mult_table& lut,
               const finetune_config& config,
               const std::function<void(const finetune_stats&)>& on_epoch) {
   AXC_EXPECTS(images.size() == labels.size() && !images.empty());

@@ -11,7 +11,7 @@
 #include <functional>
 #include <span>
 
-#include "mult/lut.h"
+#include "metrics/compiled_table.h"
 #include "nn/quantize.h"
 
 namespace axc::nn {
@@ -32,7 +32,7 @@ struct finetune_stats {
 };
 
 void finetune(quantized_network& qnet, std::span<const tensor> images,
-              std::span<const int> labels, const mult::product_lut& lut,
+              std::span<const int> labels, const metrics::compiled_mult_table& lut,
               const finetune_config& config,
               const std::function<void(const finetune_stats&)>& on_epoch = {});
 

@@ -4,15 +4,21 @@
 // forward used both for int8 inference and for approximate-aware
 // fine-tuning: forward_quantized computes exactly what the 8-bit MAC
 // hardware would (inputs and weights on their fixed-point grids, every
-// product through the supplied multiplier LUT, accumulate in int32,
-// requantize by shifting) and returns the dequantized float result, so the
-// existing float backward acts as a straight-through gradient.
+// product through the supplied compiled multiplier table, accumulate in
+// int32, requantize by shifting) and returns the dequantized float result,
+// so the existing float backward acts as a straight-through gradient.
+//
+// The table is the generic metrics::basic_compiled_table characterization
+// of whatever circuit the deployment picked — an exact multiplier, an
+// evolved approximate one, or any future component compiled to the
+// multiplier spec; the layer contract only assumes "int8 x int8 -> int32
+// through the table".
 #pragma once
 
 #include <array>
 #include <span>
 
-#include "mult/lut.h"
+#include "metrics/compiled_table.h"
 #include "nn/qformat.h"
 #include "nn/tensor.h"
 
@@ -33,13 +39,12 @@ class layer {
   virtual tensor backward(const tensor& grad) = 0;
 
   /// Hardware-accurate quantized forward (see file comment).  Layers
-  /// without weights default to the float forward: max-pool and ReLU are
-  /// grid-preserving, so the float path is bit-identical to int arithmetic.
-  virtual tensor forward_quantized(const tensor& x, const layer_qparams& qp,
-                                   const mult::product_lut& lut,
+  /// without weights never touch the quantization params or the compiled
+  /// table: max-pool and ReLU are grid-preserving, so the float path is
+  /// bit-identical to int arithmetic.
+  virtual tensor forward_quantized(const tensor& x, const layer_qparams&,
+                                   const metrics::compiled_mult_table&,
                                    bool training) {
-    (void)qp;
-    (void)lut;
     return forward(x, training);
   }
 

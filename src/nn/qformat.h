@@ -3,8 +3,10 @@
 // A quantized value is an int8 bit pattern with a per-layer power-of-two
 // scale: value = pattern * 2^-frac_bits.  Power-of-two scales make
 // requantization between layers a rounding shift — exactly what the paper's
-// 8-bit MAC hardware model performs — and make the multiplier the only
-// approximated operator.
+// 8-bit MAC hardware model performs — so the only approximated operator is
+// the one behind the compiled component table the forward pass consumes
+// (the 8x8 multiplier in the shipped model; the formats themselves are
+// component-agnostic).
 #pragma once
 
 #include <algorithm>

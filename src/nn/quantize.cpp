@@ -77,7 +77,7 @@ void quantized_network::refresh_weights() {
 }
 
 tensor quantized_network::forward(const tensor& x,
-                                  const mult::product_lut& lut,
+                                  const metrics::compiled_mult_table& lut,
                                   bool training) {
   tensor h = x;
   for (std::size_t i = 0; i < net_->layer_count(); ++i) {
@@ -87,7 +87,7 @@ tensor quantized_network::forward(const tensor& x,
 }
 
 int quantized_network::predict_class(const tensor& x,
-                                     const mult::product_lut& lut) {
+                                     const metrics::compiled_mult_table& lut) {
   const tensor logits = forward(x, lut, /*training=*/false);
   int best = 0;
   for (std::size_t i = 1; i < logits.size(); ++i) {
@@ -98,7 +98,7 @@ int quantized_network::predict_class(const tensor& x,
 
 double quantized_network::accuracy(std::span<const tensor> images,
                                    std::span<const int> labels,
-                                   const mult::product_lut& lut,
+                                   const metrics::compiled_mult_table& lut,
                                    std::size_t max_samples) {
   AXC_EXPECTS(images.size() == labels.size() && !images.empty());
   const std::size_t count = max_samples == 0

@@ -13,7 +13,7 @@
 #include <span>
 #include <vector>
 
-#include "mult/lut.h"
+#include "metrics/compiled_table.h"
 #include "nn/network.h"
 #include "nn/qformat.h"
 
@@ -31,14 +31,14 @@ class quantized_network {
 
   /// Hardware-model forward; `training` caches straight-through state
   /// inside the float layers for a subsequent backward().
-  tensor forward(const tensor& x, const mult::product_lut& lut,
+  tensor forward(const tensor& x, const metrics::compiled_mult_table& lut,
                  bool training = false);
 
   [[nodiscard]] int predict_class(const tensor& x,
-                                  const mult::product_lut& lut);
+                                  const metrics::compiled_mult_table& lut);
 
   double accuracy(std::span<const tensor> images, std::span<const int> labels,
-                  const mult::product_lut& lut, std::size_t max_samples = 0);
+                  const metrics::compiled_mult_table& lut, std::size_t max_samples = 0);
 
   /// All quantized weights concatenated (the paper's Fig. 6 histograms are
   /// over exactly this multiset — the multiplier's operand A stream).

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "mult/lut.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"

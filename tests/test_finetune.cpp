@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "data/digits.h"
+#include "mult/lut.h"
 #include "mult/multipliers.h"
 #include "nn/finetune.h"
 #include "nn/models.h"

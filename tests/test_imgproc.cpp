@@ -4,6 +4,7 @@
 
 #include "imgproc/gaussian_filter.h"
 #include "imgproc/image.h"
+#include "mult/lut.h"
 #include "mult/multipliers.h"
 
 namespace axc::imgproc {

@@ -7,6 +7,7 @@
 #include "imgproc/gaussian_filter.h"
 #include "metrics/error_metrics.h"
 #include "metrics/wmed_evaluator.h"
+#include "mult/lut.h"
 #include "mult/multipliers.h"
 #include "nn/models.h"
 #include "nn/quantize.h"

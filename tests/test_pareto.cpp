@@ -129,6 +129,77 @@ TEST(pareto_archive, maintains_sorted_invariant) {
   }
 }
 
+TEST(pareto_archive, merge_unions_archives) {
+  pareto_archive a;
+  a.insert({1, 9, 0});
+  a.insert({5, 3, 1});
+  pareto_archive b;
+  b.insert({3, 5, 2});
+  b.insert({6, 1, 3});
+  b.insert({2, 20, 4});  // dominated by a's {1, 9}
+
+  const std::size_t kept = a.merge(b);
+  EXPECT_EQ(kept, 2u);  // {2,20} rejected
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.points()[0].index, 0u);
+  EXPECT_EQ(a.points()[1].index, 2u);
+  EXPECT_EQ(a.points()[2].index, 1u);
+  EXPECT_EQ(a.points()[3].index, 3u);
+}
+
+TEST(pareto_archive, merge_is_order_independent) {
+  // Union of per-session fronts must equal the front of the union,
+  // whichever side merges into which — the cross-checkpoint contract.
+  std::vector<pareto_point> points;
+  std::uint64_t state = 7;
+  for (std::size_t i = 0; i < 80; ++i) {
+    points.push_back({static_cast<double>(splitmix64(state) % 40),
+                      static_cast<double>(splitmix64(state) % 40), i});
+  }
+
+  pareto_archive whole;
+  for (const auto& p : points) whole.insert(p);
+
+  pareto_archive first, second;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    (i % 2 == 0 ? first : second).insert(points[i]);
+  }
+  pareto_archive ab = first;
+  ab.merge(second);
+  pareto_archive ba = second;
+  ba.merge(first);
+
+  ASSERT_EQ(ab.size(), whole.size());
+  ASSERT_EQ(ba.size(), whole.size());
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(ab.points()[i], whole.points()[i]) << "point " << i;
+    EXPECT_EQ(ba.points()[i], whole.points()[i]) << "point " << i;
+  }
+}
+
+TEST(pareto_archive, merge_coordinate_ties_keep_lowest_index) {
+  pareto_archive a;
+  a.insert({1, 1, 5});
+  pareto_archive b;
+  b.insert({1, 1, 2});
+  a.merge(b);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.points()[0].index, 2u);
+}
+
+TEST(pareto_archive, merge_edge_cases) {
+  pareto_archive a;
+  a.insert({1, 1, 0});
+  pareto_archive empty;
+  EXPECT_EQ(a.merge(empty), 0u);
+  EXPECT_EQ(a.merge(a), 0u);  // self-merge is a no-op
+  ASSERT_EQ(a.size(), 1u);
+
+  pareto_archive c;
+  EXPECT_EQ(c.merge(a), 1u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
 TEST(pareto_front, no_front_point_dominated) {
   // Property: nothing on the front is dominated by any input point.
   std::vector<pareto_point> points;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "data/digits.h"
+#include "mult/lut.h"
 #include "mult/multipliers.h"
 #include "nn/models.h"
 #include "nn/quantize.h"

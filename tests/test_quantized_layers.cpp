@@ -7,6 +7,7 @@
 #include <cmath>
 #include <memory>
 
+#include "mult/lut.h"
 #include "mult/multipliers.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
