@@ -25,6 +25,7 @@
 #include "nn/quantize.h"
 #include "nn/trainer.h"
 #include "support/rng.h"
+#include "support/simd.h"
 #include "tech/analysis.h"
 #include "tech/cell_library.h"
 
@@ -89,6 +90,8 @@ void bm_evaluate_exhaustive_8bit(benchmark::State& state) {
 BENCHMARK(bm_evaluate_exhaustive_8bit);
 
 void bm_wmed_evaluate(benchmark::State& state) {
+  // Batched sweep under the best runtime-dispatched backend (AXC_SIMD
+  // overrides; see metrics/scan_kernels.h).
   const metrics::mult_spec spec{8, false};
   metrics::wmed_evaluator evaluator(spec, dist::pmf::half_normal(256, 64.0));
   const circuit::netlist nl = mult::truncated_multiplier(8, 4);
@@ -97,6 +100,19 @@ void bm_wmed_evaluate(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_wmed_evaluate);
+
+void bm_wmed_evaluate_scalar(benchmark::State& state) {
+  // Same sweep forced onto the scalar batched kernels — the portable
+  // floor, which must stay no slower than the pre-batch (pr4) sweep.
+  const metrics::mult_spec spec{8, false};
+  metrics::wmed_evaluator evaluator(spec, dist::pmf::half_normal(256, 64.0),
+                                    simd::level::scalar);
+  const circuit::netlist nl = mult::truncated_multiplier(8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(nl));
+  }
+}
+BENCHMARK(bm_wmed_evaluate_scalar);
 
 void bm_wmed_evaluate_reference(benchmark::State& state) {
   // The pre-refactor sweep (simulate_block + per-assignment gather) on the
@@ -232,6 +248,30 @@ void bm_evolver_generation(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(bm_evolver_generation);
+
+void bm_evolver_generation_scalar(benchmark::State& state) {
+  // The incremental offspring loop with the whole sweep (step executor +
+  // scan kernel) forced onto the scalar backends.
+  const metrics::mult_spec spec{8, false};
+  const dist::pmf d = dist::pmf::half_normal(256, 64.0);
+  const auto& lib = tech::cell_library::nangate45_like();
+  const double target = 1e-4;
+  const auto evaluator = core::make_incremental_wmed_evaluator(
+      spec, d, lib, target, simd::level::scalar);
+  const cgp::genotype parent = search_candidate();
+  evaluator->evaluate_and_bind(parent);
+  rng gen(3);
+  std::vector<std::uint32_t> dirty;
+  cgp::genotype child = parent;  // offspring slots reuse storage
+  for (auto _ : state) {
+    child = parent;
+    dirty.clear();
+    child.mutate(gen, dirty);
+    benchmark::DoNotOptimize(evaluator->evaluate_child(parent, child, dirty));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_evolver_generation_scalar);
 
 void bm_evolver_generation_roundtrip(benchmark::State& state) {
   // The pre-incremental inner loop (PR 1's bm_evolver_generation): mutate,

@@ -6,12 +6,20 @@
 # UTC timestamp, an optional profile tag, and the google-benchmark context
 # + results.
 #
+# With --check the script instead *gates*: the fresh run is compared
+# against a previous tagged run in BENCH_micro.json (the most recent tag,
+# or the one named by --against) and the script fails when any watched
+# benchmark regressed by more than 25% — so perf PRs cannot silently
+# regress the levers the ROADMAP tracks.  Check mode never appends.
+#
 # Usage:  bench/run_micro.sh [build-dir] [--tag name] [benchmark args...]
+#         bench/run_micro.sh [build-dir] --check [--against tag] [args...]
 #
 # Examples:
 #   bench/run_micro.sh                                  # default build dir
 #   bench/run_micro.sh build-native --tag native        # -march=native pair
 #   bench/run_micro.sh --benchmark_filter=wmed          # forwarded args
+#   bench/run_micro.sh build --check --against pr4      # regression gate
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -25,9 +33,37 @@ if [ $# -gt 0 ]; then
 fi
 
 tag=""
-if [ $# -ge 2 ] && [ "$1" = "--tag" ]; then
-  tag=$2
-  shift 2
+check=0
+against=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --tag)
+      tag=$2
+      shift 2
+      ;;
+    --check)
+      check=1
+      shift
+      ;;
+    --against)
+      against=$2
+      shift 2
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
+
+if [ "$check" = 1 ] && [ -n "$tag" ]; then
+  echo "error: --tag and --check are mutually exclusive (check mode never" >&2
+  echo "       appends to BENCH_micro.json)" >&2
+  exit 2
+fi
+if [ "$check" = 0 ] && [ -n "$against" ]; then
+  echo "error: --against only applies to --check (without it the script" >&2
+  echo "       would record a run instead of gating)" >&2
+  exit 2
 fi
 
 bin="$build_dir/micro_throughput"
@@ -45,6 +81,71 @@ trap 'rm -f "$out"' EXIT INT TERM
   --benchmark_out="$out" \
   --benchmark_out_format=json \
   "$@"
+
+if [ "$check" = 1 ]; then
+  python3 - "$repo_root/BENCH_micro.json" "$out" "$against" <<'PY'
+import json
+import sys
+
+trajectory_path, run_path, against = sys.argv[1:4]
+
+# The perf levers the ROADMAP tracks; >25% slower than the baseline fails.
+WATCHED = (
+    "bm_wmed_evaluate",
+    "bm_evolver_generation",
+    "bm_evolver_generation_adder",
+)
+THRESHOLD = 1.25
+
+with open(run_path) as f:
+    fresh = {b["name"]: b for b in json.load(f).get("benchmarks", [])}
+
+try:
+    with open(trajectory_path) as f:
+        trajectory = json.load(f)
+except (FileNotFoundError, json.JSONDecodeError):
+    sys.exit(f"check: no trajectory at {trajectory_path}")
+runs = trajectory.get("runs", [])
+
+baseline = None
+for run in runs:
+    run_tag = run.get("tag")
+    if run_tag and (not against or run_tag == against):
+        baseline = run  # keep the most recent match
+if baseline is None:
+    wanted = f"tag {against!r}" if against else "any tagged run"
+    sys.exit(f"check: no baseline ({wanted}) in {trajectory_path}")
+
+base = {b["name"]: b for b in baseline.get("benchmarks", [])}
+print(f"check: baseline tag={baseline.get('tag')} sha={baseline.get('sha')}")
+
+failed = []
+compared = 0
+for name in WATCHED:
+    if name not in fresh:
+        continue  # filtered out of this run
+    if name not in base:
+        print(f"  {name:35s} (not in baseline, skipped)")
+        continue
+    compared += 1
+    new = fresh[name]["real_time"]
+    old = base[name]["real_time"]
+    ratio = new / old if old > 0 else float("inf")
+    verdict = "FAIL" if ratio > THRESHOLD else "ok"
+    print(f"  {name:35s} {old:12.1f} -> {new:12.1f} ns   "
+          f"x{ratio:.3f}  {verdict}")
+    if ratio > THRESHOLD:
+        failed.append(name)
+
+if compared == 0:
+    sys.exit("check: no watched benchmark present in both runs "
+             "(check the --benchmark_filter)")
+if failed:
+    sys.exit(f"check: regression >25% on: {', '.join(failed)}")
+print("check: no watched benchmark regressed >25%")
+PY
+  exit 0
+fi
 
 python3 - "$repo_root/BENCH_micro.json" "$out" "$sha" "$tag" <<'PY'
 import json

@@ -137,6 +137,31 @@ std::size_t genotype::mark_cone(std::vector<std::uint8_t>& flags) const {
     if (out >= ni) flags[out - ni] = 1;
   }
   std::size_t count = 0;
+
+  // This walk is the hot part of the incremental search's cone delta
+  // (cone_program::apply runs it for every edge-changing mutant).  Hoist
+  // the per-node function_set indirection into a dependence-mask table
+  // indexed by the fn *gene* (bit 0 = reads in0, bit 1 = reads in1).
+  std::uint8_t dep[64];
+  const std::size_t nf = p.function_set.size();
+  if (nf <= 64) {
+    for (std::size_t i = 0; i < nf; ++i) {
+      const circuit::gate_fn fn = p.function_set[i];
+      dep[i] = static_cast<std::uint8_t>(
+          (circuit::depends_on_a(fn) ? 1u : 0u) |
+          (circuit::depends_on_b(fn) ? 2u : 0u));
+    }
+    for (std::size_t k = nodes_.size(); k-- > 0;) {
+      if (!flags[k]) continue;
+      ++count;
+      const node_genes& n = nodes_[k];
+      const std::uint8_t m = dep[n.fn];
+      if ((m & 1u) != 0 && n.in0 >= ni) flags[n.in0 - ni] = 1;
+      if ((m & 2u) != 0 && n.in1 >= ni) flags[n.in1 - ni] = 1;
+    }
+    return count;
+  }
+
   for (std::size_t k = nodes_.size(); k-- > 0;) {
     if (!flags[k]) continue;
     ++count;

@@ -107,18 +107,73 @@ void sim_program<W>::rebuild(const netlist& nl) {
     output_slots_[o] = static_cast<std::uint32_t>(remap_[nl.output(o)] * W);
   }
   slots_.resize((num_inputs_ + steps_.size()) * W);
+  indexed_ = false;
 }
 
 template <std::size_t W>
 void sim_program<W>::run(std::span<const std::uint64_t> inputs,
                          std::span<std::uint64_t> outputs) {
-  AXC_EXPECTS(inputs.size() == num_inputs_ * W);
   AXC_EXPECTS(outputs.size() == output_slots_.size() * W);
+  run_in_place(inputs);
+
+  const std::uint64_t* const base = slots_.data();
+  for (std::size_t o = 0; o < output_slots_.size(); ++o) {
+    const std::uint64_t* const src = base + output_slots_[o];
+    for (std::size_t w = 0; w < W; ++w) outputs[o * W + w] = src[w];
+  }
+}
+
+template <std::size_t W>
+void sim_program<W>::set_simd_level(simd::level l) {
+  if (W != 8) return;
+  const simd::level resolved = resolve_sim_steps_level(l);
+  steps_fn_ = sim_steps_kernel(resolved);
+  steps_idx_fn_ = sim_steps_indexed_kernel(resolved);
+  pack_fn_ = sim_pack_kernel(resolved);
+}
+
+template <std::size_t W>
+void sim_program<W>::set_active_from_flags(const std::uint8_t* flags,
+                                           std::size_t count) {
+  AXC_EXPECTS(indexed_ && count == table_.size());
+  active_idx_.resize(count);  // worst case: every node active
+  if (W == 8) {
+    if (pack_fn_ == nullptr) set_simd_level(simd::level::automatic);
+    active_idx_.resize(pack_fn_(flags, count, active_idx_.data()));
+    return;
+  }
+  std::size_t n = 0;
+  for (std::size_t t = 0; t < count; ++t) {
+    active_idx_[n] = static_cast<std::uint32_t>(t);
+    n += flags[t] != 0;
+  }
+  active_idx_.resize(n);
+}
+
+template <std::size_t W>
+void sim_program<W>::run_in_place(std::span<const std::uint64_t> inputs) {
+  AXC_EXPECTS(inputs.size() == num_inputs_ * W);
 
   std::uint64_t* const base = slots_.data();
   for (std::size_t i = 0; i < inputs.size(); ++i) base[i] = inputs[i];
 
-  for (const step& s : steps_) {
+  if constexpr (W == 8) {
+    // Wide-lane fast path: one signal row is a whole vector register, so
+    // the dispatched executor replaces the scalar per-lane loops below.
+    if (steps_fn_ == nullptr) set_simd_level(simd::level::automatic);
+    if (indexed_) {
+      steps_idx_fn_(table_.data(), active_idx_.data(), active_idx_.size(),
+                    base);
+    } else {
+      steps_fn_(steps_.data(), steps_.size(), base);
+    }
+    return;
+  }
+
+  const step* const list = indexed_ ? table_.data() : steps_.data();
+  const std::size_t count = indexed_ ? active_idx_.size() : steps_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const step& s = list[indexed_ ? active_idx_[i] : i];
     const std::uint64_t* const a = base + s.in0;
     const std::uint64_t* const b = base + s.in1;
     std::uint64_t* const out = base + s.out;
@@ -147,11 +202,6 @@ void sim_program<W>::run(std::span<const std::uint64_t> inputs,
       AXC_LANE_OP(orn_ba, ~a[w] | b[w])
 #undef AXC_LANE_OP
     }
-  }
-
-  for (std::size_t o = 0; o < output_slots_.size(); ++o) {
-    const std::uint64_t* const src = base + output_slots_[o];
-    for (std::size_t w = 0; w < W; ++w) outputs[o * W + w] = src[w];
   }
 }
 

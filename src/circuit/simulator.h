@@ -14,8 +14,46 @@
 
 #include "circuit/netlist.h"
 #include "support/assert.h"
+#include "support/simd.h"
 
 namespace axc::circuit {
+
+/// One compiled gate operation of a sim_program schedule.  Slot offsets are
+/// premultiplied by the program's lane count W, so the step executors index
+/// the slot buffer directly.
+struct sim_step {
+  gate_fn fn{gate_fn::const0};
+  std::uint32_t in0{0};  ///< slot offset, premultiplied by W
+  std::uint32_t in1{0};
+  std::uint32_t out{0};  ///< slot offset, premultiplied by W
+};
+
+/// Executes a compiled step list over a slot buffer, eight lanes per
+/// signal (the W == 8 fast path).  Backends live in sim_step_kernels*.cpp
+/// (scalar / AVX2 / AVX-512 behind runtime dispatch, same rules as the
+/// metrics scan kernels); all are bit-identical.
+using sim_steps_fn = void (*)(const sim_step* steps, std::size_t count,
+                              std::uint64_t* slots);
+/// Same, over a step *table* through an active-index list (the indexed
+/// schedules of the genotype-native incremental path).
+using sim_steps_indexed_fn = void (*)(const sim_step* table,
+                                      const std::uint32_t* indices,
+                                      std::size_t count, std::uint64_t* slots);
+/// Packs node flags into an ascending active-index list; returns the count.
+/// `out` must have room for `count` entries.
+using sim_pack_fn = std::size_t (*)(const std::uint8_t* flags,
+                                    std::size_t count, std::uint32_t* out);
+
+/// Whether a step-executor backend is compiled in AND runnable here.
+[[nodiscard]] bool sim_steps_level_available(simd::level l);
+/// automatic -> AXC_SIMD override or best available; explicit levels are
+/// clamped down to availability (scalar is always the floor).
+[[nodiscard]] simd::level resolve_sim_steps_level(simd::level requested);
+/// The executors for a resolved level (scalar fallback, never null).
+[[nodiscard]] sim_steps_fn sim_steps_kernel(simd::level resolved);
+[[nodiscard]] sim_steps_indexed_fn sim_steps_indexed_kernel(
+    simd::level resolved);
+[[nodiscard]] sim_pack_fn sim_pack_kernel(simd::level resolved);
 
 /// Reusable simulation scratchpad (one word per signal).  Keeping it outside
 /// the call avoids reallocating in the CGP inner loop.
@@ -105,12 +143,33 @@ class sim_program {
   [[nodiscard]] std::size_t num_inputs() const { return num_inputs_; }
   [[nodiscard]] std::size_t num_outputs() const { return output_slots_.size(); }
   /// Gates actually simulated (the active cone; <= nl.num_gates()).
-  [[nodiscard]] std::size_t active_gates() const { return steps_.size(); }
+  [[nodiscard]] std::size_t active_gates() const {
+    return indexed_ ? active_idx_.size() : steps_.size();
+  }
 
   /// One pass over the active cone: W blocks of 64 assignments.
   /// `inputs` must have num_inputs()*W words, `outputs` num_outputs()*W.
   void run(std::span<const std::uint64_t> inputs,
            std::span<std::uint64_t> outputs);
+
+  /// run() without the output copy: evaluates the schedule and leaves the
+  /// results in the slot buffer, to be read lane-major via output_rows().
+  /// This is the entry the batched WMED scan consumes — its kernel loads
+  /// each candidate output plane straight from the slot row, so the per-pass
+  /// num_outputs()*W-word gather disappears.
+  void run_in_place(std::span<const std::uint64_t> inputs);
+
+  /// Fills `rows` (num_outputs() entries) with pointers to each output's
+  /// W-word lane row inside the slot buffer.  The pointers are stable across
+  /// run()/run_in_place() calls — hoist the fill out of a sweep loop — and
+  /// are invalidated by rebuild(), reset(), set_output_slot() and
+  /// patch_output().
+  void output_rows(std::span<const std::uint64_t*> rows) const {
+    AXC_EXPECTS(rows.size() == output_slots_.size());
+    for (std::size_t o = 0; o < output_slots_.size(); ++o) {
+      rows[o] = slots_.data() + output_slots_[o];
+    }
+  }
 
   // --- manual schedule construction & in-place patching ------------------
   // Slot indices at this interface are *un*-premultiplied: inputs occupy
@@ -125,6 +184,7 @@ class sim_program {
     output_slots_.assign(num_outputs, 0);
     steps_.clear();
     slots_.resize(num_slots * W);
+    indexed_ = false;
   }
 
   /// Appends a step writing `out_slot`; reads follow gate_fn dependence.
@@ -169,19 +229,69 @@ class sim_program {
     output_slots_[o] = static_cast<std::uint32_t>(slot * W);
   }
 
+  // --- indexed (table) schedules -----------------------------------------
+  // The genotype-native incremental path (cgp::cone_program): one step slot
+  // per caller-side node, of which only a packed active-index list executes
+  // (ascending node order — the topological order of the CGP address
+  // space).  A point mutation then updates single table entries (O(1)) and
+  // a cone-membership change repacks the index list, instead of re-emitting
+  // a dense step list per mutant.  The topological read contract of manual
+  // schedules applies to the *active* steps only; dormant table entries may
+  // hold anything.
+
+  /// Switches to an indexed schedule over `table_size` node steps.  Keeps
+  /// storage; the active list starts empty.
+  void reset_table(std::size_t num_inputs, std::size_t num_outputs,
+                   std::size_t num_slots, std::size_t table_size) {
+    reset(num_inputs, num_outputs, num_slots);
+    table_.resize(table_size);
+    active_idx_.clear();
+    indexed_ = true;
+  }
+
+  /// Writes node `t`'s step (un-premultiplied slot indices, like push_step).
+  void set_table_step(std::size_t t, gate_fn fn, std::uint32_t in0_slot,
+                      std::uint32_t in1_slot, std::uint32_t out_slot) {
+    table_[t] = step{fn, static_cast<std::uint32_t>(in0_slot * W),
+                     static_cast<std::uint32_t>(in1_slot * W),
+                     static_cast<std::uint32_t>(out_slot * W)};
+  }
+
+  [[nodiscard]] gate_fn table_fn(std::size_t t) const { return table_[t].fn; }
+
+  /// Rebuilds the active index list from per-node flags (`count` ==
+  /// table size): node t executes iff flags[t] != 0.
+  void set_active_from_flags(const std::uint8_t* flags, std::size_t count);
+
+  [[nodiscard]] std::size_t active_count() const { return active_idx_.size(); }
+  [[nodiscard]] std::uint32_t active_index(std::size_t i) const {
+    return active_idx_[i];
+  }
+
+  /// Selects the step-executor backend for the wide-lane fast path (W == 8;
+  /// other lane counts always run the generic executor).  `automatic` is
+  /// the default: strongest compiled-in backend the CPU supports, AXC_SIMD
+  /// environment override honoured.  Bit-identical at every level — the
+  /// evaluator forwards its forced scan level here so parity tests exercise
+  /// the whole sweep (simulate + scan) on one backend.
+  void set_simd_level(simd::level l);
+
  private:
-  struct step {
-    gate_fn fn{gate_fn::const0};
-    std::uint32_t in0{0};  ///< slot offset, premultiplied by W
-    std::uint32_t in1{0};
-    std::uint32_t out{0};  ///< slot offset, premultiplied by W
-  };
+  using step = sim_step;
 
   std::vector<step> steps_;
   std::vector<std::uint32_t> output_slots_;  ///< premultiplied by W
   std::size_t num_inputs_{0};
   std::vector<std::uint64_t> slots_;  ///< num_slots * W words
   std::vector<std::uint32_t> remap_;  ///< rebuild() scratch, reused
+  // Indexed-schedule state (reset_table and friends).
+  std::vector<step> table_;                ///< one step per caller node
+  std::vector<std::uint32_t> active_idx_;  ///< executing nodes, ascending
+  bool indexed_{false};
+  /// Dispatched kernels (W == 8 only; resolved on first use).
+  sim_steps_fn steps_fn_{nullptr};
+  sim_steps_indexed_fn steps_idx_fn_{nullptr};
+  sim_pack_fn pack_fn_{nullptr};
 };
 
 extern template class sim_program<1>;

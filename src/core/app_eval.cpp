@@ -78,11 +78,30 @@ class fnv1a {
     hash_ ^= v;
     hash_ *= 0x100000001b3ULL;
   }
+  void mix_bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) mix(p[i]);
+  }
   [[nodiscard]] std::uint64_t value() const { return hash_; }
 
  private:
   std::uint64_t hash_{0xcbf29ce484222325ULL};
 };
+
+/// Content hash of a netlist (structure + wiring) — the rerank cache key
+/// ingredient; collisions are resolved by full netlist comparison.
+inline std::uint64_t netlist_hash(const circuit::netlist& nl) {
+  fnv1a h;
+  h.mix(nl.num_inputs());
+  h.mix(nl.num_outputs());
+  for (const circuit::gate_node& g : nl.gates()) {
+    h.mix(static_cast<std::uint64_t>(g.fn));
+    h.mix(g.in0);
+    h.mix(g.in1);
+  }
+  for (std::size_t o = 0; o < nl.num_outputs(); ++o) h.mix(nl.output(o));
+  return h.value();
+}
 
 }  // namespace detail
 
@@ -90,6 +109,46 @@ class power_characterization_cache
     : public detail::result_memo<design_power> {};
 class filter_quality_cache
     : public detail::result_memo<imgproc::filter_quality> {};
+
+/// (netlist, metric, spec) -> score memo for incremental re-ranking.
+/// Keys are pre-mixed hashes; a stored netlist copy guards against both
+/// hash collisions and reused-address confusion (compare result_memo).
+class rerank_score_cache {
+ public:
+  [[nodiscard]] std::optional<double> lookup(std::uint64_t key,
+                                             const circuit::netlist& nl) {
+    std::scoped_lock lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.netlist != nl) return std::nullopt;
+    return it->second.score;
+  }
+
+  void store(std::uint64_t key, const circuit::netlist& nl, double score) {
+    std::scoped_lock lock(mutex_);
+    if (entries_.size() >= kMaxEntries && !entries_.contains(key)) {
+      entries_.clear();  // bounded growth; a clear only costs re-scoring
+    }
+    entries_.insert_or_assign(key, entry{nl, score});
+  }
+
+ private:
+  /// Each entry carries a netlist copy for validation, so the cap bounds
+  /// resident memory (a few KB per evolved candidate), matching
+  /// result_memo's policy: overflow clears, which only costs re-scoring.
+  static constexpr std::size_t kMaxEntries = 4096;
+
+  struct entry {
+    circuit::netlist netlist;
+    double score;
+  };
+
+  std::mutex mutex_;
+  std::unordered_map<std::uint64_t, entry> entries_;
+};
+
+std::shared_ptr<rerank_score_cache> make_rerank_cache() {
+  return std::make_shared<rerank_score_cache>();
+}
 
 std::shared_ptr<power_characterization_cache> make_power_cache() {
   return std::make_shared<power_characterization_cache>();
@@ -120,12 +179,58 @@ class nn_accuracy_metric final : public app_metric {
       AXC_EXPECTS(options_.train_x.size() == options_.train_labels.size());
       AXC_EXPECTS(!options_.train_x.empty());
     }
+    // The build() functor itself is unhashable, but the weight blob pins
+    // the architecture (load_weights() rejects mismatches).  These inputs
+    // are owned/immutable, so they hash once here; the caller-owned
+    // dataset views are hashed by *content* at fingerprint() time instead
+    // (see below).
+    detail::fnv1a hash;
+    hash.mix(0x6e6e5f616363ULL);  // metric-kind tag
+    hash.mix_bytes(options_.trained_weights.data(),
+                   options_.trained_weights.size());
+    hash.mix(options_.finetune.has_value());
+    if (options_.finetune) {
+      hash.mix(options_.finetune->epochs);
+      hash.mix(options_.finetune->batch_size);
+      hash.mix(std::bit_cast<std::uint32_t>(options_.finetune->learning_rate));
+      hash.mix(std::bit_cast<std::uint32_t>(options_.finetune->momentum));
+      hash.mix(std::bit_cast<std::uint32_t>(options_.finetune->lr_decay));
+      hash.mix(options_.finetune->seed);
+    }
+    options_hash_ = hash.value();
   }
 
   [[nodiscard]] const std::string& name() const override {
     return options_.name;
   }
   [[nodiscard]] bool higher_is_better() const override { return true; }
+  [[nodiscard]] std::optional<std::uint64_t> fingerprint() const override {
+    // Datasets are caller-owned views that may be refilled in place
+    // between reranks, so the fingerprint folds their *contents* on every
+    // call (a few hundred KB of hashing — noise next to one NN scoring).
+    detail::fnv1a hash;
+    hash.mix(options_hash_);
+    const auto mix_tensors = [&hash](std::span<const nn::tensor> tensors) {
+      hash.mix(tensors.size());
+      for (const nn::tensor& t : tensors) {
+        const auto shape = t.shape();
+        hash.mix(shape[0]);
+        hash.mix(shape[1]);
+        hash.mix(shape[2]);
+        hash.mix_bytes(t.data().data(), t.data().size() * sizeof(float));
+      }
+    };
+    mix_tensors(options_.calibration);
+    mix_tensors(options_.test_x);
+    hash.mix_bytes(options_.test_labels.data(),
+                   options_.test_labels.size() * sizeof(int));
+    if (options_.finetune) {
+      mix_tensors(options_.train_x);
+      hash.mix_bytes(options_.train_labels.data(),
+                     options_.train_labels.size() * sizeof(int));
+    }
+    return hash.value();
+  }
 
   [[nodiscard]] double score(
       const circuit::netlist&,
@@ -146,6 +251,7 @@ class nn_accuracy_metric final : public app_metric {
 
  private:
   nn_accuracy_options options_;
+  std::uint64_t options_hash_{0};
 };
 
 class gaussian_psnr_metric final : public app_metric {
@@ -164,6 +270,13 @@ class gaussian_psnr_metric final : public app_metric {
     return options_.name;
   }
   [[nodiscard]] bool higher_is_better() const override { return true; }
+  [[nodiscard]] std::optional<std::uint64_t> fingerprint() const override {
+    detail::fnv1a hash;
+    hash.mix(0x70736e72ULL);  // metric-kind tag
+    hash.mix(options_hash_);
+    hash.mix(options_.report_min);
+    return hash.value();
+  }
 
   [[nodiscard]] double score(
       const circuit::netlist& nl,
@@ -207,6 +320,13 @@ class power_metric final : public app_metric {
     return options_.name;
   }
   [[nodiscard]] bool higher_is_better() const override { return false; }
+  [[nodiscard]] std::optional<std::uint64_t> fingerprint() const override {
+    detail::fnv1a hash;
+    hash.mix(0x706f776572ULL);  // metric-kind tag
+    hash.mix(options_hash_);
+    hash.mix(static_cast<std::uint64_t>(options_.report));
+    return hash.value();
+  }
 
   [[nodiscard]] double score(
       const circuit::netlist& nl,
@@ -290,20 +410,78 @@ rerank_result rerank_front(
   const std::size_t n = result.designs.size();
   thread_pool pool(std::max<std::size_t>(1, config.threads));
 
-  // Compile each front member once; all metrics share the table.
+  // Incremental re-ranking: with a cache attached, replay the scores of
+  // (netlist, metric) pairs already evaluated by a previous rerank —
+  // bit-identical by the metric determinism contract — and only queue the
+  // changed/new pairs.  Keys fold the netlist contents, the metric's
+  // option fingerprint and the compile spec; unfingerprinted metrics are
+  // always queued.
+  struct job_ref {
+    std::size_t i, m;
+    std::uint64_t key;
+    bool cacheable;
+  };
+  std::vector<job_ref> jobs;
+  jobs.reserve(n * metrics.size());
+  std::vector<std::optional<std::uint64_t>> metric_fp(metrics.size());
+  for (std::size_t m = 0; m < metrics.size(); ++m) {
+    metric_fp[m] = metrics[m]->fingerprint();
+  }
+  std::vector<bool> needs_table(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const circuit::netlist& nl = result.designs[i].candidate.netlist;
+    const std::uint64_t nl_hash =
+        config.cache ? detail::netlist_hash(nl) : 0;
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      std::uint64_t key = 0;
+      if (config.cache && metric_fp[m].has_value()) {
+        detail::fnv1a h;
+        h.mix(nl_hash);
+        h.mix(*metric_fp[m]);
+        h.mix(config.spec.width);
+        h.mix(static_cast<std::uint64_t>(config.spec.is_signed));
+        key = h.value();
+        if (const std::optional<double> hit = config.cache->lookup(key, nl)) {
+          result.designs[i].scores[m] = *hit;
+          continue;
+        }
+      }
+      jobs.push_back(
+          job_ref{i, m, key, config.cache && metric_fp[m].has_value()});
+      needs_table[i] = true;
+    }
+  }
+
+  // Compile each member with pending jobs once; all its metrics share the
+  // table.  Fully cached candidates skip the compile entirely.
   std::vector<std::optional<metrics::compiled_mult_table>> tables(n);
-  parallel_for(pool, n, [&](std::size_t i) {
+  std::vector<std::size_t> to_compile;
+  to_compile.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (needs_table[i]) to_compile.push_back(i);
+  }
+  parallel_for(pool, to_compile.size(), [&](std::size_t c) {
+    const std::size_t i = to_compile[c];
     tables[i].emplace(result.designs[i].candidate.netlist, config.spec);
   });
 
-  // Score all (candidate x metric) jobs.  Each job writes its own slot, so
-  // the result is bit-identical at any thread count.
-  parallel_for(pool, n * metrics.size(), [&](std::size_t job) {
-    const std::size_t i = job / metrics.size();
-    const std::size_t m = job % metrics.size();
-    result.designs[i].scores[m] =
-        metrics[m]->score(result.designs[i].candidate.netlist, *tables[i]);
+  // Score the pending (candidate x metric) jobs.  Each job writes its own
+  // slot, so the result is bit-identical at any thread count.
+  parallel_for(pool, jobs.size(), [&](std::size_t j) {
+    const job_ref& job = jobs[j];
+    result.designs[job.i].scores[job.m] = metrics[job.m]->score(
+        result.designs[job.i].candidate.netlist, *tables[job.i]);
   });
+
+  // Remember the fresh scores for the next rerank (serial: the parallel
+  // region above never touches the cache).
+  if (config.cache) {
+    for (const job_ref& job : jobs) {
+      if (!job.cacheable) continue;
+      config.cache->store(job.key, result.designs[job.i].candidate.netlist,
+                          result.designs[job.i].scores[job.m]);
+    }
+  }
 
   // Application-level front, both axes in minimization form.
   const auto oriented = [&metrics](std::size_t m, double score) {

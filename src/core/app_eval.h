@@ -73,6 +73,14 @@ class app_metric {
   [[nodiscard]] virtual double score(
       const circuit::netlist& nl,
       const metrics::compiled_mult_table& table) const = 0;
+  /// Stable fingerprint of every option that affects score(), or nullopt
+  /// when the metric cannot assert one.  Two metrics reporting the same
+  /// fingerprint must score every netlist identically — that is what lets
+  /// rerank_score_cache reuse scores across rerank_front() calls; metrics
+  /// returning nullopt are re-scored on every rerank, never cached.
+  [[nodiscard]] virtual std::optional<std::uint64_t> fingerprint() const {
+    return std::nullopt;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -168,6 +176,18 @@ std::unique_ptr<app_metric> make_power_metric(power_metric_options options);
 // Re-ranking
 // ---------------------------------------------------------------------------
 
+/// Score memo reused across rerank_front() calls — the incremental
+/// re-ranking lever: as a search session's archive evolves, successive
+/// reranks only score the candidates the archive *kept* since the last
+/// rerank (plus any new ones); unchanged (netlist, metric) pairs replay
+/// their cached score bit-identically.  Entries are keyed by a hash of
+/// (netlist contents, metric fingerprint, compile spec) and validated
+/// against a stored copy of the netlist, so hash collisions recompute
+/// instead of serving wrong figures.  Thread-safe; candidates fully served
+/// from the cache skip their table compile too.
+class rerank_score_cache;
+std::shared_ptr<rerank_score_cache> make_rerank_cache();
+
 struct rerank_config {
   /// Spec the candidate netlists are compiled against.
   metrics::mult_spec spec{8, false};
@@ -178,6 +198,10 @@ struct rerank_config {
   /// the quality axis (maximized) and the cost axis (minimized).
   std::size_t quality_metric{0};
   std::size_t cost_metric{1};
+  /// Optional: hold one cache across successive rerank_front() calls to
+  /// re-score only changed/new candidates (bit-identical to a cold rerank;
+  /// parity-tested in tests/test_app_eval.cpp).
+  std::shared_ptr<rerank_score_cache> cache{};
 };
 
 struct reranked_design {

@@ -20,6 +20,7 @@ basic_approximation_config<Spec> config_from_options(
   config.threads = options.threads;
   config.error_tiebreak = options.error_tiebreak;
   config.incremental = options.incremental;
+  config.simd = options.simd;
   config.rng_seed = options.rng_seed;
   config.library = options.library;
   return config;

@@ -251,6 +251,8 @@ struct component_options {
   std::size_t threads{1};
   bool error_tiebreak{true};
   bool incremental{true};
+  /// Scan kernel backend (bit-identical execution knob, like `threads`).
+  simd::level simd{simd::level::automatic};
   std::uint64_t rng_seed{1};
   const tech::cell_library* library{&tech::cell_library::nangate45_like()};
 };

@@ -27,8 +27,9 @@ template <metrics::component_spec Spec>
 class incremental_wmed final : public cgp::incremental_evaluator {
  public:
   incremental_wmed(wmed_shared_cache<Spec> cache,
-                   const tech::cell_library& lib, double target)
-      : evaluator_(std::move(cache)), lib_(&lib), target_(target) {}
+                   const tech::cell_library& lib, double target,
+                   simd::level simd)
+      : evaluator_(std::move(cache), simd), lib_(&lib), target_(target) {}
 
   cgp::evaluation evaluate_and_bind(const cgp::genotype& parent) override {
     cone_.bind(parent);
@@ -96,18 +97,18 @@ void finalize_config(basic_approximation_config<Spec>& config) {
 template <metrics::component_spec Spec>
 std::unique_ptr<cgp::incremental_evaluator> make_incremental_wmed_evaluator(
     wmed_shared_cache<Spec> cache, const tech::cell_library& lib,
-    double target) {
+    double target, simd::level simd) {
   return std::make_unique<incremental_wmed<Spec>>(std::move(cache), lib,
-                                                  target);
+                                                  target, simd);
 }
 
 template <metrics::component_spec Spec>
 std::unique_ptr<cgp::incremental_evaluator> make_incremental_wmed_evaluator(
     const Spec& spec, const dist::pmf& d, const tech::cell_library& lib,
-    double target) {
+    double target, simd::level simd) {
   return make_incremental_wmed_evaluator<Spec>(
       metrics::basic_wmed_evaluator<Spec>::make_shared_state(spec, d), lib,
-      target);
+      target, simd);
 }
 
 template <metrics::component_spec Spec>
@@ -142,7 +143,7 @@ std::optional<evolved_design> run_search_job(
   const cgp::genotype start =
       cgp::genotype::from_netlist(params, seed, gen);
 
-  metrics::basic_wmed_evaluator<Spec> wmed(cache);
+  metrics::basic_wmed_evaluator<Spec> wmed(cache, config.simd);
   const tech::cell_library* lib = config.library;
 
   cgp::evolver::options opts;
@@ -156,9 +157,10 @@ std::optional<evolved_design> run_search_job(
     if (config.incremental && config.spec.width >= 6) {
       // Genotype-native pipeline: mutants never round-trip through a
       // netlist; the parent's compiled schedule is shared and patched.
-      const cgp::evolver::incremental_factory factory = [&cache, lib,
-                                                         target] {
-        return make_incremental_wmed_evaluator<Spec>(cache, *lib, target);
+      const cgp::evolver::incremental_factory factory = [&cache, lib, target,
+                                                         &config] {
+        return make_incremental_wmed_evaluator<Spec>(cache, *lib, target,
+                                                     config.simd);
       };
       return cgp::evolver::run_incremental(start, factory, opts,
                                            config.threads, gen);
@@ -180,9 +182,10 @@ std::optional<evolved_design> run_search_job(
       // Parallel lambda-evaluation gives every offspring slot a private
       // evaluator (they carry per-candidate scratch and sim programs).
       const cgp::evolver::evaluator_factory factory =
-          [&cache, score]() -> cgp::evolver::evaluate_fn {
+          [&cache, score, &config]() -> cgp::evolver::evaluate_fn {
         auto evaluator =
-            std::make_shared<metrics::basic_wmed_evaluator<Spec>>(cache);
+            std::make_shared<metrics::basic_wmed_evaluator<Spec>>(cache,
+                                                                  config.simd);
         return [evaluator, score](const circuit::netlist& nl) {
           return score(*evaluator, nl);
         };
@@ -265,17 +268,19 @@ template std::unique_ptr<cgp::incremental_evaluator>
 make_incremental_wmed_evaluator<metrics::mult_spec>(const metrics::mult_spec&,
                                                     const dist::pmf&,
                                                     const tech::cell_library&,
-                                                    double);
+                                                    double, simd::level);
 template std::unique_ptr<cgp::incremental_evaluator>
 make_incremental_wmed_evaluator<metrics::adder_spec>(
     const metrics::adder_spec&, const dist::pmf&, const tech::cell_library&,
-    double);
+    double, simd::level);
 template std::unique_ptr<cgp::incremental_evaluator>
 make_incremental_wmed_evaluator<metrics::mult_spec>(
-    wmed_shared_cache<metrics::mult_spec>, const tech::cell_library&, double);
+    wmed_shared_cache<metrics::mult_spec>, const tech::cell_library&, double,
+    simd::level);
 template std::unique_ptr<cgp::incremental_evaluator>
 make_incremental_wmed_evaluator<metrics::adder_spec>(
-    wmed_shared_cache<metrics::adder_spec>, const tech::cell_library&, double);
+    wmed_shared_cache<metrics::adder_spec>, const tech::cell_library&, double,
+    simd::level);
 
 std::vector<double> default_wmed_targets() {
   // 14 log-spaced levels spanning the paper's WMED axis (0.0001 % .. 10 %),

@@ -42,6 +42,7 @@
 #include "metrics/component_spec.h"
 #include "metrics/mult_spec.h"
 #include "metrics/wmed_evaluator.h"
+#include "support/simd.h"
 #include "tech/cell_library.h"
 
 namespace axc::core {
@@ -76,6 +77,12 @@ struct basic_approximation_config {
   /// (fast-path widths only; smaller widths always use the netlist path).
   /// Bit-identical either way — off is only useful for parity tests.
   bool incremental{true};
+  /// Scan kernel backend for the WMED sweep (metrics/scan_kernels.h).
+  /// `automatic` resolves to the strongest compiled-in backend the CPU
+  /// supports (AXC_SIMD environment override honoured); every level is
+  /// bit-identical, so like `threads`/`incremental` this knob never changes
+  /// results and stays out of the checkpoint fingerprint.
+  simd::level simd{simd::level::automatic};
   std::vector<circuit::gate_fn> function_set{
       circuit::default_function_set().begin(),
       circuit::default_function_set().end()};
@@ -194,35 +201,38 @@ using adder_wmed_approximator = basic_wmed_approximator<metrics::adder_spec>;
 /// The incremental (genotype-native) evaluator the search uses when
 /// `incremental` is on: cone_program compile/patch + bit-plane sweep with
 /// early abort at `target` + netlist-free area estimation.  Exposed for
-/// benches and parity tests.
+/// benches and parity tests.  `simd` picks the scan kernel backend
+/// (bit-identical at every level; see approximation_config::simd).
 template <metrics::component_spec Spec>
 std::unique_ptr<cgp::incremental_evaluator> make_incremental_wmed_evaluator(
     const Spec& spec, const dist::pmf& d, const tech::cell_library& lib,
-    double target);
+    double target, simd::level simd = simd::level::automatic);
 
 /// Same, attaching to a pre-built shared cache instead of rebuilding the
 /// exact planes — what run_search_job hands each lambda slot.
 template <metrics::component_spec Spec>
 std::unique_ptr<cgp::incremental_evaluator> make_incremental_wmed_evaluator(
     wmed_shared_cache<Spec> cache, const tech::cell_library& lib,
-    double target);
+    double target, simd::level simd = simd::level::automatic);
 
 extern template std::unique_ptr<cgp::incremental_evaluator>
 make_incremental_wmed_evaluator<metrics::mult_spec>(
-    wmed_shared_cache<metrics::mult_spec>, const tech::cell_library&, double);
+    wmed_shared_cache<metrics::mult_spec>, const tech::cell_library&, double,
+    simd::level);
 extern template std::unique_ptr<cgp::incremental_evaluator>
 make_incremental_wmed_evaluator<metrics::adder_spec>(
-    wmed_shared_cache<metrics::adder_spec>, const tech::cell_library&, double);
+    wmed_shared_cache<metrics::adder_spec>, const tech::cell_library&, double,
+    simd::level);
 
 extern template std::unique_ptr<cgp::incremental_evaluator>
 make_incremental_wmed_evaluator<metrics::mult_spec>(const metrics::mult_spec&,
                                                     const dist::pmf&,
                                                     const tech::cell_library&,
-                                                    double);
+                                                    double, simd::level);
 extern template std::unique_ptr<cgp::incremental_evaluator>
 make_incremental_wmed_evaluator<metrics::adder_spec>(
     const metrics::adder_spec&, const dist::pmf&, const tech::cell_library&,
-    double);
+    double, simd::level);
 
 /// The 14 log-spaced WMED targets (as fractions) used for case study 1,
 /// spanning the paper's 0.0001 % .. 10 % axis.

@@ -34,12 +34,20 @@ basic_wmed_evaluator<Spec>::make_shared_state(const Spec& spec,
   const std::size_t bhi_count = std::size_t{1} << (w - 6);
   state->planes = spec.result_bits() + 2;  // signed diff without wraparound
   state->block_count = std::size_t{1} << (2 * w - 6);
+  // block_count is a power of two >= 64, so passes of kLanes blocks tile it
+  // exactly — the sweep has no tail pass.
+  static_assert((std::size_t{1} << 6) % kLanes == 0);
+  state->pass_count = state->block_count / kLanes;
+  AXC_EXPECTS(state->planes <= kMaxScanPlanes);
 
-  state->exact_planes.assign(state->block_count * state->planes, 0);
+  // Block-major staging layout first; re-laid into sweep order below once
+  // the visit order is known.
+  std::vector<std::uint64_t> block_planes(state->block_count * state->planes,
+                                          0);
   for (std::size_t a = 0; a < spec.operand_count(); ++a) {
     for (std::size_t bhi = 0; bhi < bhi_count; ++bhi) {
       const std::size_t block = (a << (w - 6)) | bhi;
-      std::uint64_t* const pl = &state->exact_planes[block * state->planes];
+      std::uint64_t* const pl = &block_planes[block * state->planes];
       for (std::size_t t = 0; t < 64; ++t) {
         const std::size_t b_op = (bhi << 6) | t;
         // Two's-complement bits sign-extend negative exact results across
@@ -70,57 +78,61 @@ basic_wmed_evaluator<Spec>::make_shared_state(const Spec& spec,
           static_cast<std::uint32_t>((std::size_t{a} << (w - 6)) | bhi));
     }
   }
+
+  // --- precompiled sweep-order planes -----------------------------------
+  // Exact result planes re-laid lane-major in visit order (one contiguous
+  // planes x kLanes tile per pass, vector-loadable by the batch kernel) and
+  // the primary-input planes the simulator consumes per pass, so sweeps do
+  // no per-pass broadcasting or index math at all.
+  state->exact_planes.resize(state->block_count * state->planes);
+  state->input_planes.resize(state->block_count * 2 * w);
+  const std::size_t bhi_mask = bhi_count - 1;
+  for (std::size_t pos = 0; pos < state->block_count; ++pos) {
+    const std::uint32_t block = state->block_order[pos];
+    const std::size_t pass = pos / kLanes;
+    const std::size_t lane = pos % kLanes;
+
+    const std::uint64_t* const src = &block_planes[block * state->planes];
+    std::uint64_t* const dst =
+        &state->exact_planes[pass * state->planes * kLanes];
+    for (std::size_t p = 0; p < state->planes; ++p) {
+      dst[p * kLanes + lane] = src[p];
+    }
+
+    const std::size_t a = block >> (w - 6);
+    const std::size_t bhi = block & bhi_mask;
+    std::uint64_t* const in = &state->input_planes[pass * 2 * w * kLanes];
+    for (unsigned i = 0; i < w; ++i) {
+      in[i * kLanes + lane] = (a >> i) & 1 ? ~std::uint64_t{0} : 0;
+    }
+    for (unsigned j = 0; j < 6; ++j) {
+      in[(w + j) * kLanes + lane] = circuit::exhaustive_input_word(j, 0);
+    }
+    for (unsigned j = 6; j < w; ++j) {
+      in[(w + j) * kLanes + lane] =
+          (bhi >> (j - 6)) & 1 ? ~std::uint64_t{0} : 0;
+    }
+  }
   return state;
 }
 
 template <component_spec Spec>
 basic_wmed_evaluator<Spec>::basic_wmed_evaluator(const Spec& spec,
-                                                 const dist::pmf& d)
-    : basic_wmed_evaluator(make_shared_state(spec, d)) {}
+                                                 const dist::pmf& d,
+                                                 simd::level simd)
+    : basic_wmed_evaluator(make_shared_state(spec, d), simd) {}
 
 template <component_spec Spec>
 basic_wmed_evaluator<Spec>::basic_wmed_evaluator(
-    std::shared_ptr<const shared_state> shared)
+    std::shared_ptr<const shared_state> shared, simd::level simd)
     : shared_(std::move(shared)) {
   AXC_EXPECTS(shared_ != nullptr);
+  simd_level_ = resolve_scan_level(simd);
+  kernel_ = scan_kernel(simd_level_);
+  // One coherent backend for the whole sweep: the simulator's step executor
+  // follows the scan level (clamped by its own availability).
+  program_.set_simd_level(simd_level_);
   err_sums_.resize(shared_->spec.operand_count());
-}
-
-template <component_spec Spec>
-void basic_wmed_evaluator<Spec>::scan_block(std::size_t block,
-                                            std::size_t lane) {
-  const shared_state& s = *shared_;
-  const unsigned w = s.spec.width;
-  const std::size_t no = s.spec.result_bits();
-  const std::size_t planes = s.planes;
-  const std::uint64_t* const eplanes = &s.exact_planes[block * planes];
-  const std::uint64_t cext =
-      s.spec.result_is_signed() ? out_lanes_[(no - 1) * kLanes + lane] : 0;
-
-  // diff = exact - candidate, bitwise borrow-propagate over `planes` planes
-  // (64 assignments at once).
-  std::uint64_t diff[34];
-  std::uint64_t borrow = 0;
-  for (std::size_t p = 0; p < planes; ++p) {
-    const std::uint64_t ep = eplanes[p];
-    const std::uint64_t cp = p < no ? out_lanes_[p * kLanes + lane] : cext;
-    const std::uint64_t x = ep ^ cp;
-    diff[p] = x ^ borrow;
-    borrow = (~ep & cp) | (~x & borrow);
-  }
-
-  // |diff|: two's-complement negate of the lanes whose sign plane is set,
-  // then sum via weighted popcounts.
-  const std::uint64_t sign = diff[planes - 1];
-  std::uint64_t carry = sign;
-  std::int64_t total = 0;
-  for (std::size_t p = 0; p < planes; ++p) {
-    const std::uint64_t x = diff[p] ^ sign;
-    const std::uint64_t ap = x ^ carry;
-    carry = x & carry;
-    total += static_cast<std::int64_t>(std::popcount(ap)) << p;
-  }
-  err_sums_[block >> (w - 6)] += total;
 }
 
 template <component_spec Spec>
@@ -137,40 +149,35 @@ double basic_wmed_evaluator<Spec>::sweep(circuit::sim_program<kLanes>& program,
                                          double abort_above) {
   const shared_state& s = *shared_;
   const unsigned w = s.spec.width;
+  const unsigned no = s.spec.result_bits();
+  const unsigned planes = static_cast<unsigned>(s.planes);
+  const bool sgn = s.spec.result_is_signed();
   std::fill(err_sums_.begin(), err_sums_.end(), 0);
-  in_lanes_.resize(2 * w * kLanes);
-  out_lanes_.resize(s.spec.result_bits() * kLanes);
+
+  // Candidate output plane rows are stable across passes — resolve once.
+  out_rows_.resize(no);
+  program.output_rows(out_rows_);
+
+  const std::size_t in_stride = 2 * std::size_t{w} * kLanes;
+  const std::uint64_t* in_planes = s.input_planes.data();
+  const std::uint64_t* exact_planes = s.exact_planes.data();
+  const std::uint32_t* order = s.block_order.data();
+  std::int64_t totals[kLanes];
 
   // Running abort accumulator; the completed sweep instead returns the
-  // fixed-order reduction, which is independent of the visit order.
+  // fixed-order reduction, which is independent of the visit order.  The
+  // kernel scores a whole pass at once, but totals are applied (and the
+  // abort bound checked) in per-block visit order, so aborted partial
+  // values match the per-lane scalar path bit for bit.
   double acc = 0.0;
-  for (std::size_t pos = 0; pos < s.block_count; pos += kLanes) {
-    const std::size_t n = std::min(kLanes, s.block_count - pos);
+  for (std::size_t pass = 0; pass < s.pass_count; ++pass) {
+    program.run_in_place({in_planes + pass * in_stride, in_stride});
+    kernel_(exact_planes + pass * planes * kLanes, out_rows_.data(), planes,
+            no, sgn, totals);
     for (std::size_t l = 0; l < kLanes; ++l) {
-      // Tail passes replicate the last block into the unused lanes.
-      const std::uint32_t block = s.block_order[pos + (l < n ? l : n - 1)];
-      const std::size_t a = block >> (w - 6);
-      const std::size_t bhi = block & ((std::size_t{1} << (w - 6)) - 1);
-      for (unsigned i = 0; i < w; ++i) {
-        in_lanes_[i * kLanes + l] = (a >> i) & 1 ? ~std::uint64_t{0} : 0;
-      }
-      for (unsigned j = 0; j < 6; ++j) {
-        in_lanes_[(w + j) * kLanes + l] =
-            circuit::exhaustive_input_word(j, 0);
-      }
-      for (unsigned j = 6; j < w; ++j) {
-        in_lanes_[(w + j) * kLanes + l] =
-            (bhi >> (j - 6)) & 1 ? ~std::uint64_t{0} : 0;
-      }
-    }
-    program.run(in_lanes_, out_lanes_);
-
-    for (std::size_t l = 0; l < n; ++l) {
-      const std::uint32_t block = s.block_order[pos + l];
-      const std::int64_t before = err_sums_[block >> (w - 6)];
-      scan_block(block, l);
-      acc += s.weight[block >> (w - 6)] *
-             static_cast<double>(err_sums_[block >> (w - 6)] - before);
+      const std::size_t a = order[pass * kLanes + l] >> (w - 6);
+      err_sums_[a] += totals[l];
+      acc += s.weight[a] * static_cast<double>(totals[l]);
       if (acc > abort_above) return acc;
     }
   }
@@ -195,6 +202,8 @@ double basic_wmed_evaluator<Spec>::evaluate_program(
   AXC_EXPECTS(shared_->spec.width >= 6);
   AXC_EXPECTS(program.num_inputs() == 2 * shared_->spec.width);
   AXC_EXPECTS(program.num_outputs() == shared_->spec.result_bits());
+  // External programs (cone_program) sweep on this evaluator's backend too.
+  program.set_simd_level(simd_level_);
   return sweep(program, abort_above);
 }
 

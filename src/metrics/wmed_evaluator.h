@@ -13,7 +13,7 @@
 // operand-major bit-plane sweep — the table-based adder path is thereby
 // retired from the search loop (tables remain the parity reference).
 //
-// The fast path (operand width >= 6) rebuilds the sweep around three ideas:
+// The fast path (operand width >= 6) is built around four ideas:
 //
 //  1. *Operand-major enumeration.*  Operand B's low bits occupy the 64
 //     in-word assignment slots, so operand A — the operand the distribution
@@ -24,25 +24,36 @@
 //     no per-assignment gather/transpose at all.
 //  2. *Cone-restricted wide-lane simulation* via circuit::sim_program<8>,
 //     skipping inactive CGP gates and evaluating 8 blocks per pass.
-//  3. *Distribution-ordered sweep.*  Blocks are visited in descending
-//     D(a) mass, so on infeasible mutants the early-abort bound trips
-//     after the fewest possible blocks.
-//
-// Per-operand |error| totals accumulate in exact int64 arithmetic and are
-// reduced in fixed operand order, so a completed evaluation returns a value
-// independent of the block visit order (and identical across serial and
-// parallel searches).
+//  3. *Batched, runtime-dispatched scoring.*  One scan_batch kernel call
+//     scores a whole pass — the bit-plane subtract/negate/popcount runs
+//     vectorized across all eight lanes (scalar / AVX2 / AVX-512 backends
+//     behind one dispatch, see metrics/scan_kernels.h), reading candidate
+//     output planes in place from the sim program's slot rows.  The
+//     early-abort check thereby moves to per-pass granularity, but the
+//     per-block int64 error totals and the running weighted accumulator are
+//     applied in the exact per-block order of the pre-batch code, so both
+//     completed values and aborted partial values stay bit-identical to it
+//     (and order-independent on completion, identical across serial and
+//     parallel searches).
+//  4. *Distribution-ordered sweep over precompiled planes.*  Blocks are
+//     visited in descending D(a) mass, so on infeasible mutants the
+//     early-abort bound trips after the fewest possible passes.  Everything
+//     the sweep consumes per pass — the operand input planes fed to the
+//     simulator and the exact result planes the kernel subtracts — is laid
+//     out in this visit order once in shared_state, so an evaluation does
+//     zero per-pass index math or input broadcasting.
 //
 // Besides evaluate(netlist), evaluate_program() runs the same sweep over an
 // externally compiled/patched sim_program<8> — the genotype-native
 // incremental search path (cgp::cone_program), which never materializes a
 // netlist per mutant.
 //
-// The immutable inputs of the sweep (exact-result table, weights, exact bit
-// planes, block visit order) are split into a ref-counted shared_state so a
-// design-space sweep builds them once per (spec, distribution) and shares
-// them across every run's evaluators (see core::search_session); the
-// two-argument constructor keeps the old build-your-own behaviour.
+// The immutable inputs of the sweep (exact-result table, weights, exact and
+// input bit planes, block visit order) are split into a ref-counted
+// shared_state so a design-space sweep builds them once per
+// (spec, distribution) and shares them across every run's evaluators (see
+// core::search_session); the two-argument constructor keeps the old
+// build-your-own behaviour.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +67,8 @@
 #include "metrics/adder_metrics.h"
 #include "metrics/component_spec.h"
 #include "metrics/mult_spec.h"
+#include "metrics/scan_kernels.h"
+#include "support/simd.h"
 
 namespace axc::metrics {
 
@@ -66,7 +79,7 @@ class basic_wmed_evaluator {
 
   /// Everything the sweep needs that is a pure function of
   /// (spec, distribution): the exact-result table, the per-operand weights,
-  /// the exact result bit planes and the distribution-ordered block visit
+  /// the precompiled bit planes and the distribution-ordered block visit
   /// order.  Building this dominates evaluator construction (it enumerates
   /// all 2^(2w) operand pairs), yet a design-space sweep uses the same
   /// (spec, distribution) for every run — so a session builds it once via
@@ -81,10 +94,20 @@ class basic_wmed_evaluator {
     // --- fast path (width >= 6) ---
     std::size_t planes{0};       ///< result_bits + 2: signed diff headroom
     std::size_t block_count{0};  ///< 2^(2w-6), one operand A per block
-    /// Exact result bit planes per block, sign-extended to `planes` planes.
-    std::vector<std::uint64_t> exact_planes;
+    std::size_t pass_count{0};   ///< block_count / lanes (lanes divides it)
     /// Sweep order: blocks of heavy-mass operands first.
     std::vector<std::uint32_t> block_order;
+    /// Exact result bit planes, sign-extended to `planes` planes, laid out
+    /// in sweep order for the batched kernel: word
+    /// [(pass * planes + p) * lanes + l] is plane p of block
+    /// block_order[pass * lanes + l].
+    std::vector<std::uint64_t> exact_planes;
+    /// Primary-input planes in sweep order, in exactly the lane-major layout
+    /// sim_program<8>::run consumes: word [(pass * 2w + i) * lanes + l] is
+    /// input i of block block_order[pass * lanes + l].  Precompiling this
+    /// retires the per-pass operand bit-broadcast fill (O(2w * lanes) scalar
+    /// stores per pass, previously redone on every evaluation).
+    std::vector<std::uint64_t> input_planes;
   };
 
   /// Builds the immutable tables once; share the result across evaluators.
@@ -92,9 +115,14 @@ class basic_wmed_evaluator {
       const Spec& spec, const dist::pmf& d);
 
   /// Convenience: builds a private shared_state (the pre-session behaviour).
-  basic_wmed_evaluator(const Spec& spec, const dist::pmf& d);
+  /// `simd` picks the scan kernel backend (see metrics/scan_kernels.h);
+  /// automatic resolves to the strongest available, and every level is
+  /// bit-identical — forcing one is for parity tests and benchmarks.
+  basic_wmed_evaluator(const Spec& spec, const dist::pmf& d,
+                       simd::level simd = simd::level::automatic);
   /// Attaches to an existing cache; only per-candidate scratch is allocated.
-  explicit basic_wmed_evaluator(std::shared_ptr<const shared_state> shared);
+  explicit basic_wmed_evaluator(std::shared_ptr<const shared_state> shared,
+                                simd::level simd = simd::level::automatic);
 
   /// WMED of the candidate in [0, 1].  If the running sum exceeds
   /// `abort_above` the sweep stops and the partial value (>= abort_above,
@@ -121,6 +149,8 @@ class basic_wmed_evaluator {
   [[nodiscard]] const std::shared_ptr<const shared_state>& shared() const {
     return shared_;
   }
+  /// The resolved scan kernel backend this evaluator dispatches to.
+  [[nodiscard]] simd::level simd_level() const { return simd_level_; }
 
  private:
   static constexpr std::size_t kLanes = lanes;
@@ -128,18 +158,18 @@ class basic_wmed_evaluator {
   /// The operand-major bit-plane sweep shared by evaluate() and
   /// evaluate_program().
   double sweep(circuit::sim_program<kLanes>& program, double abort_above);
-  /// Accumulates one block's summed |error| into err_sums_ from the
-  /// candidate output planes in lane `lane`.
-  void scan_block(std::size_t block, std::size_t lane);
   /// Fixed-order weighted reduction of err_sums_ (the exact partial WMED).
   [[nodiscard]] double weighted_total() const;
 
   std::shared_ptr<const shared_state> shared_;
+  simd::level simd_level_{simd::level::scalar};
+  scan_batch_fn kernel_{nullptr};
   /// Exact per-operand-A absolute error totals (int64, order-independent).
   std::vector<std::int64_t> err_sums_;
   circuit::sim_program<kLanes> program_;
-  std::vector<std::uint64_t> in_lanes_;
-  std::vector<std::uint64_t> out_lanes_;
+  /// Candidate output plane rows inside the program's slot buffer (filled
+  /// once per sweep via sim_program::output_rows).
+  std::vector<const std::uint64_t*> out_rows_;
 
   // --- reference path buffers (the point of keeping this a class) ---
   std::vector<std::uint64_t> scratch_;

@@ -1,0 +1,295 @@
+// Portable SIMD layer for the bit-plane kernels: one 8-lane vector-of-u64
+// abstraction with scalar / AVX2 / AVX-512 backends, plus the runtime CPU
+// dispatch machinery that lets a *generic* release binary pick the best
+// compiled-in kernel on the machine it lands on (no -march=native needed).
+//
+// Design:
+//  * `level` names a backend.  `automatic` means "resolve at runtime": the
+//    AXC_SIMD environment variable (scalar|avx2|avx512|auto) wins if set and
+//    valid, otherwise the best backend the CPU supports is chosen.  An
+//    explicit request is clamped down to what the CPU can run, never up.
+//  * `vu64x8<level>` is the vector type kernels are written against: eight
+//    64-bit lanes with the bitwise ops, per-lane popcount, lane-uniform
+//    shift and add the error-plane arithmetic needs.  Backend availability
+//    is a *compile-time* property of the translation unit (guarded by
+//    __AVX2__ / __AVX512F__ macros), so each backend kernel lives in its own
+//    TU compiled with the matching -m flags (see src/metrics/scan_kernels*)
+//    and the header stays includable everywhere, ARM included — there the
+//    scalar backend's plain loops autovectorize to NEON.
+//  * Every lane op is exact integer arithmetic, so kernels produce
+//    bit-identical results on every backend by construction (parity-tested
+//    across forced dispatch levels in tests/test_simd_dispatch.cpp).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+#endif
+
+namespace axc::simd {
+
+/// A dispatchable kernel backend, ordered weakest to strongest.
+/// `automatic` is a *request*, never a resolved level.
+enum class level : std::uint8_t {
+  automatic = 0,
+  scalar = 1,
+  avx2 = 2,
+  avx512 = 3,  ///< AVX-512F + VPOPCNTDQ (vectorized per-lane popcount)
+};
+
+[[nodiscard]] inline const char* level_name(level l) {
+  switch (l) {
+    case level::automatic: return "auto";
+    case level::scalar: return "scalar";
+    case level::avx2: return "avx2";
+    case level::avx512: return "avx512";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<level> parse_level(std::string_view name) {
+  if (name == "auto" || name == "automatic") return level::automatic;
+  if (name == "scalar") return level::scalar;
+  if (name == "avx2") return level::avx2;
+  if (name == "avx512") return level::avx512;
+  return std::nullopt;
+}
+
+/// Whether the *running CPU* can execute a backend (independent of whether
+/// a kernel for it was compiled into this binary — the dispatch tables in
+/// src/metrics/scan_kernels.cpp combine both).
+[[nodiscard]] inline bool cpu_supports(level l) {
+  switch (l) {
+    case level::automatic:
+    case level::scalar:
+      return true;
+    case level::avx2:
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case level::avx512:
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// The AXC_SIMD environment override, when set to a valid level name.
+[[nodiscard]] inline std::optional<level> env_override() {
+  const char* value = std::getenv("AXC_SIMD");
+  if (value == nullptr) return std::nullopt;
+  return parse_level(value);
+}
+
+/// The one resolution ladder every kernel dispatch table shares (scan
+/// kernels, step executors): `automatic` honours AXC_SIMD when set and
+/// valid, otherwise takes the strongest level `available` accepts;
+/// explicit requests clamp down to availability, never up.  `available`
+/// is the module's own predicate (compiled-in AND CPU-supported), so the
+/// rules cannot drift apart between modules.
+template <typename AvailablePredicate>
+[[nodiscard]] level resolve_level(level requested,
+                                  AvailablePredicate&& available) {
+  if (requested == level::automatic) {
+    const std::optional<level> env = env_override();
+    if (env.has_value() && *env != level::automatic) {
+      requested = *env;
+    } else {
+      if (available(level::avx512)) return level::avx512;
+      if (available(level::avx2)) return level::avx2;
+      return level::scalar;
+    }
+  }
+  if (requested == level::avx512 && !available(level::avx512)) {
+    requested = level::avx2;
+  }
+  if (requested == level::avx2 && !available(level::avx2)) {
+    requested = level::scalar;
+  }
+  return requested;
+}
+
+// ---------------------------------------------------------------------------
+// vu64x8: eight u64 lanes, the kernel vector type
+// ---------------------------------------------------------------------------
+
+template <level L>
+struct vu64x8;
+
+/// Baseline backend: plain arrays + loops.  Compilers autovectorize the
+/// bitwise ops to whatever the TU's target allows (SSE2 on generic x86-64,
+/// NEON on aarch64); popcount lowers to scalar POPCNT where no vector count
+/// instruction exists — still fast, and the layout matches the wider
+/// backends exactly.
+template <>
+struct vu64x8<level::scalar> {
+  std::uint64_t v[8];
+
+  static vu64x8 zero() { return vu64x8{{0, 0, 0, 0, 0, 0, 0, 0}}; }
+  static vu64x8 load(const std::uint64_t* p) {
+    vu64x8 r;
+    for (int i = 0; i < 8; ++i) r.v[i] = p[i];
+    return r;
+  }
+  void store(std::uint64_t* p) const {
+    for (int i = 0; i < 8; ++i) p[i] = v[i];
+  }
+
+  friend vu64x8 operator^(vu64x8 a, vu64x8 b) {
+    for (int i = 0; i < 8; ++i) a.v[i] ^= b.v[i];
+    return a;
+  }
+  friend vu64x8 operator&(vu64x8 a, vu64x8 b) {
+    for (int i = 0; i < 8; ++i) a.v[i] &= b.v[i];
+    return a;
+  }
+  friend vu64x8 operator|(vu64x8 a, vu64x8 b) {
+    for (int i = 0; i < 8; ++i) a.v[i] |= b.v[i];
+    return a;
+  }
+  friend vu64x8 operator+(vu64x8 a, vu64x8 b) {
+    for (int i = 0; i < 8; ++i) a.v[i] += b.v[i];
+    return a;
+  }
+  /// ~a & b (the borrow-recurrence primitive; maps to ANDN/VPANDN).
+  static vu64x8 andnot(vu64x8 a, vu64x8 b) {
+    for (int i = 0; i < 8; ++i) a.v[i] = ~a.v[i] & b.v[i];
+    return a;
+  }
+  static vu64x8 ones() {
+    vu64x8 r;
+    for (int i = 0; i < 8; ++i) r.v[i] = ~std::uint64_t{0};
+    return r;
+  }
+  friend vu64x8 operator~(vu64x8 a) {
+    for (int i = 0; i < 8; ++i) a.v[i] = ~a.v[i];
+    return a;
+  }
+  [[nodiscard]] vu64x8 popcount() const {
+    vu64x8 r;
+    for (int i = 0; i < 8; ++i) {
+      r.v[i] = static_cast<std::uint64_t>(std::popcount(v[i]));
+    }
+    return r;
+  }
+  [[nodiscard]] vu64x8 shl(unsigned s) const {
+    vu64x8 r;
+    for (int i = 0; i < 8; ++i) r.v[i] = v[i] << s;
+    return r;
+  }
+};
+
+#if defined(__AVX2__)
+/// Two 256-bit halves.  Per-lane popcount uses the classic PSHUFB nibble
+/// lookup + PSADBW horizontal byte sum (no VPOPCNTDQ below AVX-512).
+template <>
+struct vu64x8<level::avx2> {
+  __m256i lo, hi;
+
+  static vu64x8 zero() {
+    return vu64x8{_mm256_setzero_si256(), _mm256_setzero_si256()};
+  }
+  static vu64x8 load(const std::uint64_t* p) {
+    return vu64x8{
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4))};
+  }
+  void store(std::uint64_t* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + 4), hi);
+  }
+
+  friend vu64x8 operator^(vu64x8 a, vu64x8 b) {
+    return vu64x8{_mm256_xor_si256(a.lo, b.lo), _mm256_xor_si256(a.hi, b.hi)};
+  }
+  friend vu64x8 operator&(vu64x8 a, vu64x8 b) {
+    return vu64x8{_mm256_and_si256(a.lo, b.lo), _mm256_and_si256(a.hi, b.hi)};
+  }
+  friend vu64x8 operator|(vu64x8 a, vu64x8 b) {
+    return vu64x8{_mm256_or_si256(a.lo, b.lo), _mm256_or_si256(a.hi, b.hi)};
+  }
+  friend vu64x8 operator+(vu64x8 a, vu64x8 b) {
+    return vu64x8{_mm256_add_epi64(a.lo, b.lo), _mm256_add_epi64(a.hi, b.hi)};
+  }
+  static vu64x8 andnot(vu64x8 a, vu64x8 b) {
+    return vu64x8{_mm256_andnot_si256(a.lo, b.lo),
+                  _mm256_andnot_si256(a.hi, b.hi)};
+  }
+  static vu64x8 ones() {
+    const __m256i o = _mm256_set1_epi64x(-1);
+    return vu64x8{o, o};
+  }
+  friend vu64x8 operator~(vu64x8 a) { return andnot(a, ones()); }
+  [[nodiscard]] vu64x8 popcount() const {
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i nibble = _mm256_set1_epi8(0x0f);
+    const auto count64 = [&](__m256i x) {
+      const __m256i lo4 = _mm256_and_si256(x, nibble);
+      const __m256i hi4 = _mm256_and_si256(_mm256_srli_epi16(x, 4), nibble);
+      const __m256i bytes = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo4),
+                                            _mm256_shuffle_epi8(lut, hi4));
+      return _mm256_sad_epu8(bytes, _mm256_setzero_si256());
+    };
+    return vu64x8{count64(lo), count64(hi)};
+  }
+  [[nodiscard]] vu64x8 shl(unsigned s) const {
+    const __m128i count = _mm_cvtsi32_si128(static_cast<int>(s));
+    return vu64x8{_mm256_sll_epi64(lo, count), _mm256_sll_epi64(hi, count)};
+  }
+};
+#endif  // __AVX2__
+
+#if defined(__AVX512F__) && defined(__AVX512VPOPCNTDQ__)
+/// One 512-bit register; VPOPCNTQ counts all eight lanes in one instruction.
+template <>
+struct vu64x8<level::avx512> {
+  __m512i v;
+
+  static vu64x8 zero() { return vu64x8{_mm512_setzero_si512()}; }
+  static vu64x8 load(const std::uint64_t* p) {
+    return vu64x8{_mm512_loadu_si512(p)};
+  }
+  void store(std::uint64_t* p) const { _mm512_storeu_si512(p, v); }
+
+  friend vu64x8 operator^(vu64x8 a, vu64x8 b) {
+    return vu64x8{_mm512_xor_si512(a.v, b.v)};
+  }
+  friend vu64x8 operator&(vu64x8 a, vu64x8 b) {
+    return vu64x8{_mm512_and_si512(a.v, b.v)};
+  }
+  friend vu64x8 operator|(vu64x8 a, vu64x8 b) {
+    return vu64x8{_mm512_or_si512(a.v, b.v)};
+  }
+  friend vu64x8 operator+(vu64x8 a, vu64x8 b) {
+    return vu64x8{_mm512_add_epi64(a.v, b.v)};
+  }
+  static vu64x8 andnot(vu64x8 a, vu64x8 b) {
+    return vu64x8{_mm512_andnot_si512(a.v, b.v)};
+  }
+  static vu64x8 ones() { return vu64x8{_mm512_set1_epi64(-1)}; }
+  friend vu64x8 operator~(vu64x8 a) { return andnot(a, ones()); }
+  [[nodiscard]] vu64x8 popcount() const {
+    return vu64x8{_mm512_popcnt_epi64(v)};
+  }
+  [[nodiscard]] vu64x8 shl(unsigned s) const {
+    return vu64x8{_mm512_sll_epi64(v, _mm_cvtsi32_si128(static_cast<int>(s)))};
+  }
+};
+#endif  // __AVX512F__ && __AVX512VPOPCNTDQ__
+
+}  // namespace axc::simd

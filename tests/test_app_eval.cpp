@@ -7,6 +7,7 @@
 // pareto_archive::merge.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <vector>
@@ -361,6 +362,166 @@ TEST(app_eval, checkpoint_candidates_reject_bad_input) {
       std::span<std::istream* const>(&stream, 1),
       make_component(session_cfg()));
   EXPECT_FALSE(result.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-ranking (rerank_score_cache)
+// ---------------------------------------------------------------------------
+
+/// Deterministic metric that counts its score() invocations — how the tests
+/// below observe which candidates a rerank actually evaluated.
+class counting_metric final : public app_metric {
+ public:
+  counting_metric(std::string name, std::uint64_t fp, bool higher,
+                  bool fingerprinted = true)
+      : name_(std::move(name)),
+        fp_(fp),
+        higher_(higher),
+        fingerprinted_(fingerprinted) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] bool higher_is_better() const override { return higher_; }
+  [[nodiscard]] std::optional<std::uint64_t> fingerprint() const override {
+    if (!fingerprinted_) return std::nullopt;
+    return fp_;
+  }
+  [[nodiscard]] double score(
+      const circuit::netlist& nl,
+      const metrics::compiled_mult_table&) const override {
+    ++calls_;
+    return static_cast<double>(nl.num_gates()) + 0.25 * static_cast<double>(fp_);
+  }
+  [[nodiscard]] std::size_t calls() const { return calls_; }
+
+ private:
+  std::string name_;
+  std::uint64_t fp_;
+  bool higher_;
+  bool fingerprinted_;
+  mutable std::atomic<std::size_t> calls_{0};
+};
+
+std::vector<app_candidate> cache_test_candidates() {
+  std::vector<app_candidate> candidates;
+  candidates.push_back(
+      {0, "exact", 0.0, 0.0, 0.0, mult::unsigned_multiplier(8)});
+  candidates.push_back(
+      {1, "trunc4", 0.0, 0.0, 0.0, mult::truncated_multiplier(8, 4)});
+  return candidates;
+}
+
+TEST(app_eval, rerank_cache_scores_only_changed_candidates) {
+  std::vector<std::unique_ptr<app_metric>> metrics;
+  metrics.push_back(std::make_unique<counting_metric>("q", 11, true));
+  metrics.push_back(std::make_unique<counting_metric>("c", 23, false));
+  const auto* q = static_cast<const counting_metric*>(metrics[0].get());
+  const auto* c = static_cast<const counting_metric*>(metrics[1].get());
+
+  rerank_config config;
+  config.cache = make_rerank_cache();
+
+  // Cold rerank: every (candidate x metric) job runs.
+  const rerank_result first = rerank_front(cache_test_candidates(), metrics,
+                                           config);
+  EXPECT_EQ(q->calls(), 2u);
+  EXPECT_EQ(c->calls(), 2u);
+
+  // Unchanged rerank: everything replays from the cache.
+  const rerank_result second = rerank_front(cache_test_candidates(), metrics,
+                                            config);
+  EXPECT_EQ(q->calls(), 2u);
+  EXPECT_EQ(c->calls(), 2u);
+  ASSERT_EQ(second.designs.size(), first.designs.size());
+  for (std::size_t i = 0; i < first.designs.size(); ++i) {
+    EXPECT_EQ(second.designs[i].scores, first.designs[i].scores);
+  }
+  ASSERT_EQ(second.front.size(), first.front.size());
+  for (std::size_t i = 0; i < first.front.size(); ++i) {
+    EXPECT_EQ(second.front[i].x, first.front[i].x);
+    EXPECT_EQ(second.front[i].y, first.front[i].y);
+    EXPECT_EQ(second.front[i].index, first.front[i].index);
+  }
+
+  // Archive evolved: one kept member, one new — only the new one scores.
+  std::vector<app_candidate> evolved;
+  evolved.push_back(
+      {0, "exact", 0.0, 0.0, 0.0, mult::unsigned_multiplier(8)});
+  evolved.push_back(
+      {1, "bam", 0.0, 0.0, 0.0, mult::broken_array_multiplier(8, 2, 3)});
+  (void)rerank_front(std::move(evolved), metrics, config);
+  EXPECT_EQ(q->calls(), 3u);
+  EXPECT_EQ(c->calls(), 3u);
+}
+
+TEST(app_eval, rerank_cache_matches_cold_rerank_and_respects_spec) {
+  std::vector<std::unique_ptr<app_metric>> metrics;
+  metrics.push_back(std::make_unique<counting_metric>("q", 5, true));
+  metrics.push_back(std::make_unique<counting_metric>("c", 7, false));
+
+  rerank_config cold;  // no cache
+  const rerank_result reference = rerank_front(cache_test_candidates(),
+                                               metrics, cold);
+
+  rerank_config warm;
+  warm.cache = make_rerank_cache();
+  (void)rerank_front(cache_test_candidates(), metrics, warm);
+  const rerank_result cached = rerank_front(cache_test_candidates(), metrics,
+                                            warm);
+  ASSERT_EQ(cached.designs.size(), reference.designs.size());
+  for (std::size_t i = 0; i < reference.designs.size(); ++i) {
+    EXPECT_EQ(cached.designs[i].scores, reference.designs[i].scores);
+  }
+
+  // A different compile spec must not serve the old spec's scores.
+  const auto* q = static_cast<const counting_metric*>(metrics[0].get());
+  const std::size_t before = q->calls();
+  rerank_config other_spec = warm;
+  other_spec.spec = metrics::mult_spec{8, true};
+  std::vector<app_candidate> signed_cands;
+  signed_cands.push_back(
+      {0, "exact", 0.0, 0.0, 0.0, mult::signed_multiplier(8)});
+  (void)rerank_front(std::move(signed_cands), metrics, other_spec);
+  EXPECT_EQ(q->calls(), before + 1);
+}
+
+TEST(app_eval, rerank_cache_never_caches_unfingerprinted_metrics) {
+  std::vector<std::unique_ptr<app_metric>> metrics;
+  metrics.push_back(std::make_unique<counting_metric>("q", 3, true));
+  metrics.push_back(std::make_unique<counting_metric>(
+      "opaque", 0, false, /*fingerprinted=*/false));
+  const auto* opaque = static_cast<const counting_metric*>(metrics[1].get());
+
+  rerank_config config;
+  config.cache = make_rerank_cache();
+  (void)rerank_front(cache_test_candidates(), metrics, config);
+  (void)rerank_front(cache_test_candidates(), metrics, config);
+  // The opaque metric re-scores both candidates on both reranks.
+  EXPECT_EQ(opaque->calls(), 4u);
+}
+
+TEST(app_eval, shipped_metrics_report_option_sensitive_fingerprints) {
+  const nn_fixture& f = fixture();
+  const auto accuracy = make_nn_accuracy_metric(f.accuracy_options());
+  ASSERT_TRUE(accuracy->fingerprint().has_value());
+  EXPECT_EQ(accuracy->fingerprint(),
+            make_nn_accuracy_metric(f.accuracy_options())->fingerprint());
+
+  gaussian_psnr_options mean_psnr;
+  gaussian_psnr_options min_psnr;
+  min_psnr.report_min = true;
+  const auto psnr_a = make_gaussian_psnr_metric(mean_psnr);
+  const auto psnr_b = make_gaussian_psnr_metric(min_psnr);
+  ASSERT_TRUE(psnr_a->fingerprint().has_value());
+  EXPECT_NE(psnr_a->fingerprint(), psnr_b->fingerprint());
+
+  power_metric_options power;
+  power.distribution = dist::pmf::half_normal(256, 48.0);
+  power_metric_options pdp = power;
+  pdp.report = power_metric_options::quantity::pdp_fj;
+  const auto power_metric = make_power_metric(std::move(power));
+  const auto pdp_metric = make_power_metric(std::move(pdp));
+  ASSERT_TRUE(power_metric->fingerprint().has_value());
+  EXPECT_NE(power_metric->fingerprint(), pdp_metric->fingerprint());
 }
 
 }  // namespace
