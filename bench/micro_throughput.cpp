@@ -4,6 +4,9 @@
 // quantized inference and the Gaussian filter.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <sstream>
+
 #include "cgp/cone_program.h"
 #include "cgp/evolver.h"
 #include "cgp/genotype.h"
@@ -444,6 +447,71 @@ void bm_sweep_session_cold_cache(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
 }
 BENCHMARK(bm_sweep_session_cold_cache);
+
+/// The finished 4-job session the checkpoint benches serialize/parse —
+/// built once (the searches are not what is being measured).
+const core::search_session& checkpoint_bench_session() {
+  static const core::search_session session = [] {
+    const core::approximation_config config = sweep_session_config();
+    core::sweep_plan plan;
+    plan.targets = {1e-4, 1e-2};
+    plan.runs_per_target = config.runs_per_target;
+    core::search_session s(core::make_component(config),
+                           mult::unsigned_multiplier(8), plan);
+    s.run();
+    return s;
+  }();
+  return session;
+}
+
+void bm_checkpoint_save(benchmark::State& state) {
+  // v2 serialization cost: netlist formatting + a CRC32 pass over every
+  // section.  Pure in-memory (the durable-write syscalls are measured by
+  // bm_checkpoint_save_durable).
+  const core::search_session& session = checkpoint_bench_session();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream os;
+    session.save(os);
+    bytes = os.str().size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(bm_checkpoint_save);
+
+void bm_checkpoint_save_durable(benchmark::State& state) {
+  // Full atomic save_file: temp write + flush + fsync + rename.  The
+  // autosave cadence a session can afford is bounded by this number.
+  const core::search_session& session = checkpoint_bench_session();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "axc-bench-ckpt.axc")
+          .string();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.save_file(path));
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+BENCHMARK(bm_checkpoint_save_durable);
+
+void bm_checkpoint_resume(benchmark::State& state) {
+  // v2 parse + salvage scan + CRC verification + session rebuild.
+  const core::approximation_config config = sweep_session_config();
+  std::ostringstream os;
+  checkpoint_bench_session().save(os);
+  const std::string text = os.str();
+  for (auto _ : state) {
+    std::istringstream is(text);
+    auto resumed =
+        core::search_session::resume(is, core::make_component(config));
+    benchmark::DoNotOptimize(resumed->completed_jobs());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(bm_checkpoint_resume);
 
 void bm_compiled_table_fill(benchmark::State& state) {
   // Exhaustive characterization through the wide-lane batch path (what the

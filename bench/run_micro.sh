@@ -94,6 +94,8 @@ WATCHED = (
     "bm_wmed_evaluate",
     "bm_evolver_generation",
     "bm_evolver_generation_adder",
+    "bm_checkpoint_save",
+    "bm_checkpoint_resume",
 )
 THRESHOLD = 1.25
 

@@ -110,7 +110,10 @@ void evolve_with_session(const axc::dist::pmf& d) {
   running = &session;
   std::printf("\nEvolutionary sweep, phase 1 (cancelled after 2 jobs):\n");
   session.run();
-  session.save_file(kCheckpoint);
+  if (!session.save_file(kCheckpoint)) {
+    std::fprintf(stderr, "checkpoint save failed\n");
+    std::exit(1);
+  }
   std::printf("  checkpointed %zu/%zu jobs to %s\n", session.completed_jobs(),
               session.total_jobs(), kCheckpoint);
 

@@ -8,6 +8,13 @@ namespace axc::circuit {
 
 namespace {
 constexpr std::string_view kMagic = "axcirc-netlist v1";
+/// Interface-size ceiling for parsed netlists.  Stream extraction into
+/// size_t follows strtoull semantics, so "inputs -2" would otherwise wrap
+/// to ~2^64 and the netlist constructor would attempt that allocation;
+/// checkpoint salvage feeds arbitrary corrupted bytes through this parser,
+/// which must fail cleanly instead.  Generous: real components are
+/// 2*width inputs wide.
+constexpr std::size_t kMaxInterface = 1u << 20;
 }
 
 std::optional<gate_fn> gate_fn_from_name(std::string_view name) {
@@ -38,7 +45,8 @@ std::optional<netlist> read_netlist(std::istream& is) {
     std::string key;
     if (!std::getline(is, line)) return std::nullopt;
     std::istringstream ls(line);
-    if (!(ls >> key >> inputs) || key != "inputs" || inputs == 0) {
+    if (!(ls >> key >> inputs) || key != "inputs" || inputs == 0 ||
+        inputs > kMaxInterface) {
       return std::nullopt;
     }
   }
@@ -46,7 +54,8 @@ std::optional<netlist> read_netlist(std::istream& is) {
     std::string key;
     if (!std::getline(is, line)) return std::nullopt;
     std::istringstream ls(line);
-    if (!(ls >> key >> outputs) || key != "outputs" || outputs == 0) {
+    if (!(ls >> key >> outputs) || key != "outputs" || outputs == 0 ||
+        outputs > kMaxInterface) {
       return std::nullopt;
     }
   }
@@ -65,6 +74,8 @@ std::optional<netlist> read_netlist(std::istream& is) {
       if (in0 >= nl.num_signals() || in1 >= nl.num_signals()) {
         return std::nullopt;
       }
+      std::string extra;
+      if (ls >> extra) return std::nullopt;  // trailing junk
       nl.add_gate(*fn, in0, in1);
     } else if (key == "out") {
       for (std::size_t o = 0; o < outputs; ++o) {
@@ -74,6 +85,8 @@ std::optional<netlist> read_netlist(std::istream& is) {
         }
         nl.set_output(o, address);
       }
+      std::string extra;
+      if (ls >> extra) return std::nullopt;  // trailing junk
       return nl;  // "out" terminates the record
     } else {
       return std::nullopt;

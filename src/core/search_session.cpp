@@ -3,14 +3,23 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <string_view>
+#include <system_error>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "circuit/serialize.h"
 #include "support/assert.h"
+#include "support/checksum.h"
+#include "support/fault.h"
 #include "support/thread_pool.h"
 
 namespace axc::core {
@@ -31,12 +40,80 @@ std::nullopt_t resume_error(const char* what) {
   return std::nullopt;
 }
 
-constexpr std::string_view kMagic = "axc-session v1";
+constexpr std::string_view kMagicV1 = "axc-session v1";
+constexpr std::string_view kMagicV2 = "axc-session v2";
 
 /// Plan-size sanity bound for resume(): far above any real sweep (the
 /// paper uses 14 targets x 25 runs) but small enough that a corrupted
 /// count in a checkpoint is rejected instead of driving a huge allocation.
 constexpr std::size_t kMaxPlanEntries = std::size_t{1} << 20;
+
+std::string format_crc(std::uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return buf;
+}
+
+bool starts_with(std::string_view line, std::string_view prefix) {
+  return line.substr(0, prefix.size()) == prefix;
+}
+
+/// Line cursor over an in-memory checkpoint, tracking byte offsets so CRC
+/// ranges can be recomputed exactly as written.
+struct text_lines {
+  std::string_view text;
+  std::size_t pos{0};
+
+  struct entry {
+    std::size_t start;       ///< byte offset of the line's first character
+    std::string_view line;   ///< without the trailing newline
+  };
+
+  std::optional<entry> next() {
+    if (pos >= text.size()) return std::nullopt;
+    const std::size_t start = pos;
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line;
+    if (nl == std::string_view::npos) {
+      line = text.substr(pos);
+      pos = text.size();
+    } else {
+      line = text.substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    return entry{start, line};
+  }
+};
+
+/// Parses one circuit::write_netlist block starting at the cursor; leaves
+/// the cursor just past the terminating "out" line.  nullopt when the
+/// block is malformed or runs into checkpoint structure lines (truncation).
+std::optional<circuit::netlist> parse_netlist_block(text_lines& cur) {
+  const std::size_t start = cur.pos;
+  while (auto l = cur.next()) {
+    if (l->line == "out" || starts_with(l->line, "out ")) {
+      std::istringstream is{
+          std::string(cur.text.substr(start, cur.pos - start))};
+      return circuit::read_netlist(is);
+    }
+    if (starts_with(l->line, "crc ") || starts_with(l->line, "job ") ||
+        starts_with(l->line, "end")) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Parses a "crc <8-hex>" line into its value.
+std::optional<std::uint32_t> parse_crc_line(std::string_view line) {
+  if (!starts_with(line, "crc ")) return std::nullopt;
+  std::istringstream is{std::string(line.substr(4))};
+  std::uint32_t crc = 0;
+  if (!(is >> std::hex >> crc)) return std::nullopt;
+  std::string rest;
+  if (is >> rest) return std::nullopt;
+  return crc;
+}
 
 }  // namespace
 
@@ -108,20 +185,31 @@ struct search_session::impl {
         event.area_um2 = eval.area;
         emit(event);
       };
-      if (options.generation_stride > 0) {
-        const std::size_t stride = options.generation_stride;
-        hooks.on_generation = [this, job, stride](
-                                  std::size_t iteration,
-                                  const cgp::evaluation& best) {
-          if ((iteration + 1) % stride != 0) return;
+    }
+    // One generation hook serves both consumers: the stride-gated
+    // job_generation events and the session-wide autosave tick counter.
+    const std::size_t stride =
+        options.on_progress ? options.generation_stride : 0;
+    const std::size_t autosave_every =
+        options.autosave_path.empty() ? 0 : options.autosave_generations;
+    if (stride > 0 || autosave_every > 0) {
+      hooks.on_generation = [this, job, stride, autosave_every](
+                                std::size_t iteration,
+                                const cgp::evaluation& best) {
+        if (stride > 0 && (iteration + 1) % stride == 0) {
           progress_event event =
               base_event(progress_kind::job_generation, job);
           event.generation = iteration + 1;
           event.wmed = best.error;
           event.area_um2 = best.area;
           emit(event);
-        };
-      }
+        }
+        if (autosave_every > 0) {
+          const std::size_t tick =
+              generation_ticks.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (tick % autosave_every == 0) autosave();
+        }
+      };
     }
 
     std::optional<evolved_design> design =
@@ -139,6 +227,9 @@ struct search_session::impl {
       completed.fetch_add(1, std::memory_order_relaxed);
       published = &*results[job.id];
     }
+    // Persist before notifying: if an observer (or the process) dies right
+    // after this point, the finished job is already on disk.
+    autosave();
 
     progress_event event = base_event(progress_kind::job_finished, job);
     event.generation = component.iterations();
@@ -210,37 +301,105 @@ struct search_session::impl {
     }
   }
 
+  /// "axc-session v2": header section (magic .. seed netlist) and each job
+  /// record carry a trailing `crc <8-hex>` line (CRC32 of the section's
+  /// exact bytes); the footer `end <count>` doubles as a completeness
+  /// sentinel.  Sections are staged through a stringstream so the CRC
+  /// covers precisely what lands in the file.
   void save(std::ostream& os) const {
     std::scoped_lock lock(state_mutex);
-    os << kMagic << "\n";
-    os << "component " << component.name() << "\n";
-    os << "width " << component.width() << "\n";
-    os << "rng-seed " << component.rng_seed() << "\n";
-    os << "iterations " << component.iterations() << "\n";
-    os << "fingerprint " << component.fingerprint() << "\n";
-    os << "runs-per-target " << plan.runs_per_target << "\n";
-    os << "targets " << plan.targets.size();
+    std::ostringstream header;
+    header << kMagicV2 << "\n";
+    header << "component " << component.name() << "\n";
+    header << "width " << component.width() << "\n";
+    header << "rng-seed " << component.rng_seed() << "\n";
+    header << "iterations " << component.iterations() << "\n";
+    header << "fingerprint " << component.fingerprint() << "\n";
+    header << "runs-per-target " << plan.runs_per_target << "\n";
+    header << "targets " << plan.targets.size();
     for (const double target : plan.targets) {
-      os << " " << format_double(target);
+      header << " " << format_double(target);
     }
-    os << "\n";
-    os << "seed-netlist\n";
-    circuit::write_netlist(os, seed);
+    header << "\n";
+    header << "seed-netlist\n";
+    circuit::write_netlist(header, seed);
+    const std::string header_bytes = header.str();
+    os << header_bytes << "crc " << format_crc(support::crc32(header_bytes))
+       << "\n";
 
-    os << "completed " << completed.load(std::memory_order_relaxed) << "\n";
+    std::size_t saved = 0;
     for (std::size_t id = 0; id < results.size(); ++id) {
       if (!results[id]) continue;
       const evolved_design& design = *results[id];
-      os << "job " << id << " target " << format_double(design.target)
-         << " run " << design.run_index << " wmed "
-         << format_double(design.wmed) << " area "
-         << format_double(design.area_um2) << " evaluations "
-         << design.evaluations << " improvements " << design.improvements
-         << "\n";
-      circuit::write_netlist(os, design.netlist);
+      std::ostringstream record;
+      record << "job " << id << " target " << format_double(design.target)
+             << " run " << design.run_index << " wmed "
+             << format_double(design.wmed) << " area "
+             << format_double(design.area_um2) << " evaluations "
+             << design.evaluations << " improvements "
+             << design.improvements << "\n";
+      circuit::write_netlist(record, design.netlist);
+      const std::string record_bytes = record.str();
+      os << record_bytes << "crc "
+         << format_crc(support::crc32(record_bytes)) << "\n";
+      ++saved;
     }
-    os << "end\n";
+    os << "end " << saved << "\n";
   }
+
+  /// Atomic durable write: temp file + flush + fsync + rename.  A failed
+  /// save never disturbs an existing good checkpoint at `path`.  Fault
+  /// injection points: `session-save-fail` (transient failure) and
+  /// `session-save-truncate` (torn write surviving into the file).
+  [[nodiscard]] bool save_to_file(const std::string& path) const {
+    std::scoped_lock save_lock(save_mutex);
+    if (fault::fire(kFaultSaveFail)) return false;
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os) return false;
+      save(os);
+      os.flush();
+      if (!os) {
+        os.close();
+        std::remove(tmp.c_str());
+        return false;
+      }
+    }
+    if (const auto cut = fault::fire(kFaultSaveTruncate)) {
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(tmp, ec);
+      if (!ec && *cut < size) std::filesystem::resize_file(tmp, *cut, ec);
+    }
+#if defined(__unix__) || defined(__APPLE__)
+    // ofstream flushed to the kernel; fsync pushes to stable storage so
+    // the rename below publishes a durable file, not a page-cache ghost.
+    const int fd = ::open(tmp.c_str(), O_WRONLY);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      std::remove(tmp.c_str());
+      return false;
+    }
+    ::close(fd);
+#endif
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  /// Best-effort checkpoint to options.autosave_path (no-op when unset).
+  /// Failures are tolerated — the next tick or job completion retries —
+  /// and the atomic writer guarantees the last good file survives.
+  void autosave() const {
+    if (options.autosave_path.empty()) return;
+    (void)save_to_file(options.autosave_path);
+  }
+
+  static constexpr std::string_view kFaultSaveFail = "session-save-fail";
+  static constexpr std::string_view kFaultSaveTruncate =
+      "session-save-truncate";
 
   component_handle component;
   circuit::netlist seed;
@@ -253,10 +412,15 @@ struct search_session::impl {
   std::atomic<bool> last_run_stopped{false};
   std::atomic<bool> finish_emitted{false};
   std::atomic<std::size_t> completed{0};
+  /// Session-wide generation counter driving autosave_generations ticks.
+  mutable std::atomic<std::size_t> generation_ticks{0};
   /// Guards results/archive; never held while observer callbacks run.
   mutable std::mutex state_mutex;
   /// Serializes observer callbacks (on_progress/on_design).
   std::mutex emit_mutex;
+  /// Serializes file writers (explicit save_file + autosaves) so two
+  /// writers of the same path never interleave on the shared temp file.
+  mutable std::mutex save_mutex;
   std::mutex pool_mutex;  ///< guards active_pool across run()/request_stop()
   thread_pool* active_pool{nullptr};
 };
@@ -334,20 +498,39 @@ std::vector<pareto_point> search_session::front() const {
 void search_session::save(std::ostream& os) const { impl_->save(os); }
 
 bool search_session::save_file(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return false;
-  save(os);
-  return static_cast<bool>(os);
+  return impl_->save_to_file(path);
 }
 
 std::optional<search_session> search_session::resume(
-    std::istream& is, component_handle component, session_config options) {
+    std::istream& is, component_handle component, session_config options,
+    resume_report* report) {
+  if (report) *report = resume_report{};
   if (!component) return resume_error("empty component handle");
 
-  std::string line;
-  if (!std::getline(is, line) || line != kMagic) {
-    return resume_error("bad magic line");
+  std::string text{std::istreambuf_iterator<char>(is),
+                   std::istreambuf_iterator<char>()};
+  text_lines cur{text};
+  const auto magic = cur.next();
+  if (!magic) return resume_error("empty checkpoint");
+  if (magic->line == kMagicV1) {
+    if (report) report->version = 1;
+    std::istringstream v1(text);
+    std::string discard;
+    std::getline(v1, discard);  // past the magic line
+    auto session = resume_v1(v1, std::move(component), std::move(options));
+    if (session && report) report->jobs_recovered = session->completed_jobs();
+    return session;
   }
+  if (magic->line == kMagicV2) {
+    if (report) report->version = 2;
+    return resume_v2(text, std::move(component), std::move(options), report);
+  }
+  return resume_error("bad magic line");
+}
+
+std::optional<search_session> search_session::resume_v1(
+    std::istream& is, component_handle component, session_config options) {
+  std::string line;
 
   // `read_field("key", value)`: one "key value" line, keyword-checked.
   const auto read_field = [&is, &line](const char* key, auto& value) {
@@ -468,12 +651,212 @@ std::optional<search_session> search_session::resume(
   return search_session(std::move(state));
 }
 
+std::optional<search_session> search_session::resume_v2(
+    const std::string& text, component_handle component,
+    session_config options, resume_report* report) {
+  text_lines cur{text};
+  (void)cur.next();  // magic line, validated by the dispatcher
+
+  // ---- Header: strict.  Without a trustworthy plan/fingerprint nothing
+  // in the body is interpretable, so any damage here rejects the file.
+  const auto read_field = [&cur](const char* key, auto& value) {
+    const auto l = cur.next();
+    if (!l) return false;
+    std::istringstream ls{std::string(l->line)};
+    std::string k;
+    return static_cast<bool>(ls >> k >> value) && k == key;
+  };
+
+  std::string name;
+  if (!read_field("component", name)) {
+    return resume_error("missing component line");
+  }
+  if (name != component.name()) {
+    return resume_error("component name does not match the handle");
+  }
+  unsigned width = 0;
+  if (!read_field("width", width) || width != component.width()) {
+    return resume_error("component width does not match the handle");
+  }
+  std::uint64_t rng_seed = 0;
+  if (!read_field("rng-seed", rng_seed) ||
+      rng_seed != component.rng_seed()) {
+    return resume_error("rng seed does not match the handle");
+  }
+  std::size_t iterations = 0;
+  if (!read_field("iterations", iterations) ||
+      iterations != component.iterations()) {
+    return resume_error("iteration budget does not match the handle");
+  }
+  std::uint64_t fingerprint = 0;
+  if (!read_field("fingerprint", fingerprint) ||
+      fingerprint != component.fingerprint()) {
+    return resume_error(
+        "config fingerprint does not match the handle (distribution, "
+        "budget, function set or tie-break policy differ)");
+  }
+
+  sweep_plan plan;
+  if (!read_field("runs-per-target", plan.runs_per_target) ||
+      plan.runs_per_target > kMaxPlanEntries) {
+    return resume_error("bad runs-per-target line");
+  }
+  {
+    const auto l = cur.next();
+    if (!l) return resume_error("missing targets line");
+    std::istringstream ls{std::string(l->line)};
+    std::string k;
+    std::size_t count = 0;
+    if (!(ls >> k >> count) || k != "targets" || count > kMaxPlanEntries) {
+      return resume_error("bad targets line");
+    }
+    plan.targets.resize(count);
+    for (double& target : plan.targets) {
+      if (!(ls >> target)) return resume_error("truncated targets line");
+    }
+  }
+  if (plan.runs_per_target != 0 &&
+      plan.targets.size() > kMaxPlanEntries / plan.runs_per_target) {
+    return resume_error("plan expansion too large");
+  }
+
+  {
+    const auto l = cur.next();
+    if (!l || l->line != "seed-netlist") {
+      return resume_error("missing seed-netlist section");
+    }
+  }
+  std::optional<circuit::netlist> seed = parse_netlist_block(cur);
+  if (!seed) return resume_error("malformed seed netlist");
+  if (seed->num_inputs() != component.seed_inputs() ||
+      seed->num_outputs() != component.seed_outputs()) {
+    return resume_error("seed netlist shape does not match the component");
+  }
+  {
+    const auto l = cur.next();
+    if (!l) return resume_error("truncated header (missing crc)");
+    const auto expected = parse_crc_line(l->line);
+    if (!expected) return resume_error("malformed header crc line");
+    if (support::crc32(std::string_view(text).substr(0, l->start)) !=
+        *expected) {
+      return resume_error("header crc mismatch");
+    }
+  }
+
+  auto state = std::make_unique<impl>(std::move(component), *std::move(seed),
+                                      std::move(plan), std::move(options));
+
+  // ---- Body: salvage.  Each job record is independently CRC-guarded;
+  // damaged or truncated records are dropped (those jobs just re-run) and
+  // scanning resyncs at the next record boundary.
+  std::size_t recovered = 0;
+  std::size_t dropped = 0;
+  bool stray_bytes = false;
+  bool footer = false;
+  std::size_t footer_count = 0;
+
+  const auto resync = [&cur] {
+    while (true) {
+      const std::size_t mark = cur.pos;
+      const auto l = cur.next();
+      if (!l) return;
+      if (starts_with(l->line, "job ") || starts_with(l->line, "end")) {
+        cur.pos = mark;
+        return;
+      }
+    }
+  };
+
+  while (true) {
+    const std::size_t record_start = cur.pos;
+    const auto l = cur.next();
+    if (!l) break;  // EOF without a footer: truncated
+    if (starts_with(l->line, "end")) {
+      std::istringstream ls{std::string(l->line)};
+      std::string k;
+      footer = static_cast<bool>(ls >> k >> footer_count) && k == "end";
+      break;
+    }
+    if (!starts_with(l->line, "job ")) {
+      stray_bytes = true;  // damage between records; skip to the next one
+      resync();
+      continue;
+    }
+
+    std::istringstream ls{std::string(l->line)};
+    std::string k0, k1, k2, k3, k4, k5, k6;
+    std::size_t id = 0, run_index = 0, evaluations = 0, improvements = 0;
+    double target = 0.0, wmed = 0.0, area = 0.0;
+    const bool job_line_ok =
+        static_cast<bool>(ls >> k0 >> id >> k1 >> target >> k2 >>
+                          run_index >> k3 >> wmed >> k4 >> area >> k5 >>
+                          evaluations >> k6 >> improvements) &&
+        k0 == "job" && k1 == "target" && k2 == "run" && k3 == "wmed" &&
+        k4 == "area" && k5 == "evaluations" && k6 == "improvements";
+
+    std::optional<circuit::netlist> nl;
+    if (job_line_ok) nl = parse_netlist_block(cur);
+    std::optional<std::uint32_t> expected;
+    std::size_t crc_start = 0;
+    if (nl) {
+      const auto cl = cur.next();
+      if (cl) {
+        crc_start = cl->start;
+        expected = parse_crc_line(cl->line);
+      }
+    }
+    if (!job_line_ok || !nl || !expected ||
+        support::crc32(std::string_view(text).substr(
+            record_start, crc_start - record_start)) != *expected) {
+      ++dropped;
+      resync();
+      continue;
+    }
+
+    // The CRC vouches for these bytes, so a structural mismatch now means
+    // the wrong file (or a writer bug), not corruption — reject loudly.
+    if (id >= state->jobs.size() || state->results[id].has_value()) {
+      return resume_error("job record id out of range or duplicated");
+    }
+    if (target != state->jobs[id].target ||
+        run_index != state->jobs[id].run_index) {
+      return resume_error("job record does not match the plan expansion");
+    }
+    if (nl->num_inputs() != state->seed.num_inputs() ||
+        nl->num_outputs() != state->seed.num_outputs()) {
+      return resume_error("job netlist shape does not match the component");
+    }
+    state->archive.insert(pareto_point{wmed, area, id});
+    state->results[id] = evolved_design{*std::move(nl), wmed,      area,
+                                        target,         run_index, evaluations,
+                                        improvements};
+    ++recovered;
+  }
+  state->completed.store(recovered, std::memory_order_relaxed);
+
+  const bool salvaged =
+      dropped > 0 || stray_bytes || !footer || footer_count != recovered;
+  if (salvaged) {
+    std::fprintf(stderr,
+                 "axc: session resume: salvaged v2 checkpoint (%zu job%s "
+                 "recovered, %zu dropped%s)\n",
+                 recovered, recovered == 1 ? "" : "s", dropped,
+                 footer ? "" : ", footer missing");
+  }
+  if (report) {
+    report->salvaged = salvaged;
+    report->jobs_recovered = recovered;
+    report->jobs_dropped = dropped;
+  }
+  return search_session(std::move(state));
+}
+
 std::optional<search_session> search_session::resume_file(
     const std::string& path, component_handle component,
-    session_config options) {
-  std::ifstream is(path);
+    session_config options, resume_report* report) {
+  std::ifstream is(path, std::ios::binary);
   if (!is) return resume_error("cannot open checkpoint file");
-  return resume(is, std::move(component), std::move(options));
+  return resume(is, std::move(component), std::move(options), report);
 }
 
 }  // namespace axc::core

@@ -27,6 +27,17 @@
 //     jobs from scratch (cancelled runs consumed a prefix of their RNG
 //     stream), which reproduces exactly the uninterrupted result.
 //
+// Durability (PR 6): checkpoints are written in the "axc-session v2"
+// format — every section (header + each job record) carries a CRC32 and
+// the file ends in an `end <count>` footer sentinel.  save_file() is
+// atomic and durable (temp file + flush + fsync + rename), so a crash
+// mid-save can never clobber the previous good checkpoint.  resume()
+// *salvages* truncated or corrupted v2 files: every job record whose CRC
+// checks out is restored, damaged records are dropped (they simply re-run)
+// — only a damaged header rejects the file.  v1 checkpoints remain
+// readable with their original strict semantics.  session_config grows
+// autosave knobs so long sweeps persist progress without any caller code.
+//
 // The legacy one-shot APIs (basic_wmed_approximator::approximate/sweep)
 // are thin wrappers over a single-plan session.
 #pragma once
@@ -104,6 +115,25 @@ struct session_config {
   std::function<void(const progress_event&)> on_progress{};
   /// Observes completed designs (legacy sweep() callback compatibility).
   std::function<void(const evolved_design&)> on_design{};
+  /// When non-empty, the session checkpoints itself (atomic save_file) to
+  /// this path after every completed job — so a killed process loses at
+  /// most the in-flight jobs, which re-run deterministically on resume.
+  std::string autosave_path{};
+  /// Additionally autosave every N generation ticks counted across all
+  /// running jobs (0 = only on job completion).  Mid-job autosaves still
+  /// record only *completed* jobs; the knob bounds the wall-clock between
+  /// checkpoints when individual jobs are long.
+  std::size_t autosave_generations{0};
+};
+
+/// What resume() found in the checkpoint (optional out-param; resuming
+/// never depends on it).  `salvaged` means the file was damaged and the
+/// intact prefix/records were recovered instead of rejecting the file.
+struct resume_report {
+  unsigned version{0};  ///< checkpoint format version (1 or 2)
+  bool salvaged{false};
+  std::size_t jobs_recovered{0};
+  std::size_t jobs_dropped{0};  ///< corrupt/truncated records skipped
 };
 
 class search_session {
@@ -156,28 +186,44 @@ class search_session {
   /// index = job id (resolve via design(index)).
   [[nodiscard]] std::vector<pareto_point> front() const;
 
-  /// Writes the checkpoint: component fingerprint, plan, seed netlist and
-  /// every completed job (scores + evolved netlist).  Text, diffable,
-  /// netlists in the circuit::write_netlist format.
+  /// Writes the checkpoint ("axc-session v2"): component fingerprint, plan,
+  /// seed netlist and every completed job (scores + evolved netlist), each
+  /// section closed by a CRC32 line, the file by an `end <count>` footer.
+  /// Text, diffable, netlists in the circuit::write_netlist format.
   void save(std::ostream& os) const;
+  /// Atomic and durable: writes `<path>.tmp`, flushes, fsyncs, then
+  /// renames over `path` — false on any failure, and a previously saved
+  /// good checkpoint at `path` is never clobbered by a failed save.
   [[nodiscard]] bool save_file(const std::string& path) const;
 
   /// Rebuilds a session from a checkpoint.  The handle must describe the
   /// same search (name, width, rng_seed, iterations are fingerprinted);
-  /// nullopt on malformed input or a fingerprint mismatch (reason on
+  /// nullopt on a damaged header or a fingerprint mismatch (reason on
   /// stderr).  Completed jobs are restored verbatim; run() then executes
   /// only the remainder, and the final designs()/front() equal an
-  /// uninterrupted run's.
+  /// uninterrupted run's.  v2 checkpoints are *salvaged*: job records with
+  /// failing CRCs (bit flips, torn writes, truncation) are dropped and
+  /// everything intact is recovered — the dropped jobs merely re-run.
+  /// `report` (optional) describes what was recovered.
   [[nodiscard]] static std::optional<search_session> resume(
       std::istream& is, component_handle component,
-      session_config options = {});
+      session_config options = {}, resume_report* report = nullptr);
   [[nodiscard]] static std::optional<search_session> resume_file(
       const std::string& path, component_handle component,
-      session_config options = {});
+      session_config options = {}, resume_report* report = nullptr);
 
  private:
   struct impl;
   explicit search_session(std::unique_ptr<impl> state);
+
+  /// Format-version parsers behind resume(): v1 streams strictly (the
+  /// pre-CRC format has no section boundaries to salvage at); v2 parses
+  /// from memory with per-section CRC checks and record-level salvage.
+  [[nodiscard]] static std::optional<search_session> resume_v1(
+      std::istream& is, component_handle component, session_config options);
+  [[nodiscard]] static std::optional<search_session> resume_v2(
+      const std::string& text, component_handle component,
+      session_config options, resume_report* report);
 
   std::unique_ptr<impl> impl_;
 };

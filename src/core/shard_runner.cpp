@@ -1,0 +1,455 @@
+#include "core/shard_runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "circuit/serialize.h"
+#include "support/subprocess.h"
+
+namespace axc::core {
+
+namespace {
+
+constexpr std::string_view kSpecMagic = "axc-sweep-spec v1";
+
+/// Shortest exact decimal: %.17g round-trips every double through the
+/// stream extractor (same convention as the session checkpoint format).
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::nullopt_t spec_error(const char* what) {
+  std::fprintf(stderr, "axc: sweep spec: %s\n", what);
+  return std::nullopt;
+}
+
+using clock = std::chrono::steady_clock;
+
+/// Completed jobs visible in a shard checkpoint: the count of v2 job
+/// record lines.  Netlist lines inside records start with "gate"/"out"/
+/// "inputs"/"outputs", never "job ", so a plain scan is exact — and cheap
+/// enough to run every supervision poll.
+std::size_t count_checkpoint_jobs(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return 0;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (true) {
+    pos = text.find("\njob ", pos);
+    if (pos == std::string::npos) break;
+    ++count;
+    pos += 5;
+  }
+  return count;
+}
+
+struct shard_state {
+  plan_shard part{};
+  std::string spec_path{};
+  std::string checkpoint_path{};
+  std::optional<support::subprocess> proc{};
+  std::size_t attempt{0};
+  clock::time_point started{};
+  clock::time_point next_spawn{};
+  clock::time_point last_growth{};
+  std::size_t last_jobs{0};
+  bool deadline_killed{false};
+  bool done{false};
+  bool failed{false};
+  shard_outcome outcome{};
+};
+
+}  // namespace
+
+component_handle sweep_spec::make_component() const {
+  return component_registry::instance().make(component, options);
+}
+
+void sweep_spec::write(std::ostream& os) const {
+  os << kSpecMagic << "\n";
+  os << "component " << component << "\n";
+  os << "width " << options.width << "\n";
+  os << "signed " << (options.is_signed ? 1 : 0) << "\n";
+  os << "iterations " << options.iterations << "\n";
+  os << "extra-columns " << options.extra_columns << "\n";
+  os << "max-mutations " << options.max_mutations << "\n";
+  os << "lambda " << options.lambda << "\n";
+  os << "threads " << options.threads << "\n";
+  os << "error-tiebreak " << (options.error_tiebreak ? 1 : 0) << "\n";
+  os << "incremental " << (options.incremental ? 1 : 0) << "\n";
+  os << "rng-seed " << options.rng_seed << "\n";
+  os << "distribution " << options.distribution.size();
+  for (const double mass : options.distribution.masses()) {
+    os << ' ' << format_double(mass);
+  }
+  os << "\n";
+  os << "runs-per-target " << plan.runs_per_target << "\n";
+  os << "targets " << plan.targets.size();
+  for (const double target : plan.targets) {
+    os << ' ' << format_double(target);
+  }
+  os << "\n";
+  os << "seed-netlist\n";
+  circuit::write_netlist(os, seed);
+  os << "end\n";
+}
+
+bool sweep_spec::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  write(os);
+  os.flush();
+  return os.good();
+}
+
+std::optional<sweep_spec> sweep_spec::read(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kSpecMagic) {
+    return spec_error("bad magic line");
+  }
+
+  sweep_spec spec;
+  const auto read_field = [&is, &line](const char* key, auto& value) {
+    if (!std::getline(is, line)) return false;
+    std::istringstream ls(line);
+    std::string k;
+    return static_cast<bool>(ls >> k >> value) && k == key;
+  };
+
+  int flag = 0;
+  if (!read_field("component", spec.component)) {
+    return spec_error("missing component line");
+  }
+  if (!read_field("width", spec.options.width)) {
+    return spec_error("missing width line");
+  }
+  if (!read_field("signed", flag)) return spec_error("missing signed line");
+  spec.options.is_signed = flag != 0;
+  if (!read_field("iterations", spec.options.iterations)) {
+    return spec_error("missing iterations line");
+  }
+  if (!read_field("extra-columns", spec.options.extra_columns)) {
+    return spec_error("missing extra-columns line");
+  }
+  if (!read_field("max-mutations", spec.options.max_mutations)) {
+    return spec_error("missing max-mutations line");
+  }
+  if (!read_field("lambda", spec.options.lambda)) {
+    return spec_error("missing lambda line");
+  }
+  if (!read_field("threads", spec.options.threads)) {
+    return spec_error("missing threads line");
+  }
+  if (!read_field("error-tiebreak", flag)) {
+    return spec_error("missing error-tiebreak line");
+  }
+  spec.options.error_tiebreak = flag != 0;
+  if (!read_field("incremental", flag)) {
+    return spec_error("missing incremental line");
+  }
+  spec.options.incremental = flag != 0;
+  if (!read_field("rng-seed", spec.options.rng_seed)) {
+    return spec_error("missing rng-seed line");
+  }
+
+  {
+    if (!std::getline(is, line)) return spec_error("missing distribution");
+    std::istringstream ls(line);
+    std::string k;
+    std::size_t count = 0;
+    if (!(ls >> k >> count) || k != "distribution" || count > (1u << 24)) {
+      return spec_error("bad distribution line");
+    }
+    std::vector<double> masses(count);
+    for (double& mass : masses) {
+      if (!(ls >> mass)) return spec_error("truncated distribution line");
+    }
+    // from_masses, not from_weights: the renormalizing division is not
+    // bit-stable across a text round trip, and the distribution feeds the
+    // component fingerprint — a worker must rebuild the coordinator's pmf
+    // exactly or its checkpoints would be rejected at merge time.
+    if (count > 0) spec.options.distribution = dist::pmf::from_masses(masses);
+  }
+  if (!read_field("runs-per-target", spec.plan.runs_per_target)) {
+    return spec_error("missing runs-per-target line");
+  }
+  {
+    if (!std::getline(is, line)) return spec_error("missing targets line");
+    std::istringstream ls(line);
+    std::string k;
+    std::size_t count = 0;
+    if (!(ls >> k >> count) || k != "targets" || count > (1u << 24)) {
+      return spec_error("bad targets line");
+    }
+    spec.plan.targets.resize(count);
+    for (double& target : spec.plan.targets) {
+      if (!(ls >> target)) return spec_error("truncated targets line");
+    }
+  }
+  spec.options.runs_per_target = spec.plan.runs_per_target;
+
+  if (!std::getline(is, line) || line != "seed-netlist") {
+    return spec_error("missing seed-netlist section");
+  }
+  std::optional<circuit::netlist> seed = circuit::read_netlist(is);
+  if (!seed) return spec_error("malformed seed netlist");
+  spec.seed = *std::move(seed);
+  if (!std::getline(is, line) || line != "end") {
+    return spec_error("missing end marker");
+  }
+  return spec;
+}
+
+std::optional<sweep_spec> sweep_spec::read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return spec_error("cannot open spec file");
+  return read(is);
+}
+
+std::vector<plan_shard> split_plan(const sweep_plan& plan,
+                                   std::size_t shards) {
+  std::vector<plan_shard> parts;
+  if (plan.targets.empty()) return parts;
+  const std::size_t n =
+      std::clamp<std::size_t>(shards, 1, plan.targets.size());
+  const std::size_t base = plan.targets.size() / n;
+  const std::size_t surplus = plan.targets.size() % n;
+  std::size_t next_target = 0;
+  std::size_t job_offset = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    plan_shard part;
+    part.job_offset = job_offset;
+    part.plan.runs_per_target = plan.runs_per_target;
+    const std::size_t take = base + (i < surplus ? 1 : 0);
+    part.plan.targets.assign(plan.targets.begin() + next_target,
+                             plan.targets.begin() + next_target + take);
+    next_target += take;
+    job_offset += part.plan.job_count();
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+namespace {
+
+void emit(const shard_runner_config& config, const shard_state& s,
+          shard_event_kind kind, int exit_code = 0) {
+  if (!config.on_event) return;
+  shard_event event;
+  event.kind = kind;
+  event.shard = s.outcome.shard;
+  event.attempt = s.attempt;
+  event.jobs_done = s.last_jobs;
+  event.jobs_total = s.part.plan.job_count();
+  event.exit_code = exit_code;
+  config.on_event(event);
+}
+
+void spawn_attempt(const shard_runner_config& config, shard_state& s) {
+  ++s.attempt;
+  s.outcome.attempts = s.attempt;
+  s.deadline_killed = false;
+  std::vector<std::string> argv = {config.worker_binary, "--spec",
+                                   s.spec_path, "--checkpoint",
+                                   s.checkpoint_path};
+  if (config.worker_autosave_generations > 0) {
+    argv.push_back("--autosave-generations");
+    argv.push_back(std::to_string(config.worker_autosave_generations));
+  }
+  std::vector<std::string> env = config.worker_env;
+  if (s.attempt == 1 && s.outcome.shard < config.shard_env.size()) {
+    const auto& extra = config.shard_env[s.outcome.shard];
+    env.insert(env.end(), extra.begin(), extra.end());
+  }
+  s.proc = support::subprocess::spawn(argv, env);
+  s.started = clock::now();
+  s.last_growth = s.started;
+  if (!s.proc) {
+    // No process support (or fork failed) — nothing to retry against.
+    s.failed = true;
+    emit(config, s, shard_event_kind::failed, 127);
+    return;
+  }
+  emit(config, s, shard_event_kind::spawned);
+}
+
+void handle_exit(const shard_runner_config& config, shard_state& s,
+                 support::exit_status status) {
+  s.proc.reset();
+  s.outcome.last_exit_code = status.code;
+  if (status.success()) {
+    s.done = true;
+    s.outcome.completed = true;
+    emit(config, s, shard_event_kind::completed);
+    return;
+  }
+  emit(config, s, shard_event_kind::exited, status.code);
+  if (s.attempt >= config.max_attempts) {
+    s.failed = true;
+    emit(config, s, shard_event_kind::failed, status.code);
+    return;
+  }
+  double scale = 1.0;
+  for (std::size_t a = 1; a < s.attempt; ++a) scale *= config.backoff_factor;
+  const auto delay = std::chrono::milliseconds(
+      static_cast<std::int64_t>(config.backoff.count() * scale));
+  s.next_spawn = clock::now() + delay;
+  emit(config, s, shard_event_kind::retrying, status.code);
+}
+
+sweep_result merge_shards(const sweep_spec& spec,
+                          std::vector<shard_state>& states) {
+  sweep_result result;
+  result.by_job.assign(spec.plan.job_count(), std::nullopt);
+  const component_handle component = spec.make_component();
+  pareto_archive archive;
+  for (shard_state& s : states) {
+    s.outcome.jobs_total = s.part.plan.job_count();
+    resume_report report;
+    auto session = search_session::resume_file(s.checkpoint_path, component,
+                                               {}, &report);
+    if (session) {
+      s.outcome.jobs_recovered = report.jobs_recovered;
+      s.outcome.jobs_dropped = report.jobs_dropped;
+      for (std::size_t local = 0; local < session->total_jobs(); ++local) {
+        if (auto design = session->design(local)) {
+          const std::size_t global = s.part.job_offset + local;
+          archive.insert(pareto_point{design->wmed, design->area_um2, global});
+          result.by_job[global] = *std::move(design);
+        }
+      }
+    }
+    result.shards.push_back(s.outcome);
+  }
+  result.front = archive.points();
+  result.complete = true;
+  for (auto& design : result.by_job) {
+    if (design) {
+      result.designs.push_back(*design);
+    } else {
+      result.complete = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+sweep_result run_sweep(const sweep_spec& spec,
+                       const shard_runner_config& config) {
+  std::vector<shard_state> states;
+  if (config.worker_binary.empty() || config.work_dir.empty()) {
+    std::fprintf(stderr,
+                 "axc: run_sweep: worker_binary and work_dir are required\n");
+    sweep_result empty;
+    empty.by_job.assign(spec.plan.job_count(), std::nullopt);
+    return empty;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(config.work_dir, ec);
+
+  const std::vector<plan_shard> parts = split_plan(spec.plan, config.shards);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    shard_state s;
+    s.part = parts[i];
+    s.outcome.shard = i;
+    const std::string stem =
+        config.work_dir + "/shard-" + std::to_string(i);
+    s.spec_path = stem + ".spec";
+    s.checkpoint_path = stem + ".axc";
+    sweep_spec shard_spec;
+    shard_spec.component = spec.component;
+    shard_spec.options = spec.options;
+    shard_spec.options.runs_per_target = s.part.plan.runs_per_target;
+    shard_spec.plan = s.part.plan;
+    shard_spec.seed = spec.seed;
+    if (!shard_spec.write_file(s.spec_path)) {
+      std::fprintf(stderr, "axc: run_sweep: cannot write %s\n",
+                   s.spec_path.c_str());
+      s.failed = true;
+    }
+    states.push_back(std::move(s));
+  }
+
+  const std::size_t max_attempts = std::max<std::size_t>(config.max_attempts, 1);
+  shard_runner_config cfg = config;
+  cfg.max_attempts = max_attempts;
+
+  while (true) {
+    const auto now = clock::now();
+    bool pending = false;
+    for (shard_state& s : states) {
+      if (s.done || s.failed) continue;
+      if (!s.proc) {
+        if (now >= s.next_spawn) spawn_attempt(cfg, s);
+        if (s.done || s.failed) continue;
+        pending = true;
+        continue;
+      }
+      pending = true;
+      if (auto status = s.proc->poll()) {
+        if (s.deadline_killed) s.outcome.timed_out = true;
+        handle_exit(cfg, s, *status);
+        continue;
+      }
+      // Heartbeat: checkpoint growth is the worker's progress signal.
+      const std::size_t jobs = count_checkpoint_jobs(s.checkpoint_path);
+      if (jobs > s.last_jobs) {
+        s.last_jobs = jobs;
+        s.last_growth = now;
+        emit(cfg, s, shard_event_kind::heartbeat);
+      }
+      if (!s.deadline_killed && cfg.attempt_timeout.count() > 0 &&
+          now - s.started > cfg.attempt_timeout) {
+        s.deadline_killed = true;
+        emit(cfg, s, shard_event_kind::timed_out);
+        s.proc->kill_hard();
+      } else if (!s.deadline_killed && cfg.stall_timeout.count() > 0 &&
+                 now - s.last_growth > cfg.stall_timeout) {
+        s.deadline_killed = true;
+        emit(cfg, s, shard_event_kind::stalled);
+        s.proc->kill_hard();
+      }
+    }
+    if (!pending) break;
+    std::this_thread::sleep_for(cfg.poll_interval);
+  }
+
+  return merge_shards(spec, states);
+}
+
+sweep_result run_sweep_inprocess(const sweep_spec& spec,
+                                 session_config options) {
+  sweep_result result;
+  result.by_job.assign(spec.plan.job_count(), std::nullopt);
+  const component_handle component = spec.make_component();
+  if (!component) {
+    std::fprintf(stderr, "axc: run_sweep_inprocess: unknown component '%s'\n",
+                 spec.component.c_str());
+    return result;
+  }
+  search_session session(component, spec.seed, spec.plan,
+                         std::move(options));
+  session.run();
+  result.complete = session.finished();
+  result.designs = session.designs();
+  result.front = session.front();
+  for (std::size_t id = 0; id < session.total_jobs(); ++id) {
+    result.by_job[id] = session.design(id);
+  }
+  return result;
+}
+
+}  // namespace axc::core

@@ -1,0 +1,186 @@
+// Fault-tolerant sharded sweep runtime (the coordinator side).
+//
+// A sweep_plan is embarrassingly parallel across targets, and PR 6's
+// durable checkpoints make every shard's progress recoverable — so a sweep
+// can be split across worker *processes* and survive worker crashes, hangs
+// and truncated autosaves:
+//
+//   * sweep_spec is a self-contained, serializable description of one
+//     sweep (component name + options + plan + seed netlist) — everything
+//     a fresh process needs to rebuild the identical search ("axc-sweep-
+//     spec v1" text format);
+//   * split_plan() cuts the plan into contiguous target sub-plans; global
+//     job ids are shard job_offset + local id, so shard results map back
+//     into the full plan unambiguously;
+//   * run_sweep() writes one spec + checkpoint path per shard, launches
+//     one worker process (tools/axc_worker) per shard, and supervises
+//     them: heartbeats from checkpoint growth, per-attempt deadlines
+//     (attempt_timeout), progress deadlines (stall_timeout), SIGKILL on
+//     deadline, retry with exponential backoff up to max_attempts.  A
+//     relaunched worker *resumes* the shard's autosaved checkpoint, so a
+//     crash only re-runs the jobs that were in flight;
+//   * after supervision, every shard checkpoint (including a failed
+//     shard's partial one) is salvaged through search_session::resume and
+//     merged — designs by global job id, fronts through the order-
+//     independent pareto_archive — so the merged result of an interrupted,
+//     retried sweep is bit-identical to an uninterrupted single-process
+//     run of the same spec (jobs are pure functions of (rng_seed, target,
+//     run_index)).
+//
+// Fault injection for all of the above is deterministic: workers arm
+// support/fault.h plans from the AXC_FAULT environment variable, and
+// shard_env lets a test hand a poison env to one shard's *first* attempt
+// only — the retry must succeed because the state on disk differs, which
+// is exactly the property the kill-resume tests pin down.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "core/component_handle.h"
+#include "core/pareto.h"
+#include "core/search_session.h"
+
+namespace axc::core {
+
+/// Everything needed to rebuild one sweep in a fresh process.  Components
+/// are rebuilt by name through the component_registry with these options;
+/// the cell library and SIMD level are not serialized (workers use the
+/// defaults — both are bit-identical execution knobs or fingerprinted,
+/// so a mismatch is caught at checkpoint resume, not silently mixed).
+struct sweep_spec {
+  std::string component{"mult"};
+  component_options options{};
+  sweep_plan plan{};
+  /// Placeholder shape; callers must supply the component's real seed.
+  circuit::netlist seed{1, 1};
+
+  /// Registry lookup; empty handle when `component` is unknown.
+  [[nodiscard]] component_handle make_component() const;
+
+  /// "axc-sweep-spec v1": strict text format (doubles as %.17g, netlist in
+  /// the circuit::write_netlist format, `end` terminator).  Spec files are
+  /// coordinator-written scratch, so read() is strict — any damage returns
+  /// nullopt.
+  void write(std::ostream& os) const;
+  [[nodiscard]] bool write_file(const std::string& path) const;
+  [[nodiscard]] static std::optional<sweep_spec> read(std::istream& is);
+  [[nodiscard]] static std::optional<sweep_spec> read_file(
+      const std::string& path);
+};
+
+/// One shard of a plan: a contiguous target-major slice, plus the global
+/// job id of its first job.
+struct plan_shard {
+  sweep_plan plan{};
+  std::size_t job_offset{0};
+};
+
+/// Cuts `plan` into at most `shards` contiguous target subsets (never
+/// splitting one target's repetitions across shards); at least one target
+/// per shard, surplus targets distributed to the leading shards.
+[[nodiscard]] std::vector<plan_shard> split_plan(const sweep_plan& plan,
+                                                 std::size_t shards);
+
+enum class shard_event_kind : std::uint8_t {
+  spawned,     ///< worker process launched (attempt counts from 1)
+  heartbeat,   ///< shard checkpoint grew (jobs_done advanced)
+  timed_out,   ///< attempt_timeout exceeded — worker killed
+  stalled,     ///< stall_timeout without checkpoint growth — worker killed
+  exited,      ///< worker exited abnormally (exit_code: 128+sig if killed)
+  retrying,    ///< relaunch scheduled after backoff
+  completed,   ///< worker finished its shard cleanly
+  failed,      ///< attempts exhausted; shard left to checkpoint salvage
+};
+
+/// Supervision progress stream (the process-level analogue of
+/// progress_event).  Serialized: emitted from the coordinator loop only.
+struct shard_event {
+  shard_event_kind kind{shard_event_kind::spawned};
+  std::size_t shard{0};
+  std::size_t attempt{0};
+  std::size_t jobs_done{0};  ///< completed jobs visible in the checkpoint
+  std::size_t jobs_total{0};  ///< jobs in this shard's plan
+  int exit_code{0};           ///< exited/retrying/failed only
+};
+
+struct shard_runner_config {
+  /// Worker processes to split the plan across (clamped to target count).
+  std::size_t shards{2};
+  /// Launch attempts per shard before giving up (>= 1).
+  std::size_t max_attempts{3};
+  /// Hard deadline per attempt; 0 = none.  Enforced by SIGKILL + retry.
+  std::chrono::milliseconds attempt_timeout{0};
+  /// Kill an attempt whose checkpoint shows no new completed job for this
+  /// long; 0 = none.  Catches live-locked / sleeping workers that would
+  /// never hit attempt_timeout sized for the whole shard.
+  std::chrono::milliseconds stall_timeout{0};
+  /// First relaunch delay; doubles (backoff_factor) per further attempt.
+  std::chrono::milliseconds backoff{100};
+  double backoff_factor{2.0};
+  std::chrono::milliseconds poll_interval{20};
+  /// Forwarded to workers (--autosave-generations): mid-job checkpoint
+  /// cadence on top of the per-job autosave workers always run with.
+  std::size_t worker_autosave_generations{0};
+  /// Scratch directory for shard spec + checkpoint files (created if
+  /// missing).  Checkpoints persist across run_sweep calls: re-running a
+  /// killed coordinator resumes where its workers left off.
+  std::string work_dir{};
+  /// Path to the worker executable (tools/axc_worker).
+  std::string worker_binary{};
+  /// Extra "KEY=VALUE" environment entries for every worker attempt.
+  std::vector<std::string> worker_env{};
+  /// Per-shard extra env applied to the FIRST attempt only (index = shard).
+  /// The fault-injection hook: arm AXC_FAULT for one shard's first life and
+  /// the retry runs clean — recovery succeeds because the on-disk state
+  /// differs, not because the fault went away by luck.
+  std::vector<std::vector<std::string>> shard_env{};
+  std::function<void(const shard_event&)> on_event{};
+};
+
+struct shard_outcome {
+  std::size_t shard{0};
+  std::size_t attempts{0};
+  bool completed{false};  ///< a worker attempt exited 0
+  bool timed_out{false};  ///< some attempt was killed on a deadline
+  int last_exit_code{0};
+  std::size_t jobs_total{0};
+  std::size_t jobs_recovered{0};  ///< salvaged from the shard checkpoint
+  std::size_t jobs_dropped{0};    ///< damaged checkpoint records skipped
+};
+
+/// The merged sweep.  `complete` means every job of the plan has a design;
+/// a partial merge (failed shard, damaged checkpoint) still returns every
+/// salvaged design and the front over them.
+struct sweep_result {
+  bool complete{false};
+  /// Completed designs in plan order (missing jobs omitted), equal to an
+  /// uninterrupted search_session::designs() when complete.
+  std::vector<evolved_design> designs{};
+  /// Indexed by global job id (nullopt = job lost with a failed shard).
+  std::vector<std::optional<evolved_design>> by_job{};
+  /// Merged Pareto front; index = global job id.
+  std::vector<pareto_point> front{};
+  std::vector<shard_outcome> shards{};
+};
+
+/// Runs `spec` sharded across supervised worker processes and merges the
+/// surviving checkpoints.  Requires config.worker_binary + work_dir; on
+/// platforms without process support every shard fails and the result is
+/// an empty partial merge.
+[[nodiscard]] sweep_result run_sweep(const sweep_spec& spec,
+                                     const shard_runner_config& config);
+
+/// Single-process reference: the same spec through one in-process
+/// search_session.  run_sweep() of an interrupted, retried sweep must
+/// reproduce this bit for bit — the acceptance property of the runtime.
+[[nodiscard]] sweep_result run_sweep_inprocess(const sweep_spec& spec,
+                                               session_config options = {});
+
+}  // namespace axc::core

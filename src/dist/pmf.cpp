@@ -30,6 +30,26 @@ void pmf::normalize() {
   cdf_.back() = 1.0;  // guard against accumulated rounding
 }
 
+pmf pmf::from_masses(std::span<const double> masses) {
+  pmf p;
+  p.mass_.assign(masses.begin(), masses.end());
+  AXC_EXPECTS(!p.mass_.empty());
+  double total = 0.0;
+  for (const double m : p.mass_) {
+    AXC_EXPECTS(m >= 0.0);
+    total += m;
+  }
+  AXC_EXPECTS(total > 0.0);
+  p.cdf_.resize(p.mass_.size());
+  double run = 0.0;
+  for (std::size_t i = 0; i < p.mass_.size(); ++i) {
+    run += p.mass_[i];
+    p.cdf_[i] = run;
+  }
+  p.cdf_.back() = 1.0;  // guard against accumulated rounding
+  return p;
+}
+
 pmf pmf::uniform(std::size_t n) {
   return pmf(std::vector<double>(n, 1.0));
 }

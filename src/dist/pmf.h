@@ -53,6 +53,16 @@ class pmf {
     return from_weights(std::span<const double>(weights));
   }
 
+  /// Rebuilds a pmf from a masses() vector *verbatim* — no renormalization,
+  /// so a pmf round-trips bit-exactly through text serialization (the
+  /// division in from_weights is not idempotent at the last ulp, which
+  /// would shift every downstream fingerprint and search trajectory).
+  /// Masses must be non-negative with a positive sum.
+  static pmf from_masses(std::span<const double> masses);
+  static pmf from_masses(const std::vector<double>& masses) {
+    return from_masses(std::span<const double>(masses));
+  }
+
   /// Histogram of event counts -> distribution.
   static pmf from_counts(std::span<const std::uint64_t> counts);
   static pmf from_counts(const std::vector<std::uint64_t>& counts) {

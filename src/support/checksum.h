@@ -1,0 +1,47 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
+//
+// Used by the "axc-session v2" checkpoint format to give every section a
+// cheap integrity check: a torn or bit-flipped record fails its CRC and the
+// salvage path drops exactly that record instead of the whole file.  The
+// table is built at compile time; checksumming is allocation-free.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace axc::support {
+
+namespace detail {
+
+consteval std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> crc32_table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// One-shot CRC-32 of a byte range.  `seed` chains partial updates:
+/// crc32(ab) == crc32(b, crc32(a)).
+[[nodiscard]] inline std::uint32_t crc32(std::string_view bytes,
+                                         std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    c = detail::crc32_table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+        (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace axc::support

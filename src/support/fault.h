@@ -1,0 +1,215 @@
+// Deterministic fault injection for crash-recovery testing.
+//
+// Production code (checkpoint writers, workers, schedulers) declares named
+// *injection points*; a test (or a worker process, via the AXC_FAULT
+// environment variable) arms a *fault plan* that tells specific hits of
+// specific points to fire.  Everything is counter-based — no clocks, no
+// randomness — so "worker crashes at generation 120" or "the 2nd checkpoint
+// save is truncated at byte 317" replays identically on every run, which is
+// what turns kill-resume convergence into a ctest assertion.
+//
+// Plan grammar (directives joined by ';' or ','):
+//
+//   point            fire on every hit, payload 1
+//   point=V          fire on every hit, payload V
+//   point@K          fire on exactly the K-th hit (1-based), payload 1
+//   point@K=V        fire on exactly the K-th hit, payload V
+//   point@<=K        fire on hits 1..K (transient-failure shape)
+//   point@<=K=V      same, payload V
+//
+// e.g.  AXC_FAULT='worker-crash-generation@120;session-save-truncate@2=317'
+//
+// Hit counters are per point name and per process; a relaunched worker
+// starts fresh (that is the point: the retry must behave differently only
+// because the *state on disk* differs).  When no plan is armed every hook
+// is a single relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace axc::fault {
+
+namespace detail {
+
+struct directive {
+  std::string point;
+  enum class select : std::uint8_t { all, exactly, at_most } kind{select::all};
+  std::uint64_t k{0};
+  std::uint64_t value{1};
+};
+
+struct counter {
+  std::string point;
+  std::uint64_t hits{0};
+};
+
+struct registry {
+  std::atomic<bool> active{false};
+  std::mutex mutex;
+  std::vector<directive> plan;
+  std::vector<counter> counters;
+
+  static registry& instance() {
+    static registry r;
+    return r;
+  }
+};
+
+inline std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+/// One directive; returns nullopt on a malformed token (the whole token is
+/// ignored — fault plans are test scaffolding, not user input).
+inline std::optional<directive> parse_directive(std::string_view token) {
+  directive d;
+  const std::size_t at = token.find('@');
+  if (at == std::string_view::npos) {
+    // point / point=V
+    const std::size_t eq = token.find('=');
+    d.point = std::string(
+        token.substr(0, eq == std::string_view::npos ? token.size() : eq));
+    if (d.point.empty()) return std::nullopt;
+    if (eq != std::string_view::npos) {
+      const auto v = parse_u64(token.substr(eq + 1));
+      if (!v) return std::nullopt;
+      d.value = *v;
+    }
+    return d;
+  }
+  // point@K / point@K=V / point@<=K / point@<=K=V.  The payload '=' is
+  // searched only after the optional "<=" so the operator's own '=' is
+  // never mistaken for it.
+  d.point = std::string(token.substr(0, at));
+  if (d.point.empty() || d.point.find('=') != std::string::npos) {
+    return std::nullopt;
+  }
+  std::string_view rest = token.substr(at + 1);
+  if (rest.substr(0, 2) == "<=") {
+    d.kind = directive::select::at_most;
+    rest.remove_prefix(2);
+  } else {
+    d.kind = directive::select::exactly;
+  }
+  const std::size_t eq = rest.find('=');
+  const auto k = parse_u64(
+      rest.substr(0, eq == std::string_view::npos ? rest.size() : eq));
+  if (!k) return std::nullopt;
+  d.k = *k;
+  if (eq != std::string_view::npos) {
+    const auto v = parse_u64(rest.substr(eq + 1));
+    if (!v) return std::nullopt;
+    d.value = *v;
+  }
+  return d;
+}
+
+}  // namespace detail
+
+/// True when any fault plan is armed — the only cost hooks pay when testing
+/// is off.
+[[nodiscard]] inline bool active() {
+  return detail::registry::instance().active.load(std::memory_order_relaxed);
+}
+
+/// Replaces the fault plan ("" disarms).  Malformed directives are skipped.
+inline void configure(std::string_view spec) {
+  auto& r = detail::registry::instance();
+  std::scoped_lock lock(r.mutex);
+  r.plan.clear();
+  r.counters.clear();
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view token = spec.substr(start, end - start);
+    if (!token.empty()) {
+      if (auto d = detail::parse_directive(token)) {
+        r.plan.push_back(*std::move(d));
+      }
+    }
+    start = end + 1;
+  }
+  r.active.store(!r.plan.empty(), std::memory_order_relaxed);
+}
+
+/// Arms the plan from the AXC_FAULT environment variable (no-op when
+/// unset/empty) — how worker processes inherit a coordinator's fault plan.
+inline void configure_from_env() {
+  if (const char* spec = std::getenv("AXC_FAULT")) configure(spec);
+}
+
+inline void clear() { configure(""); }
+
+/// Records one hit of `point`; returns the directive payload when an armed
+/// directive selects this hit, nullopt otherwise.  The injection-point hook:
+///
+///   if (axc::fault::fire("session-save-fail")) return false;
+///   if (auto k = axc::fault::fire("session-save-truncate")) truncate(*k);
+[[nodiscard]] inline std::optional<std::uint64_t> fire(
+    std::string_view point) {
+  if (!active()) return std::nullopt;
+  auto& r = detail::registry::instance();
+  std::scoped_lock lock(r.mutex);
+  std::uint64_t hit = 0;
+  for (auto& c : r.counters) {
+    if (c.point == point) {
+      hit = ++c.hits;
+      break;
+    }
+  }
+  if (hit == 0) {
+    r.counters.push_back({std::string(point), 1});
+    hit = 1;
+  }
+  for (const auto& d : r.plan) {
+    if (d.point != point) continue;
+    switch (d.kind) {
+      case detail::directive::select::all:
+        return d.value;
+      case detail::directive::select::exactly:
+        if (hit == d.k) return d.value;
+        break;
+      case detail::directive::select::at_most:
+        if (hit <= d.k) return d.value;
+        break;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Payload of the first directive armed for `point`, without consuming a
+/// hit; nullopt when none.
+[[nodiscard]] inline std::optional<std::uint64_t> peek(
+    std::string_view point) {
+  if (!active()) return std::nullopt;
+  auto& r = detail::registry::instance();
+  std::scoped_lock lock(r.mutex);
+  for (const auto& d : r.plan) {
+    if (d.point == point) return d.value;
+  }
+  return std::nullopt;
+}
+
+/// Hits recorded for `point` so far (0 when never fired or plan disarmed).
+[[nodiscard]] inline std::uint64_t hits(std::string_view point) {
+  auto& r = detail::registry::instance();
+  std::scoped_lock lock(r.mutex);
+  for (const auto& c : r.counters) {
+    if (c.point == point) return c.hits;
+  }
+  return 0;
+}
+
+}  // namespace axc::fault

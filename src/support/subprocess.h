@@ -1,0 +1,136 @@
+// Minimal POSIX child-process supervision for the sharded sweep runtime.
+//
+// core::shard_runner launches one worker process per shard and needs
+// exactly three operations: spawn with extra environment variables,
+// non-blocking exit polling, and a hard kill for deadline enforcement.
+// This wraps fork/execv/waitpid behind that surface; on non-POSIX builds
+// spawn() reports failure and the coordinator degrades gracefully.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define AXC_HAS_SUBPROCESS 1
+#else
+#define AXC_HAS_SUBPROCESS 0
+#endif
+
+namespace axc::support {
+
+/// Exit status of a finished child: exit code for a normal exit,
+/// 128 + signal number when the child was killed (shell convention, so a
+/// SIGKILLed worker reports 137).
+struct exit_status {
+  int code{0};
+  bool signalled{false};
+  [[nodiscard]] bool success() const { return !signalled && code == 0; }
+};
+
+class subprocess {
+ public:
+  subprocess() = default;
+  subprocess(subprocess&& other) noexcept : pid_(other.pid_) {
+    other.pid_ = -1;
+  }
+  subprocess& operator=(subprocess&& other) noexcept {
+    if (this != &other) {
+      reap_if_running();
+      pid_ = other.pid_;
+      other.pid_ = -1;
+    }
+    return *this;
+  }
+  subprocess(const subprocess&) = delete;
+  subprocess& operator=(const subprocess&) = delete;
+  ~subprocess() { reap_if_running(); }
+
+  /// Launches argv[0] with the given arguments; `extra_env` entries
+  /// ("KEY=VALUE") are appended to the inherited environment.  Returns
+  /// nullopt when the platform has no process support or fork fails; an
+  /// unexecutable binary surfaces as exit code 127 from poll().
+  [[nodiscard]] static std::optional<subprocess> spawn(
+      const std::vector<std::string>& argv,
+      const std::vector<std::string>& extra_env = {}) {
+#if AXC_HAS_SUBPROCESS
+    if (argv.empty()) return std::nullopt;
+    const pid_t pid = ::fork();
+    if (pid < 0) return std::nullopt;
+    if (pid == 0) {
+      for (const std::string& kv : extra_env) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos) continue;
+        ::setenv(kv.substr(0, eq).c_str(), kv.substr(eq + 1).c_str(), 1);
+      }
+      std::vector<char*> args;
+      args.reserve(argv.size() + 1);
+      for (const std::string& a : argv) {
+        args.push_back(const_cast<char*>(a.c_str()));
+      }
+      args.push_back(nullptr);
+      ::execv(args[0], args.data());
+      ::_exit(127);  // exec failed; never run atexit handlers in the child
+    }
+    subprocess child;
+    child.pid_ = pid;
+    return child;
+#else
+    (void)argv;
+    (void)extra_env;
+    return std::nullopt;
+#endif
+  }
+
+  [[nodiscard]] bool running() const { return pid_ > 0; }
+
+  /// Non-blocking: nullopt while the child runs; its exit_status once it
+  /// finished (the child is reaped; further polls return nullopt).
+  [[nodiscard]] std::optional<exit_status> poll() {
+#if AXC_HAS_SUBPROCESS
+    if (pid_ <= 0) return std::nullopt;
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == 0) return std::nullopt;
+    pid_ = -1;
+    if (r < 0) return exit_status{127, false};
+    if (WIFSIGNALED(status)) {
+      return exit_status{128 + WTERMSIG(status), true};
+    }
+    return exit_status{WEXITSTATUS(status), false};
+#else
+    return std::nullopt;
+#endif
+  }
+
+  /// SIGKILL — deadline enforcement, not a polite shutdown.  The child is
+  /// reaped by the next poll() (or the destructor).
+  void kill_hard() {
+#if AXC_HAS_SUBPROCESS
+    if (pid_ > 0) ::kill(pid_, SIGKILL);
+#endif
+  }
+
+ private:
+  void reap_if_running() {
+#if AXC_HAS_SUBPROCESS
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+#endif
+  }
+
+#if AXC_HAS_SUBPROCESS
+  pid_t pid_{-1};
+#else
+  int pid_{-1};
+#endif
+};
+
+}  // namespace axc::support

@@ -4,13 +4,20 @@
 // concurrently; a generation is a submit-all / wait_idle() cycle.  Workers
 // are started once per pool (not per generation), tasks are plain
 // std::function thunks, and wait_idle() blocks until the queue is drained
-// AND every in-flight task has finished.  Tasks must not throw (they run
-// under noexcept semantics; an escaping exception terminates).
+// AND every in-flight task has finished.
+//
+// A throwing task does NOT terminate the process: the first escaping
+// exception is captured on the worker and rethrown to the submitter by the
+// next wait_idle() (after the drain, so sibling tasks still complete and
+// slot-indexed results stay coherent).  Later exceptions from the same
+// batch are dropped — one failure report per join, like std::async.  The
+// no-throw path is unchanged and allocation-free.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -56,10 +63,17 @@ class thread_pool {
     work_available_.notify_one();
   }
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task has completed, then rethrows the
+  /// first exception any of them raised (clearing it, so the pool stays
+  /// usable for the next batch).
   void wait_idle() {
     std::unique_lock lock(mutex_);
     idle_.wait(lock, [this] { return pending_ == 0; });
+    if (first_error_) {
+      std::exception_ptr error = std::exchange(first_error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
   }
 
   /// Drops tasks that are still queued (not yet picked up by a worker) and
@@ -91,7 +105,12 @@ class thread_pool {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
-      task();
+      try {
+        task();
+      } catch (...) {
+        std::unique_lock lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
       {
         std::unique_lock lock(mutex_);
         if (--pending_ == 0) idle_.notify_all();
@@ -104,6 +123,9 @@ class thread_pool {
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::size_t pending_{0};
+  /// First exception captured from a task since the last wait_idle();
+  /// discarded (not rethrown) if the pool is destroyed without a join.
+  std::exception_ptr first_error_;
   bool stopping_{false};
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/fault.h"
+
+namespace axc::fault {
+namespace {
+
+/// Every test leaves the process-global registry disarmed.
+class fault_inject : public ::testing::Test {
+ protected:
+  void TearDown() override { clear(); }
+};
+
+TEST_F(fault_inject, disarmed_by_default) {
+  clear();
+  EXPECT_FALSE(active());
+  EXPECT_FALSE(fire("any-point").has_value());
+  EXPECT_EQ(hits("any-point"), 0u);
+}
+
+TEST_F(fault_inject, bare_point_fires_every_hit_with_payload_one) {
+  configure("save-fail");
+  EXPECT_TRUE(active());
+  for (int i = 0; i < 3; ++i) {
+    const auto payload = fire("save-fail");
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(*payload, 1u);
+  }
+  EXPECT_FALSE(fire("other-point").has_value());
+}
+
+TEST_F(fault_inject, exact_hit_selector) {
+  configure("crash@3");
+  EXPECT_FALSE(fire("crash").has_value());  // hit 1
+  EXPECT_FALSE(fire("crash").has_value());  // hit 2
+  EXPECT_TRUE(fire("crash").has_value());   // hit 3
+  EXPECT_FALSE(fire("crash").has_value());  // hit 4
+  EXPECT_EQ(hits("crash"), 4u);
+}
+
+TEST_F(fault_inject, at_most_selector_models_transient_failures) {
+  configure("flaky@<=2");
+  EXPECT_TRUE(fire("flaky").has_value());
+  EXPECT_TRUE(fire("flaky").has_value());
+  EXPECT_FALSE(fire("flaky").has_value());  // transient fault healed
+}
+
+TEST_F(fault_inject, payloads_reach_the_injection_point) {
+  configure("truncate@2=317");
+  EXPECT_FALSE(fire("truncate").has_value());
+  const auto payload = fire("truncate");
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, 317u);
+}
+
+TEST_F(fault_inject, multiple_directives_and_separators) {
+  configure("a@1;b=9,c@<=1=4");
+  EXPECT_TRUE(fire("a").has_value());
+  EXPECT_FALSE(fire("a").has_value());
+  EXPECT_EQ(fire("b").value_or(0), 9u);
+  EXPECT_EQ(fire("c").value_or(0), 4u);
+  EXPECT_FALSE(fire("c").has_value());
+}
+
+TEST_F(fault_inject, malformed_directives_are_skipped) {
+  configure("@3;=5;good@x;ok@2=zz;real@1");
+  // Only "real@1" parsed; everything else is ignored, not fatal.
+  EXPECT_FALSE(fire("good").has_value());
+  EXPECT_FALSE(fire("ok").has_value());
+  EXPECT_TRUE(fire("real").has_value());
+}
+
+TEST_F(fault_inject, peek_does_not_consume_hits) {
+  configure("crash@1=7");
+  EXPECT_EQ(peek("crash").value_or(0), 7u);
+  EXPECT_EQ(hits("crash"), 0u);
+  EXPECT_TRUE(fire("crash").has_value());
+}
+
+TEST_F(fault_inject, configure_resets_counters) {
+  configure("p@2");
+  (void)fire("p");
+  configure("p@2");
+  EXPECT_EQ(hits("p"), 0u);
+  (void)fire("p");
+  EXPECT_TRUE(fire("p").has_value());  // hit 2 of the fresh plan
+}
+
+TEST_F(fault_inject, clear_disarms) {
+  configure("p");
+  EXPECT_TRUE(active());
+  clear();
+  EXPECT_FALSE(active());
+  EXPECT_FALSE(fire("p").has_value());
+}
+
+TEST_F(fault_inject, configure_from_env_arms_the_variable_plan) {
+  ::setenv("AXC_FAULT", "env-point@1=5", 1);
+  configure_from_env();
+  ::unsetenv("AXC_FAULT");
+  EXPECT_EQ(fire("env-point").value_or(0), 5u);
+}
+
+}  // namespace
+}  // namespace axc::fault

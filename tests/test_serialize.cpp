@@ -85,6 +85,66 @@ TEST(serialize, minimal_wire_netlist) {
   EXPECT_EQ(restored->output(0), 1u);
 }
 
+TEST(serialize, rejects_malformed_inputs_cleanly) {
+  // Table of hostile inputs: every one must return nullopt, never crash or
+  // accept garbage.  (Robustness floor for checkpoint salvage, which feeds
+  // arbitrary corrupted bytes through this parser.)
+  const char* cases[] = {
+      "",
+      "\n",
+      "axcirc-netlist v2\ninputs 2\noutputs 1\nout 0\n",
+      "axcirc-netlist v1\ninputs\noutputs 1\nout 0\n",
+      "axcirc-netlist v1\ninputs -2\noutputs 1\nout 0\n",
+      "axcirc-netlist v1\ninputs 2\noutputs\nout 0\n",
+      "axcirc-netlist v1\ninputs 2\noutputs 0\nout\n",
+      "axcirc-netlist v1\ninputs 2\noutputs 1\ngate and 0\nout 0\n",
+      "axcirc-netlist v1\ninputs 2\noutputs 1\ngate and 0 1 9\nout 2\n",
+      "axcirc-netlist v1\ninputs 2\noutputs 1\nout 0 1\n",
+      "axcirc-netlist v1\ninputs 2\noutputs 2\nout 0\n",
+      "axcirc-netlist v1\ninputs 2\noutputs 1\nout banana\n",
+      "axcirc-netlist v1\ninputs 2\noutputs 1\ngarbage\nout 0\n",
+  };
+  for (const char* text : cases) {
+    EXPECT_FALSE(from_text(text).has_value()) << "accepted: " << text;
+  }
+}
+
+TEST(serialize, every_prefix_truncation_fails_or_roundtrips) {
+  // Cutting the text at EVERY byte offset must either fail cleanly or (at
+  // the full length) parse back the original — a truncated checkpoint
+  // record can end a netlist at any byte.
+  const netlist m = mult::unsigned_multiplier(3);
+  const std::string text = to_text(m);
+  // Stop before the final newline: without it the last "out" line still
+  // parses (getline does not require a trailing '\n'), which IS the
+  // original netlist.
+  for (std::size_t cut = 0; cut + 1 < text.size(); ++cut) {
+    const auto parsed = from_text(text.substr(0, cut));
+    // A prefix can only be valid if a shorter "out" line parses; the
+    // multiplier's trailing output addresses make every strict prefix
+    // either unparsable or a *different* netlist — never the original.
+    if (parsed) EXPECT_NE(*parsed, m) << "cut " << cut;
+  }
+  const auto full = from_text(text);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, m);
+}
+
+TEST(serialize, single_bit_flips_never_crash) {
+  // Flip one bit at a time through the whole serialization; the parser
+  // must always terminate with either a clean failure or some valid parse.
+  const netlist m = mult::unsigned_multiplier(2);
+  const std::string text = to_text(m);
+  for (std::size_t byte = 0; byte < text.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = text;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      (void)from_text(mutated);  // must not crash/hang; result is free
+    }
+  }
+  SUCCEED();
+}
+
 TEST(serialize, preserves_function_through_text) {
   const netlist m = mult::broken_array_multiplier(4, 1, 3);
   const auto restored = from_text(to_text(m));

@@ -1,0 +1,310 @@
+// Sharded sweep runtime tests: plan splitting, spec serialization, and the
+// PR's acceptance property — a sweep interrupted by injected worker
+// crashes, a truncated autosave and enforced deadlines, then retried and
+// merged, reproduces the uninterrupted session's designs and Pareto front
+// bit-exactly, for both component classes and at any job_threads setting.
+//
+// Process-level cases launch the real tools/axc_worker binary; ctest
+// points AXC_WORKER_BIN at it (see CMakeLists), and the cases skip when
+// the variable is unset (e.g. running the test binary by hand).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "core/shard_runner.h"
+#include "dist/pmf.h"
+#include "mult/adders.h"
+#include "mult/multipliers.h"
+
+namespace axc::core {
+namespace {
+
+sweep_spec mult_spec_small() {
+  sweep_spec spec;
+  spec.component = "mult";
+  spec.options.width = 4;
+  spec.options.distribution = dist::pmf::half_normal(16, 4.0);
+  spec.options.iterations = 150;
+  spec.options.extra_columns = 16;
+  spec.options.rng_seed = 13;
+  spec.plan.targets = {0.002, 0.02};
+  spec.plan.runs_per_target = 2;
+  spec.options.runs_per_target = 2;
+  spec.seed = mult::unsigned_multiplier(4);
+  return spec;
+}
+
+sweep_spec adder_spec_small() {
+  sweep_spec spec;
+  spec.component = "adder";
+  spec.options.width = 6;
+  spec.options.distribution = dist::pmf::half_normal(64, 16.0);
+  spec.options.iterations = 120;
+  spec.options.extra_columns = 12;
+  spec.options.rng_seed = 7;
+  spec.plan.targets = {0.001, 0.01};
+  spec.plan.runs_per_target = 2;
+  spec.options.runs_per_target = 2;
+  spec.seed = mult::ripple_adder(6);
+  return spec;
+}
+
+const char* worker_binary() { return std::getenv("AXC_WORKER_BIN"); }
+
+std::string fresh_work_dir(const char* name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       (std::string("axc-shard-test-") + name + "-" +
+        std::to_string(::getpid())))
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+void expect_same_result(const sweep_result& a, const sweep_result& b) {
+  ASSERT_EQ(a.designs.size(), b.designs.size());
+  for (std::size_t i = 0; i < a.designs.size(); ++i) {
+    EXPECT_EQ(a.designs[i].netlist, b.designs[i].netlist) << "design " << i;
+    EXPECT_EQ(a.designs[i].wmed, b.designs[i].wmed) << "design " << i;
+    EXPECT_EQ(a.designs[i].area_um2, b.designs[i].area_um2) << "design " << i;
+    EXPECT_EQ(a.designs[i].target, b.designs[i].target) << "design " << i;
+    EXPECT_EQ(a.designs[i].run_index, b.designs[i].run_index)
+        << "design " << i;
+    EXPECT_EQ(a.designs[i].evaluations, b.designs[i].evaluations)
+        << "design " << i;
+  }
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i], b.front[i]) << "front point " << i;
+  }
+}
+
+TEST(split_plan, contiguous_target_major_with_exact_offsets) {
+  sweep_plan plan;
+  plan.targets = {0.1, 0.2, 0.3, 0.4, 0.5};
+  plan.runs_per_target = 3;
+  const auto parts = split_plan(plan, 2);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].plan.targets, (std::vector<double>{0.1, 0.2, 0.3}));
+  EXPECT_EQ(parts[0].job_offset, 0u);
+  EXPECT_EQ(parts[1].plan.targets, (std::vector<double>{0.4, 0.5}));
+  EXPECT_EQ(parts[1].job_offset, 9u);
+  EXPECT_EQ(parts[0].plan.runs_per_target, 3u);
+}
+
+TEST(split_plan, clamps_shards_to_target_count) {
+  sweep_plan plan;
+  plan.targets = {0.1, 0.2};
+  plan.runs_per_target = 1;
+  EXPECT_EQ(split_plan(plan, 8).size(), 2u);
+  EXPECT_EQ(split_plan(plan, 0).size(), 1u);
+  EXPECT_TRUE(split_plan(sweep_plan{}, 4).empty());
+}
+
+TEST(split_plan, offsets_partition_the_full_plan) {
+  sweep_plan plan;
+  plan.targets = {1, 2, 3, 4, 5, 6, 7};
+  plan.runs_per_target = 2;
+  const auto parts = split_plan(plan, 3);
+  std::size_t next = 0;
+  std::size_t targets = 0;
+  for (const auto& part : parts) {
+    EXPECT_EQ(part.job_offset, next);
+    next += part.plan.job_count();
+    targets += part.plan.targets.size();
+  }
+  EXPECT_EQ(next, plan.job_count());
+  EXPECT_EQ(targets, plan.targets.size());
+}
+
+TEST(sweep_spec, round_trips_bit_exactly) {
+  const sweep_spec original = mult_spec_small();
+  std::ostringstream os;
+  original.write(os);
+  std::istringstream is(os.str());
+  const auto restored = sweep_spec::read(is);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->component, original.component);
+  EXPECT_EQ(restored->plan.targets, original.plan.targets);
+  EXPECT_EQ(restored->plan.runs_per_target, original.plan.runs_per_target);
+  EXPECT_EQ(restored->seed, original.seed);
+  // The distribution must rebuild mass-for-mass (no renormalization
+  // drift): the component fingerprint — and thus checkpoint
+  // compatibility between coordinator and workers — depends on it.
+  EXPECT_EQ(restored->options.distribution, original.options.distribution);
+  EXPECT_EQ(restored->make_component().fingerprint(),
+            original.make_component().fingerprint());
+}
+
+TEST(sweep_spec, second_generation_round_trip_is_stable) {
+  // write(read(write(x))) == write(read(...)): the format is a fixpoint,
+  // so shard specs re-derived from parsed specs stay compatible.
+  const sweep_spec original = adder_spec_small();
+  std::ostringstream first;
+  original.write(first);
+  std::istringstream is1(first.str());
+  const auto once = sweep_spec::read(is1);
+  ASSERT_TRUE(once.has_value());
+  std::ostringstream second;
+  once->write(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(sweep_spec, read_rejects_damage) {
+  const sweep_spec original = mult_spec_small();
+  std::ostringstream os;
+  original.write(os);
+  const std::string text = os.str();
+  const std::size_t stride = text.size() / 16 + 1;
+  for (std::size_t cut = 0; cut + 1 < text.size(); cut += stride) {
+    std::istringstream is(text.substr(0, cut));
+    EXPECT_FALSE(sweep_spec::read(is).has_value()) << "cut " << cut;
+  }
+  std::istringstream garbage("axc-sweep-spec v9\n");
+  EXPECT_FALSE(sweep_spec::read(garbage).has_value());
+}
+
+TEST(run_sweep_inprocess, matches_plain_session_at_any_job_threads) {
+  const sweep_spec spec = mult_spec_small();
+  const sweep_result serial = run_sweep_inprocess(spec);
+  ASSERT_TRUE(serial.complete);
+  session_config parallel_options;
+  parallel_options.job_threads = 3;
+  const sweep_result parallel = run_sweep_inprocess(spec, parallel_options);
+  ASSERT_TRUE(parallel.complete);
+  expect_same_result(parallel, serial);
+}
+
+/// The acceptance property: crash + truncated autosave + retry == the
+/// uninterrupted run, bit for bit.
+void run_kill_resume_identity(const sweep_spec& spec, const char* name) {
+  const char* worker = worker_binary();
+  if (!worker) GTEST_SKIP() << "AXC_WORKER_BIN not set";
+
+  const sweep_result reference = run_sweep_inprocess(spec);
+  ASSERT_TRUE(reference.complete);
+
+  shard_runner_config config;
+  config.shards = 2;
+  config.max_attempts = 3;
+  config.worker_autosave_generations = 16;
+  config.work_dir = fresh_work_dir(name);
+  config.worker_binary = worker;
+  // Shard 0, first life only: the last autosave before the crash (hit 3 =
+  // generation tick 48 at a 16-tick cadence) is torn at byte 350, then the
+  // process dies hard at the 60th generation tick — so the relaunch faces
+  // exactly the torn file (salvaged or rejected-then-fresh, both must
+  // reconverge).
+  config.shard_env = {
+      {"AXC_FAULT=session-save-truncate@3=350;worker-crash-generation@60"}};
+
+  const sweep_result sharded = run_sweep(spec, config);
+  ASSERT_GE(sharded.shards.size(), 2u);
+  EXPECT_GE(sharded.shards[0].attempts, 2u)
+      << "the injected crash did not force a retry";
+  EXPECT_EQ(sharded.shards[0].last_exit_code, 0);
+  ASSERT_TRUE(sharded.complete);
+  expect_same_result(sharded, reference);
+
+  // ...and the merged result is also invariant to the reference's
+  // job-level parallelism (ties in the archive break by job id, not by
+  // completion order).
+  session_config parallel_options;
+  parallel_options.job_threads = 2;
+  const sweep_result parallel = run_sweep_inprocess(spec, parallel_options);
+  expect_same_result(sharded, parallel);
+
+  std::error_code ec;
+  std::filesystem::remove_all(config.work_dir, ec);
+}
+
+TEST(shard_runner, kill_resume_identity_mult) {
+  run_kill_resume_identity(mult_spec_small(), "mult");
+}
+
+TEST(shard_runner, kill_resume_identity_adder) {
+  run_kill_resume_identity(adder_spec_small(), "adder");
+}
+
+TEST(shard_runner, stalled_worker_is_killed_and_retried) {
+  const char* worker = worker_binary();
+  if (!worker) GTEST_SKIP() << "AXC_WORKER_BIN not set";
+
+  const sweep_spec spec = mult_spec_small();
+  const sweep_result reference = run_sweep_inprocess(spec);
+
+  shard_runner_config config;
+  config.shards = 2;
+  config.max_attempts = 2;
+  // Generous enough that a legitimately-working shard (which completes a
+  // job, i.e. grows its checkpoint, well within this) is never killed,
+  // even under sanitizers.
+  config.stall_timeout = std::chrono::milliseconds(2500);
+  config.work_dir = fresh_work_dir("stall");
+  config.worker_binary = worker;
+  // First life of shard 1 sleeps 30s before doing anything: no checkpoint
+  // growth, so the stall deadline must SIGKILL it long before that.
+  config.shard_env = {{}, {"AXC_FAULT=worker-sleep-start=30000"}};
+
+  const auto start = std::chrono::steady_clock::now();
+  const sweep_result sharded = run_sweep(spec, config);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(25)) << "stall kill did not fire";
+  ASSERT_GE(sharded.shards.size(), 2u);
+  EXPECT_TRUE(sharded.shards[1].timed_out);
+  EXPECT_GE(sharded.shards[1].attempts, 2u);
+  ASSERT_TRUE(sharded.complete);
+  expect_same_result(sharded, reference);
+
+  std::error_code ec;
+  std::filesystem::remove_all(config.work_dir, ec);
+}
+
+TEST(shard_runner, exhausted_attempts_yield_partial_merge) {
+  const char* worker = worker_binary();
+  if (!worker) GTEST_SKIP() << "AXC_WORKER_BIN not set";
+
+  const sweep_spec spec = mult_spec_small();
+  const sweep_result reference = run_sweep_inprocess(spec);
+
+  shard_runner_config config;
+  config.shards = 2;
+  config.max_attempts = 1;  // no retry: the crash is fatal for shard 0
+  config.worker_autosave_generations = 16;
+  config.work_dir = fresh_work_dir("partial");
+  config.worker_binary = worker;
+  config.shard_env = {{"AXC_FAULT=worker-crash-generation@40"}};
+
+  const sweep_result sharded = run_sweep(spec, config);
+  ASSERT_GE(sharded.shards.size(), 2u);
+  EXPECT_FALSE(sharded.shards[0].completed);
+  EXPECT_TRUE(sharded.shards[1].completed);
+  EXPECT_FALSE(sharded.complete);
+  // Shard 1's jobs (global ids 2, 3) still merged, bit-equal to the
+  // reference; shard 0's jobs are lost or partially salvaged from its
+  // autosaves, never wrong.
+  ASSERT_EQ(sharded.by_job.size(), 4u);
+  for (std::size_t id = 2; id < 4; ++id) {
+    ASSERT_TRUE(sharded.by_job[id].has_value()) << "job " << id;
+    EXPECT_EQ(sharded.by_job[id]->netlist, reference.by_job[id]->netlist);
+    EXPECT_EQ(sharded.by_job[id]->wmed, reference.by_job[id]->wmed);
+  }
+  for (std::size_t id = 0; id < 2; ++id) {
+    if (sharded.by_job[id]) {
+      EXPECT_EQ(sharded.by_job[id]->netlist, reference.by_job[id]->netlist)
+          << "salvaged job " << id;
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(config.work_dir, ec);
+}
+
+}  // namespace
+}  // namespace axc::core

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "support/thread_pool.h"
@@ -76,6 +77,65 @@ TEST(thread_pool, clear_pending_drops_only_queued_tasks) {
   pool.submit([&after] { after.fetch_add(1); });
   pool.wait_idle();
   EXPECT_EQ(after.load(), 1);
+}
+
+TEST(thread_pool, rethrows_task_exception_at_wait_idle) {
+  thread_pool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 3) throw std::runtime_error("task 3 failed");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The join happens before the rethrow: every sibling still ran.
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(thread_pool, exception_is_cleared_and_pool_stays_usable) {
+  thread_pool pool(2);
+  pool.submit([] { throw std::logic_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  // Cleared by the rethrow: the next batch is unaffected.
+  pool.wait_idle();
+  std::atomic<int> after{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&after] { after.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(after.load(), 20);
+}
+
+TEST(thread_pool, reports_one_failure_per_join) {
+  // Several tasks throw in one batch; exactly one exception surfaces
+  // (which one is scheduler-dependent), the rest are dropped.
+  thread_pool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("batch failure"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // no second report
+}
+
+TEST(thread_pool, destructor_discards_unjoined_exception) {
+  // A pool torn down with a captured exception must not terminate.
+  thread_pool pool(1);
+  pool.submit([] { throw std::runtime_error("never joined"); });
+}
+
+TEST(parallel_for, propagates_exceptions_after_full_fanout) {
+  thread_pool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(parallel_for(pool, hits.size(),
+                            [&hits](std::size_t i) {
+                              hits[i].fetch_add(1);
+                              if (i == 17) throw std::runtime_error("lane 17");
+                            }),
+               std::runtime_error);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
 }
 
 TEST(parallel_for, covers_every_index_exactly_once) {
