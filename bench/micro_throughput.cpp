@@ -12,6 +12,7 @@
 #include "cgp/genotype.h"
 #include "circuit/activity.h"
 #include "circuit/simulator.h"
+#include "core/result_store.h"
 #include "core/search_session.h"
 #include "core/wmed_approximator.h"
 #include "data/digits.h"
@@ -512,6 +513,56 @@ void bm_checkpoint_resume(benchmark::State& state) {
                           static_cast<std::int64_t>(text.size()));
 }
 BENCHMARK(bm_checkpoint_resume);
+
+void bm_store_put(benchmark::State& state) {
+  // Result-store publish cost for a checkpoint-sized payload: content
+  // hash (FNV-1a) + CRC32 framing + durable object write (tmp + fsync +
+  // rename + dir fsync) + index append with its own fsync.  Dominated by
+  // the syscalls; this is what bounds the coordinator's publish phase.
+  std::ostringstream os;
+  checkpoint_bench_session().save(os);
+  const std::string payload = os.str();
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "axc-bench-store-put")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  auto store = core::result_store::open(root);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    // A fresh key each iteration: the idempotent same-content fast path
+    // would otherwise skip the object write being measured.
+    benchmark::DoNotOptimize(store->put(
+        "session", core::result_store::format_key(++key), payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+  std::filesystem::remove_all(root, ec);
+}
+BENCHMARK(bm_store_put);
+
+void bm_store_get(benchmark::State& state) {
+  // Lookup + read + full CRC verification of header and payload — the
+  // serving path a cached front answer pays before trusting stored bytes.
+  std::ostringstream os;
+  checkpoint_bench_session().save(os);
+  const std::string payload = os.str();
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "axc-bench-store-get")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  auto store = core::result_store::open(root);
+  const std::string key = core::result_store::format_key(42);
+  benchmark::DoNotOptimize(store->put("session", key, payload));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->get("session", key)->size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+  std::filesystem::remove_all(root, ec);
+}
+BENCHMARK(bm_store_get);
 
 void bm_compiled_table_fill(benchmark::State& state) {
   // Exhaustive characterization through the wide-lane batch path (what the

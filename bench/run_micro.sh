@@ -96,6 +96,8 @@ WATCHED = (
     "bm_evolver_generation_adder",
     "bm_checkpoint_save",
     "bm_checkpoint_resume",
+    "bm_store_put",
+    "bm_store_get",
 )
 THRESHOLD = 1.25
 

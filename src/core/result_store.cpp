@@ -1,0 +1,591 @@
+#include "core/result_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <system_error>
+
+#include "support/checksum.h"
+#include "support/fault.h"
+#include "support/io.h"
+
+namespace axc::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kObjectMagic = "axc-object v1";
+constexpr std::string_view kIndexMagic = "axc-store-index v1";
+constexpr std::string_view kFrontMagic = "axc-front v1";
+
+// Fault points of the store write path (see result_store.h header comment).
+constexpr std::string_view kFaultPutFail = "store-put-fail";
+constexpr std::string_view kFaultPutTruncate = "store-put-truncate";
+constexpr std::string_view kFaultPutDirsync = "store-put-dirsync-fail";
+constexpr std::string_view kFaultIndexAppendFail = "store-index-append-fail";
+constexpr std::string_view kFaultCrashMidAppend =
+    "store-crash-mid-index-append";
+
+[[nodiscard]] std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return std::string(buf);
+}
+
+[[nodiscard]] std::string hex8(std::uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", v);
+  return std::string(buf);
+}
+
+[[nodiscard]] std::optional<std::uint64_t> parse_hex64(std::string_view s) {
+  if (s.empty() || s.size() > 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+[[nodiscard]] bool is_token(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+/// Content address: the hash covers kind and key as well as the payload, so
+/// the same bytes stored under two names are two objects — each object file
+/// is self-describing and an index rebuild recovers the full mapping.
+[[nodiscard]] std::uint64_t content_hash(std::string_view kind,
+                                         std::string_view key,
+                                         std::string_view payload) {
+  std::uint64_t h = support::fnv1a64(kind);
+  h = support::fnv1a64("\n", h);
+  h = support::fnv1a64(key, h);
+  h = support::fnv1a64("\n", h);
+  return support::fnv1a64(payload, h);
+}
+
+/// Object file = framing header (self-CRC'd) + raw payload bytes.
+[[nodiscard]] std::string encode_object(const store_entry& entry,
+                                        std::string_view payload) {
+  std::string header;
+  header += kObjectMagic;
+  header += "\nkind ";
+  header += entry.kind;
+  header += "\nkey ";
+  header += entry.key;
+  header += "\nsize ";
+  header += std::to_string(entry.size);
+  header += "\npayload-crc ";
+  header += hex8(entry.payload_crc);
+  header += '\n';
+  std::string out = header;
+  out += "crc ";
+  out += hex8(support::crc32(header));
+  out += '\n';
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+struct decoded_object {
+  store_entry entry;
+  std::string payload;
+};
+
+/// Strict parse + verify of one object file's bytes.  nullopt on any framing
+/// damage, CRC mismatch, or size disagreement — the callers (get/scrub/
+/// rebuild) treat that uniformly as "corrupt object".
+[[nodiscard]] std::optional<decoded_object> decode_object(
+    std::string_view bytes) {
+  // Header = first five lines; the CRC line follows; payload is the rest.
+  std::size_t pos = 0;
+  for (int line = 0; line < 5; ++line) {
+    const std::size_t nl = bytes.find('\n', pos);
+    if (nl == std::string_view::npos) return std::nullopt;
+    pos = nl + 1;
+  }
+  const std::string_view header = bytes.substr(0, pos);
+  const std::size_t crc_nl = bytes.find('\n', pos);
+  if (crc_nl == std::string_view::npos) return std::nullopt;
+  const std::string_view crc_line = bytes.substr(pos, crc_nl - pos);
+  if (crc_line.substr(0, 4) != "crc ") return std::nullopt;
+  const auto stored_crc = parse_hex64(crc_line.substr(4));
+  if (!stored_crc || *stored_crc != support::crc32(header)) {
+    return std::nullopt;
+  }
+
+  // Header verified; parse its fields (line-by-line, fixed order).
+  std::istringstream is{std::string(header)};
+  std::string line;
+  if (!std::getline(is, line) || line != kObjectMagic) return std::nullopt;
+  decoded_object obj;
+  if (!std::getline(is, line) || line.rfind("kind ", 0) != 0) {
+    return std::nullopt;
+  }
+  obj.entry.kind = line.substr(5);
+  if (!std::getline(is, line) || line.rfind("key ", 0) != 0) {
+    return std::nullopt;
+  }
+  obj.entry.key = line.substr(4);
+  if (!is_token(obj.entry.kind) || !is_token(obj.entry.key)) {
+    return std::nullopt;
+  }
+  if (!std::getline(is, line) || line.rfind("size ", 0) != 0) {
+    return std::nullopt;
+  }
+  try {
+    obj.entry.size = std::stoull(line.substr(5));
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (!std::getline(is, line) || line.rfind("payload-crc ", 0) != 0) {
+    return std::nullopt;
+  }
+  const auto pcrc = parse_hex64(line.substr(12));
+  if (!pcrc) return std::nullopt;
+  obj.entry.payload_crc = static_cast<std::uint32_t>(*pcrc);
+
+  const std::string_view payload = bytes.substr(crc_nl + 1);
+  if (payload.size() != obj.entry.size) return std::nullopt;
+  if (support::crc32(payload) != obj.entry.payload_crc) return std::nullopt;
+  obj.entry.hash = content_hash(obj.entry.kind, obj.entry.key, payload);
+  obj.payload.assign(payload.data(), payload.size());
+  return obj;
+}
+
+[[nodiscard]] std::optional<std::string> read_file_bytes(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream os;
+  os << is.rdbuf();
+  if (!is) return std::nullopt;
+  return std::move(os).str();
+}
+
+/// One index journal record, the same self-CRC'd line shape as the session
+/// v2 format: `put <kind> <key> <hash16> <size> <payloadcrc8> crc <8hex>`,
+/// CRC over everything before " crc".
+[[nodiscard]] std::string encode_index_record(const store_entry& entry) {
+  std::string body = "put ";
+  body += entry.kind;
+  body += ' ';
+  body += entry.key;
+  body += ' ';
+  body += hex16(entry.hash);
+  body += ' ';
+  body += std::to_string(entry.size);
+  body += ' ';
+  body += hex8(entry.payload_crc);
+  std::string line = body;
+  line += " crc ";
+  line += hex8(support::crc32(body));
+  line += '\n';
+  return line;
+}
+
+[[nodiscard]] std::optional<store_entry> decode_index_record(
+    std::string_view line) {
+  const std::size_t crc_at = line.rfind(" crc ");
+  if (crc_at == std::string_view::npos) return std::nullopt;
+  const auto stored = parse_hex64(line.substr(crc_at + 5));
+  if (!stored || *stored != support::crc32(line.substr(0, crc_at))) {
+    return std::nullopt;
+  }
+  std::istringstream is{std::string(line.substr(0, crc_at))};
+  std::string tag, kind, key, hash_hex, crc_hex;
+  std::uint64_t size = 0;
+  if (!(is >> tag >> kind >> key >> hash_hex >> size >> crc_hex) ||
+      tag != "put") {
+    return std::nullopt;
+  }
+  const auto hash = parse_hex64(hash_hex);
+  const auto pcrc = parse_hex64(crc_hex);
+  if (!hash || !pcrc) return std::nullopt;
+  store_entry e;
+  e.kind = std::move(kind);
+  e.key = std::move(key);
+  e.hash = *hash;
+  e.size = size;
+  e.payload_crc = static_cast<std::uint32_t>(*pcrc);
+  return e;
+}
+
+[[nodiscard]] std::string encode_index_header() {
+  std::string line(kIndexMagic);
+  line += " crc ";
+  line += hex8(support::crc32(kIndexMagic));
+  line += '\n';
+  return line;
+}
+
+void upsert(std::vector<store_entry>& index, store_entry entry) {
+  for (auto& e : index) {
+    if (e.kind == entry.kind && e.key == entry.key) {
+      e = std::move(entry);
+      return;
+    }
+  }
+  index.push_back(std::move(entry));
+}
+
+void sort_entries(std::vector<store_entry>& index) {
+  std::sort(index.begin(), index.end(),
+            [](const store_entry& a, const store_entry& b) {
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.key < b.key;
+            });
+}
+
+}  // namespace
+
+std::string result_store::format_key(std::uint64_t fingerprint) {
+  return hex16(fingerprint);
+}
+
+std::string result_store::object_path(std::uint64_t hash) const {
+  const std::string name = hex16(hash);
+  return root_ + "/objects/" + name.substr(0, 2) + "/" + name + ".obj";
+}
+
+std::optional<result_store> result_store::open(std::string root,
+                                               store_open_report* report) {
+  store_open_report local;
+  std::error_code ec;
+  fs::create_directories(fs::path(root) / "objects", ec);
+  if (ec) return std::nullopt;
+  fs::create_directories(fs::path(root) / "quarantine", ec);
+  if (ec) return std::nullopt;
+
+  result_store store(std::move(root));
+  const std::string index_path = store.root_ + "/index.axc";
+  bool need_rebuild = false;
+  bool index_damaged = false;
+  if (const auto bytes = read_file_bytes(index_path)) {
+    // Replay the journal: verified header, then one record per line with
+    // salvage-on-damage (drop the record, resync at the next newline).
+    std::size_t pos = 0;
+    const std::size_t first_nl = bytes->find('\n');
+    if (first_nl == std::string::npos ||
+        bytes->substr(0, first_nl) != encode_index_header().substr(
+                                          0, encode_index_header().size() - 1)) {
+      need_rebuild = true;
+      index_damaged = true;
+    } else {
+      pos = first_nl + 1;
+      while (pos < bytes->size()) {
+        std::size_t nl = bytes->find('\n', pos);
+        const bool torn = nl == std::string::npos;
+        if (torn) nl = bytes->size();
+        const std::string_view line(bytes->data() + pos, nl - pos);
+        if (auto entry = decode_index_record(line); entry && !torn) {
+          upsert(store.index_, *std::move(entry));
+        } else if (!line.empty()) {
+          local.index_salvaged = true;  // damaged/torn record dropped
+        }
+        pos = nl + 1;
+      }
+    }
+  } else {
+    need_rebuild = true;
+  }
+
+  if (need_rebuild) {
+    // The objects are the truth; reconstruct the mapping from them.  With a
+    // lost journal the per-(kind, key) ordering of superseded objects is
+    // gone, so the rebuild is only guaranteed faithful when each mapping
+    // has a single live object — which gc() maintains and the coordinator's
+    // content-addressed idempotent publishes never violate.  Sorting by
+    // (kind, key, hash) makes the rebuilt index deterministic regardless of
+    // directory iteration order.
+    std::vector<store_entry> found;
+    store.scan_objects(found);
+    // A brand-new store (no index, no objects) is just initialized, not
+    // "rebuilt" — only report recovery when there was something to recover.
+    local.index_rebuilt = index_damaged || !found.empty();
+    std::sort(found.begin(), found.end(),
+              [](const store_entry& a, const store_entry& b) {
+                if (a.kind != b.kind) return a.kind < b.kind;
+                if (a.key != b.key) return a.key < b.key;
+                return a.hash < b.hash;
+              });
+    for (auto& e : found) upsert(store.index_, std::move(e));
+  }
+
+  if ((need_rebuild || local.index_salvaged) && !store.rewrite_index()) {
+    return std::nullopt;
+  }
+  local.entries = store.index_.size();
+  if (report) *report = local;
+  return store;
+}
+
+void result_store::scan_objects(std::vector<store_entry>& found) const {
+  std::error_code ec;
+  fs::recursive_directory_iterator it(fs::path(root_) / "objects", ec);
+  if (ec) return;
+  for (const auto& de : it) {
+    if (!de.is_regular_file(ec) || de.path().extension() != ".obj") continue;
+    const auto bytes = read_file_bytes(de.path().string());
+    if (!bytes) continue;
+    const auto obj = decode_object(*bytes);
+    if (!obj) continue;  // corrupt: invisible to rebuild, scrub handles it
+    // Trust only objects stored under their true content address; a
+    // renamed/copied stray must not hijack a mapping during rebuild.
+    if (de.path().filename().string() != hex16(obj->entry.hash) + ".obj") {
+      continue;
+    }
+    found.push_back(obj->entry);
+  }
+}
+
+bool result_store::rewrite_index() const {
+  std::string text = encode_index_header();
+  std::vector<store_entry> sorted = index_;
+  sort_entries(sorted);
+  for (const auto& e : sorted) text += encode_index_record(e);
+  return support::write_file_durable(root_ + "/index.axc", text);
+}
+
+bool result_store::append_index_record(const store_entry& entry) {
+  if (fault::fire(kFaultIndexAppendFail)) return false;
+  const std::string path = root_ + "/index.axc";
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    if (!os) return false;
+    const std::string line = encode_index_record(entry);
+    os.write(line.data(), static_cast<std::streamsize>(line.size()));
+    os.flush();
+    if (!os) return false;
+  }
+  return support::fsync_file(path);
+}
+
+std::optional<std::uint64_t> result_store::put(std::string_view kind,
+                                               std::string_view key,
+                                               std::string_view payload) {
+  if (!is_token(kind) || !is_token(key)) return std::nullopt;
+  store_entry entry;
+  entry.kind = std::string(kind);
+  entry.key = std::string(key);
+  entry.size = payload.size();
+  entry.payload_crc = support::crc32(payload);
+  entry.hash = content_hash(kind, key, payload);
+
+  const std::string path = object_path(entry.hash);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) return std::nullopt;
+  // Identical content -> identical object file; skip the rewrite but still
+  // append the index record (the previous append may be what crashed).
+  bool have_object = false;
+  if (const auto existing = read_file_bytes(path)) {
+    const auto obj = decode_object(*existing);
+    have_object = obj && obj->entry.hash == entry.hash;
+  }
+  if (!have_object &&
+      !support::write_file_durable(
+          path, encode_object(entry, payload),
+          {kFaultPutFail, kFaultPutTruncate, kFaultPutDirsync})) {
+    return std::nullopt;
+  }
+  // The window the coordinator-recovery suite replays: the object is
+  // durable but its index record is not.  _Exit models SIGKILL — no
+  // unwinding, no flushes.  Recovery: either the journal replay never sees
+  // the record (rebuild/scan finds the object) or the re-run's idempotent
+  // put lands the append.
+  if (fault::fire(kFaultCrashMidAppend)) std::_Exit(44);
+  if (!append_index_record(entry)) return std::nullopt;
+  const std::uint64_t hash = entry.hash;
+  upsert(index_, std::move(entry));
+  return hash;
+}
+
+bool result_store::contains(std::string_view kind,
+                            std::string_view key) const {
+  for (const auto& e : index_) {
+    if (e.kind == kind && e.key == key) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> result_store::get(std::string_view kind,
+                                             std::string_view key) const {
+  const store_entry* entry = nullptr;
+  for (const auto& e : index_) {
+    if (e.kind == kind && e.key == key) {
+      entry = &e;
+      break;
+    }
+  }
+  if (!entry) return std::nullopt;
+  const std::string path = object_path(entry->hash);
+  const auto bytes = read_file_bytes(path);
+  if (!bytes) {
+    std::cerr << "axc-store: missing object " << path << " for (" << kind
+              << ", " << key << ")\n";
+    return std::nullopt;
+  }
+  const auto obj = decode_object(*bytes);
+  if (!obj || obj->entry.hash != entry->hash) {
+    std::cerr << "axc-store: corrupt object " << path << " for (" << kind
+              << ", " << key << ") — run scrub to quarantine\n";
+    return std::nullopt;
+  }
+  return obj->payload;
+}
+
+std::vector<store_entry> result_store::entries() const {
+  std::vector<store_entry> sorted = index_;
+  sort_entries(sorted);
+  return sorted;
+}
+
+store_scrub_report result_store::scrub() {
+  store_scrub_report report;
+  std::vector<std::uint64_t> bad_hashes;
+
+  std::error_code ec;
+  std::vector<fs::path> object_files;
+  fs::recursive_directory_iterator it(fs::path(root_) / "objects", ec);
+  if (!ec) {
+    for (const auto& de : it) {
+      if (de.is_regular_file(ec) && de.path().extension() == ".obj") {
+        object_files.push_back(de.path());
+      }
+    }
+  }
+  std::sort(object_files.begin(), object_files.end());
+
+  for (const auto& path : object_files) {
+    ++report.objects_checked;
+    const auto bytes = read_file_bytes(path.string());
+    std::optional<decoded_object> obj;
+    if (bytes) obj = decode_object(*bytes);
+    const bool name_ok =
+        obj && path.filename().string() == hex16(obj->entry.hash) + ".obj";
+    if (obj && name_ok) continue;
+    // Quarantine: rename aside, never delete — keep the evidence, stop
+    // serving it.  A name collision in quarantine gets a numeric suffix so
+    // repeated scrubs of repeated corruption never clobber prior evidence.
+    fs::path dest = fs::path(root_) / "quarantine" / path.filename();
+    for (int n = 1; fs::exists(dest, ec); ++n) {
+      dest = fs::path(root_) / "quarantine" /
+             (path.filename().string() + "." + std::to_string(n));
+    }
+    fs::rename(path, dest, ec);
+    if (!ec) ++report.quarantined;
+    if (const auto hash =
+            parse_hex64(path.stem().string())) {
+      bad_hashes.push_back(*hash);
+    }
+  }
+
+  // Drop index entries whose object was quarantined or is simply gone.
+  const std::size_t before = index_.size();
+  std::erase_if(index_, [&](const store_entry& e) {
+    if (std::find(bad_hashes.begin(), bad_hashes.end(), e.hash) !=
+        bad_hashes.end()) {
+      return true;
+    }
+    std::error_code exists_ec;
+    return !fs::exists(object_path(e.hash), exists_ec);
+  });
+  report.entries_dropped = before - index_.size();
+
+  if ((report.quarantined > 0 || report.entries_dropped > 0) &&
+      !rewrite_index()) {
+    std::cerr << "axc-store: scrub could not rewrite index under " << root_
+              << '\n';
+  }
+  return report;
+}
+
+store_gc_report result_store::gc() {
+  store_gc_report report;
+  std::error_code ec;
+  std::vector<fs::path> object_files;
+  fs::recursive_directory_iterator it(fs::path(root_) / "objects", ec);
+  if (!ec) {
+    for (const auto& de : it) {
+      if (de.is_regular_file(ec) && de.path().extension() == ".obj") {
+        object_files.push_back(de.path());
+      }
+    }
+  }
+  std::sort(object_files.begin(), object_files.end());
+  for (const auto& path : object_files) {
+    const auto hash = parse_hex64(path.stem().string());
+    const bool live =
+        hash && std::any_of(index_.begin(), index_.end(),
+                            [&](const store_entry& e) {
+                              return e.hash == *hash;
+                            });
+    if (live) continue;
+    const auto size = fs::file_size(path, ec);
+    if (!fs::remove(path, ec) || ec) continue;
+    ++report.objects_removed;
+    if (size != static_cast<std::uintmax_t>(-1)) {
+      report.bytes_reclaimed += size;
+    }
+  }
+  if (report.objects_removed > 0 && !rewrite_index()) {
+    std::cerr << "axc-store: gc could not rewrite index under " << root_
+              << '\n';
+  }
+  return report;
+}
+
+std::string serialize_front(std::span<const pareto_point> front) {
+  std::string out(kFrontMagic);
+  out += "\npoints ";
+  out += std::to_string(front.size());
+  out += '\n';
+  char buf[96];
+  for (const pareto_point& p : front) {
+    // %.17g round-trips every double bit-exactly through strtod — the same
+    // guarantee the checkpoint format leans on.
+    std::snprintf(buf, sizeof(buf), "%.17g %.17g %zu\n", p.x, p.y, p.index);
+    out += buf;
+  }
+  out += "end\n";
+  return out;
+}
+
+std::optional<std::vector<pareto_point>> parse_front(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string magic_a, magic_b, tag;
+  if (!(is >> magic_a >> magic_b) ||
+      magic_a + " " + magic_b != kFrontMagic) {
+    return std::nullopt;
+  }
+  std::size_t count = 0;
+  if (!(is >> tag >> count) || tag != "points") return std::nullopt;
+  std::vector<pareto_point> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pareto_point p;
+    if (!(is >> p.x >> p.y >> p.index)) return std::nullopt;
+    points.push_back(p);
+  }
+  if (!(is >> tag) || tag != "end") return std::nullopt;
+  return points;
+}
+
+}  // namespace axc::core

@@ -1,0 +1,159 @@
+// Crash-safe, content-addressed on-disk store of finished search artifacts.
+//
+// The serving story ("spec + width + distribution + error budget -> ranked
+// front", answered in microseconds) only works if a library of finished
+// sessions, rerank caches and fronts survives everything PR 6 taught the
+// sweep runtime to survive: torn writes, bit rot, and processes dying at
+// arbitrary instants.  result_store is that durability contract:
+//
+//   * objects are immutable byte blobs named by their content hash
+//     (support::fnv1a64 over kind + key + payload), stored under
+//     `<root>/objects/<hh>/<16-hex>.obj`.  Identical content maps to the
+//     identical object — re-publishing after a crash is a no-op, which is
+//     what makes coordinator recovery idempotent;
+//   * every object is written through the atomic durable path
+//     (support::write_file_durable: tmp + fsync + rename + parent-dir
+//     fsync) and framed with per-section CRC32s — a header CRC over the
+//     framing lines and a payload CRC over the bytes — so damage is
+//     *detected* at read time, never served;
+//   * lookups go through an append-only index journal (`<root>/index.axc`)
+//     mapping (kind, key) -> object, one self-CRC'd record per line with
+//     the axc-session-v2 salvage semantics: damaged records are dropped
+//     and scanning resyncs at the next line.  A missing or header-damaged
+//     index degrades gracefully — open() rebuilds it by scanning the
+//     object files themselves (the objects are the truth; the index is a
+//     cache of it);
+//   * scrub() verifies every object file's CRCs and *quarantines* corrupt
+//     ones (renames them into `<root>/quarantine/`, never deletes — bit
+//     rot is evidence worth keeping), dropping their index entries so
+//     every remaining lookup keeps serving its exact stored bytes;
+//   * gc() removes objects no live index entry references (superseded
+//     puts, orphans from crashes between object write and index append).
+//
+// Keys are caller-chosen single tokens (no whitespace); the convention for
+// search artifacts is format_key(fingerprint) — the PR 5 config
+// fingerprint hex — optionally folded with a plan hash (see
+// sweep_spec::store_key()).  Kinds in use: "session" (finished
+// search_session checkpoints), "front" (serialize_front text), "rerank"
+// (persisted rerank caches).  The store itself is kind-agnostic.
+//
+// Fault injection points (support/fault.h): `store-put-fail` /
+// `store-put-truncate` / `store-put-dirsync-fail` on the object write,
+// `store-index-append-fail` on the journal append, and
+// `store-crash-mid-index-append` which _Exit(44)s between the object write
+// and its index record — the deterministic stand-in for a coordinator
+// SIGKILLed mid-publish, replayed by tests/test_result_store.cpp and the
+// coordinator-recovery suite.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pareto.h"
+
+namespace axc::core {
+
+/// One live index entry: the current object serving (kind, key).
+struct store_entry {
+  std::string kind;
+  std::string key;
+  std::uint64_t hash{0};  ///< content address (object file name)
+  std::uint64_t size{0};  ///< payload bytes
+  std::uint32_t payload_crc{0};
+};
+
+/// What open() had to do to produce a usable index.
+struct store_open_report {
+  bool index_rebuilt{false};   ///< missing/header-damaged index: object scan
+  bool index_salvaged{false};  ///< damaged records dropped, rest kept
+  std::size_t entries{0};      ///< live (kind, key) mappings after open
+};
+
+struct store_scrub_report {
+  std::size_t objects_checked{0};
+  std::size_t quarantined{0};       ///< corrupt objects renamed aside
+  std::size_t entries_dropped{0};   ///< index entries that lost their object
+};
+
+struct store_gc_report {
+  std::size_t objects_removed{0};
+  std::uint64_t bytes_reclaimed{0};
+};
+
+class result_store {
+ public:
+  /// Opens (creating directories as needed) the store at `root`.  A
+  /// corrupt or absent index is not an error — it is rebuilt from the
+  /// object files (report describes what happened).  nullopt only when
+  /// the directories cannot be created or the index cannot be written.
+  [[nodiscard]] static std::optional<result_store> open(
+      std::string root, store_open_report* report = nullptr);
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+  /// Stores `payload` under (kind, key), replacing any previous mapping
+  /// (the superseded object stays on disk until gc()).  Both kind and key
+  /// must be non-empty single tokens (no whitespace).  Durable on return;
+  /// idempotent for identical content.  Returns the content hash, nullopt
+  /// on I/O failure (the previous mapping, if any, is untouched).
+  [[nodiscard]] std::optional<std::uint64_t> put(std::string_view kind,
+                                                 std::string_view key,
+                                                 std::string_view payload);
+
+  /// The exact bytes last put under (kind, key); nullopt when unmapped or
+  /// when the object fails its CRCs (damage is reported on stderr and
+  /// never served — run scrub() to quarantine it).
+  [[nodiscard]] std::optional<std::string> get(std::string_view kind,
+                                               std::string_view key) const;
+
+  [[nodiscard]] bool contains(std::string_view kind,
+                              std::string_view key) const;
+
+  /// Live mappings, sorted by (kind, key) — the `axc_store ls` surface.
+  [[nodiscard]] std::vector<store_entry> entries() const;
+
+  /// Verifies every object file (referenced or not) against its CRCs;
+  /// corrupt or unparseable objects are renamed into
+  /// `<root>/quarantine/` and their index entries dropped, so every
+  /// surviving lookup still returns its exact stored bytes.  Also drops
+  /// entries whose object file has gone missing.  Rewrites the index
+  /// durably when anything changed.
+  store_scrub_report scrub();
+
+  /// Deletes object files no live index entry references and compacts the
+  /// index to the live mappings.  Quarantined files are never touched.
+  store_gc_report gc();
+
+  /// Canonical key text for a 64-bit fingerprint: 16 lowercase hex digits.
+  [[nodiscard]] static std::string format_key(std::uint64_t fingerprint);
+
+ private:
+  explicit result_store(std::string root) : root_(std::move(root)) {}
+
+  [[nodiscard]] std::string object_path(std::uint64_t hash) const;
+  [[nodiscard]] bool append_index_record(const store_entry& entry);
+  [[nodiscard]] bool rewrite_index() const;
+  void scan_objects(std::vector<store_entry>& found) const;
+
+  std::string root_;
+  /// Live (kind, key) -> entry map; insertion-ordered replay of the
+  /// journal, kept sorted for entries().  Linear scan is fine at the store
+  /// sizes a coordinator sees; the journal on disk is the scaling story.
+  std::vector<store_entry> index_;
+};
+
+/// "axc-front v1" text serialization of a Pareto front (x/y as %.17g so
+/// the round trip is bit-exact; one point per line, `end` terminator).
+/// The store's "front" objects hold exactly these bytes, which is what
+/// makes "published front bit-identical to an uninterrupted sweep" a
+/// byte-comparison rather than a float-tolerance test.
+[[nodiscard]] std::string serialize_front(
+    std::span<const pareto_point> front);
+[[nodiscard]] std::optional<std::vector<pareto_point>> parse_front(
+    std::string_view text);
+
+}  // namespace axc::core

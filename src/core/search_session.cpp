@@ -3,23 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <string_view>
-#include <system_error>
 #include <utility>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <unistd.h>
-#endif
 
 #include "circuit/serialize.h"
 #include "support/assert.h"
 #include "support/checksum.h"
 #include "support/fault.h"
+#include "support/io.h"
 #include "support/thread_pool.h"
 
 namespace axc::core {
@@ -347,46 +341,20 @@ struct search_session::impl {
     os << "end " << saved << "\n";
   }
 
-  /// Atomic durable write: temp file + flush + fsync + rename.  A failed
-  /// save never disturbs an existing good checkpoint at `path`.  Fault
-  /// injection points: `session-save-fail` (transient failure) and
-  /// `session-save-truncate` (torn write surviving into the file).
+  /// Atomic durable write via support::write_file_durable (temp file +
+  /// flush + fsync + rename + parent-directory fsync — the last step makes
+  /// the rename itself power-loss durable).  A failed save never disturbs
+  /// an existing good checkpoint at `path`.  Fault injection points:
+  /// `session-save-fail` (transient failure), `session-save-truncate`
+  /// (torn write surviving into the file) and `session-save-dirsync-fail`
+  /// (directory fsync failure after the rename).
   [[nodiscard]] bool save_to_file(const std::string& path) const {
     std::scoped_lock save_lock(save_mutex);
-    if (fault::fire(kFaultSaveFail)) return false;
-    const std::string tmp = path + ".tmp";
-    {
-      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-      if (!os) return false;
-      save(os);
-      os.flush();
-      if (!os) {
-        os.close();
-        std::remove(tmp.c_str());
-        return false;
-      }
-    }
-    if (const auto cut = fault::fire(kFaultSaveTruncate)) {
-      std::error_code ec;
-      const auto size = std::filesystem::file_size(tmp, ec);
-      if (!ec && *cut < size) std::filesystem::resize_file(tmp, *cut, ec);
-    }
-#if defined(__unix__) || defined(__APPLE__)
-    // ofstream flushed to the kernel; fsync pushes to stable storage so
-    // the rename below publishes a durable file, not a page-cache ghost.
-    const int fd = ::open(tmp.c_str(), O_WRONLY);
-    if (fd < 0 || ::fsync(fd) != 0) {
-      if (fd >= 0) ::close(fd);
-      std::remove(tmp.c_str());
-      return false;
-    }
-    ::close(fd);
-#endif
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-      std::remove(tmp.c_str());
-      return false;
-    }
-    return true;
+    std::ostringstream os;
+    save(os);
+    return support::write_file_durable(
+        path, os.str(),
+        {kFaultSaveFail, kFaultSaveTruncate, kFaultSaveDirsync});
   }
 
   /// Best-effort checkpoint to options.autosave_path (no-op when unset).
@@ -400,6 +368,8 @@ struct search_session::impl {
   static constexpr std::string_view kFaultSaveFail = "session-save-fail";
   static constexpr std::string_view kFaultSaveTruncate =
       "session-save-truncate";
+  static constexpr std::string_view kFaultSaveDirsync =
+      "session-save-dirsync-fail";
 
   component_handle component;
   circuit::netlist seed;

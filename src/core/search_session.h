@@ -191,9 +191,10 @@ class search_session {
   /// section closed by a CRC32 line, the file by an `end <count>` footer.
   /// Text, diffable, netlists in the circuit::write_netlist format.
   void save(std::ostream& os) const;
-  /// Atomic and durable: writes `<path>.tmp`, flushes, fsyncs, then
-  /// renames over `path` — false on any failure, and a previously saved
-  /// good checkpoint at `path` is never clobbered by a failed save.
+  /// Atomic and durable: writes `<path>.tmp`, flushes, fsyncs, renames
+  /// over `path`, then fsyncs the parent directory (rename alone is not
+  /// durable across power loss) — false on any failure, and a previously
+  /// saved good checkpoint at `path` is never clobbered by a failed save.
   [[nodiscard]] bool save_file(const std::string& path) const;
 
   /// Rebuilds a session from a checkpoint.  The handle must describe the

@@ -1,7 +1,9 @@
 #include "core/shard_runner.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <istream>
@@ -11,6 +13,10 @@
 #include <utility>
 
 #include "circuit/serialize.h"
+#include "core/result_store.h"
+#include "support/checksum.h"
+#include "support/fault.h"
+#include "support/io.h"
 #include "support/subprocess.h"
 
 namespace axc::core {
@@ -18,6 +24,13 @@ namespace axc::core {
 namespace {
 
 constexpr std::string_view kSpecMagic = "axc-sweep-spec v1";
+constexpr std::string_view kJournalMagic = "coord v1";
+
+/// Coordinator crash points _Exit with 43 (44 is the store's mid-append
+/// point) so tests distinguish an injected crash from real worker exits.
+constexpr int kCoordCrashExit = 43;
+constexpr std::string_view kFaultCrashAfterSpawn = "coord-crash-after-spawn";
+constexpr std::string_view kFaultCrashMidMerge = "coord-crash-mid-merge";
 
 /// Shortest exact decimal: %.17g round-trips every double through the
 /// stream extractor (same convention as the session checkpoint format).
@@ -59,6 +72,7 @@ struct shard_state {
   plan_shard part{};
   std::string spec_path{};
   std::string checkpoint_path{};
+  std::uint64_t store_key{0};  ///< this shard spec's result-store identity
   std::optional<support::subprocess> proc{};
   std::size_t attempt{0};
   clock::time_point started{};
@@ -71,10 +85,150 @@ struct shard_state {
   shard_outcome outcome{};
 };
 
+[[nodiscard]] std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// ---- Coordinator journal ------------------------------------------------
+//
+// Append-only record of supervision milestones under
+// `<work_dir>/coordinator.journal`, every line `<body> crc <8hex>` (CRC32
+// over the body) with the session-v2 salvage rule: a damaged line is
+// dropped, scanning resyncs at the next newline.  Grammar:
+//
+//   coord v1 key <16hex>          header; key = sweep_spec::store_key()
+//   spawn <shard> <attempt>       worker launched (attempts cumulative
+//                                 across coordinator lives)
+//   complete <shard>              a worker attempt exited 0
+//   fail <shard> <exit>           attempts exhausted in some life
+//   publish <kind> <key> <16hex>  object landed in the result store
+//   done                          front published; sweep fully finished
+//
+// A re-run replays spawn/complete to resume supervision: completed shards
+// are not respawned (their checkpoints merge directly) and attempt
+// counters continue, so first-attempt-only shard_env poison stays applied
+// exactly once per shard ever.  A missing, damaged or foreign-key journal
+// degrades to a fresh sweep — correctness never depends on the journal
+// (worker checkpoints carry the results); it only avoids redundant work
+// and keeps attempt accounting truthful across lives.
+
+[[nodiscard]] std::string journal_line(std::string_view body) {
+  std::string line(body);
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", support::crc32(body));
+  line += " crc ";
+  line += buf;
+  line += '\n';
+  return line;
+}
+
+struct coord_journal {
+  std::string path{};
+
+  /// Durable append; failure is reported once (a lost journal only costs
+  /// redundant work on the next life, never correctness).
+  bool append(std::string_view body) {
+    if (path.empty()) return false;
+    {
+      std::ofstream os(path, std::ios::binary | std::ios::app);
+      if (!os) return false;
+      const std::string line = journal_line(body);
+      os.write(line.data(), static_cast<std::streamsize>(line.size()));
+      os.flush();
+      if (!os) return false;
+    }
+    return support::fsync_file(path);
+  }
+};
+
+struct journal_replay {
+  bool valid{false};  ///< header present with this sweep's key
+  std::vector<std::size_t> attempts{};  ///< cumulative spawns per shard
+  std::vector<bool> completed{};
+};
+
+[[nodiscard]] std::optional<std::uint64_t> parse_hex(const std::string& s) {
+  if (s.empty() || s.size() > 16 ||
+      s.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return std::nullopt;
+  }
+  return std::stoull(s, nullptr, 16);
+}
+
+journal_replay load_journal(const std::string& path, std::uint64_t key,
+                            std::size_t shard_count) {
+  journal_replay replay;
+  replay.attempts.assign(shard_count, 0);
+  replay.completed.assign(shard_count, false);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return replay;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t crc_at = line.rfind(" crc ");
+    if (crc_at == std::string::npos) continue;  // damaged: drop, resync
+    const auto stored = parse_hex(line.substr(crc_at + 5));
+    const std::string body = line.substr(0, crc_at);
+    if (!stored || *stored != support::crc32(body)) continue;
+    std::istringstream ls(body);
+    std::string tag;
+    ls >> tag;
+    if (!replay.valid) {
+      // The first intact record must be a matching header; anything else
+      // means a foreign or pre-header-damaged journal — start fresh.
+      std::string version, kw, key_hex;
+      if (tag != "coord" || !(ls >> version >> kw >> key_hex) ||
+          "coord " + version != kJournalMagic || kw != "key") {
+        return replay;
+      }
+      const auto found = parse_hex(key_hex);
+      if (!found || *found != key) return replay;
+      replay.valid = true;
+      continue;
+    }
+    if (tag == "spawn") {
+      std::size_t shard = 0, attempt = 0;
+      if ((ls >> shard >> attempt) && shard < shard_count) {
+        replay.attempts[shard] = std::max(replay.attempts[shard], attempt);
+      }
+    } else if (tag == "complete") {
+      std::size_t shard = 0;
+      if ((ls >> shard) && shard < shard_count) {
+        replay.completed[shard] = true;
+      }
+    }
+    // fail/publish/done need no replay: retries restart each life, and
+    // publishing is idempotent (content-addressed puts).
+  }
+  return replay;
+}
+
 }  // namespace
 
 component_handle sweep_spec::make_component() const {
   return component_registry::instance().make(component, options);
+}
+
+std::uint64_t sweep_spec::store_key() const {
+  const component_handle handle = make_component();
+  if (!handle) return 0;
+  // The component fingerprint already covers every result-affecting option
+  // (incl. the distribution masses bit-for-bit); fold in the plan the same
+  // FNV-1a way so distinct target sets get distinct store identities.
+  std::uint64_t h = handle.fingerprint();
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(plan.runs_per_target);
+  mix(plan.targets.size());
+  for (const double target : plan.targets) {
+    mix(std::bit_cast<std::uint64_t>(target));
+  }
+  return h;
 }
 
 void sweep_spec::write(std::ostream& os) const {
@@ -285,19 +439,22 @@ void spawn_attempt(const shard_runner_config& config, shard_state& s) {
   emit(config, s, shard_event_kind::spawned);
 }
 
-void handle_exit(const shard_runner_config& config, shard_state& s,
-                 support::exit_status status) {
+void handle_exit(const shard_runner_config& config, coord_journal& journal,
+                 shard_state& s, support::exit_status status) {
   s.proc.reset();
   s.outcome.last_exit_code = status.code;
   if (status.success()) {
     s.done = true;
     s.outcome.completed = true;
+    (void)journal.append("complete " + std::to_string(s.outcome.shard));
     emit(config, s, shard_event_kind::completed);
     return;
   }
   emit(config, s, shard_event_kind::exited, status.code);
   if (s.attempt >= config.max_attempts) {
     s.failed = true;
+    (void)journal.append("fail " + std::to_string(s.outcome.shard) + " " +
+                         std::to_string(status.code));
     emit(config, s, shard_event_kind::failed, status.code);
     return;
   }
@@ -316,6 +473,11 @@ sweep_result merge_shards(const sweep_spec& spec,
   const component_handle component = spec.make_component();
   pareto_archive archive;
   for (shard_state& s : states) {
+    // The mid-merge kill window: workers are done, their checkpoints are
+    // durable, but the merged front was never assembled.  _Exit models
+    // SIGKILL; a re-run respawns nothing (journal says complete), merges
+    // the same checkpoints and lands the identical front.
+    if (fault::fire(kFaultCrashMidMerge)) std::_Exit(kCoordCrashExit);
     s.outcome.jobs_total = s.part.plan.job_count();
     resume_report report;
     auto session = search_session::resume_file(s.checkpoint_path, component,
@@ -360,7 +522,24 @@ sweep_result run_sweep(const sweep_spec& spec,
   std::error_code ec;
   std::filesystem::create_directories(config.work_dir, ec);
 
+  const std::uint64_t sweep_key = spec.store_key();
   const std::vector<plan_shard> parts = split_plan(spec.plan, config.shards);
+  const std::string journal_path = config.work_dir + "/coordinator.journal";
+  const journal_replay replay =
+      load_journal(journal_path, sweep_key, parts.size());
+  coord_journal journal{journal_path};
+  if (!replay.valid) {
+    // Fresh (or foreign/damaged) journal: durably replace it with just the
+    // header — records then append behind it.
+    if (!support::write_file_durable(
+            journal_path,
+            journal_line(std::string(kJournalMagic) + " key " +
+                         hex16(sweep_key)))) {
+      std::fprintf(stderr, "axc: run_sweep: cannot write %s\n",
+                   journal_path.c_str());
+    }
+  }
+
   for (std::size_t i = 0; i < parts.size(); ++i) {
     shard_state s;
     s.part = parts[i];
@@ -375,10 +554,24 @@ sweep_result run_sweep(const sweep_spec& spec,
     shard_spec.options.runs_per_target = s.part.plan.runs_per_target;
     shard_spec.plan = s.part.plan;
     shard_spec.seed = spec.seed;
+    s.store_key = shard_spec.store_key();
     if (!shard_spec.write_file(s.spec_path)) {
       std::fprintf(stderr, "axc: run_sweep: cannot write %s\n",
                    s.spec_path.c_str());
       s.failed = true;
+    }
+    // Journal replay: a shard some earlier coordinator life saw finish is
+    // not respawned — its checkpoint merges directly — and attempt
+    // numbering continues where that life stopped (spawn_attempt
+    // pre-increments, so first-attempt-only shard_env never re-applies).
+    s.attempt = replay.attempts[i];
+    s.outcome.attempts = s.attempt;
+    if (replay.completed[i] &&
+        std::filesystem::exists(s.checkpoint_path, ec)) {
+      s.done = true;
+      s.outcome.completed = true;
+      s.last_jobs = count_checkpoint_jobs(s.checkpoint_path);
+      emit(config, s, shard_event_kind::completed);
     }
     states.push_back(std::move(s));
   }
@@ -393,7 +586,24 @@ sweep_result run_sweep(const sweep_spec& spec,
     for (shard_state& s : states) {
       if (s.done || s.failed) continue;
       if (!s.proc) {
-        if (now >= s.next_spawn) spawn_attempt(cfg, s);
+        if (now >= s.next_spawn) {
+          spawn_attempt(cfg, s);
+          if (s.proc) {
+            (void)journal.append("spawn " +
+                                 std::to_string(s.outcome.shard) + " " +
+                                 std::to_string(s.attempt));
+            // The after-spawn kill window: the journal says this attempt
+            // exists, nothing has finished.  Take the workers down with
+            // the coordinator (a real SIGKILL of the process group does
+            // the same) so the re-run supervises from checkpoints alone.
+            if (fault::fire(kFaultCrashAfterSpawn)) {
+              for (shard_state& victim : states) {
+                if (victim.proc) victim.proc->kill_hard();
+              }
+              std::_Exit(kCoordCrashExit);
+            }
+          }
+        }
         if (s.done || s.failed) continue;
         pending = true;
         continue;
@@ -401,7 +611,7 @@ sweep_result run_sweep(const sweep_spec& spec,
       pending = true;
       if (auto status = s.proc->poll()) {
         if (s.deadline_killed) s.outcome.timed_out = true;
-        handle_exit(cfg, s, *status);
+        handle_exit(cfg, journal, s, *status);
         continue;
       }
       // Heartbeat: checkpoint growth is the worker's progress signal.
@@ -427,7 +637,46 @@ sweep_result run_sweep(const sweep_spec& spec,
     std::this_thread::sleep_for(cfg.poll_interval);
   }
 
-  return merge_shards(spec, states);
+  sweep_result result = merge_shards(spec, states);
+
+  if (!cfg.store_dir.empty()) {
+    // Publish into the result store.  Content-addressed puts make this
+    // idempotent, so every coordinator life re-publishes unconditionally
+    // and the store converges on the uninterrupted run's exact contents.
+    auto store = result_store::open(cfg.store_dir);
+    if (!store) {
+      std::fprintf(stderr, "axc: run_sweep: cannot open store %s\n",
+                   cfg.store_dir.c_str());
+      return result;
+    }
+    for (const shard_state& s : states) {
+      if (!s.outcome.completed) continue;
+      std::ifstream is(s.checkpoint_path, std::ios::binary);
+      if (!is) continue;
+      std::ostringstream buffer;
+      buffer << is.rdbuf();
+      const std::string key = result_store::format_key(s.store_key);
+      if (const auto hash = store->put("session", key, buffer.str())) {
+        (void)journal.append("publish session " + key + " " + hex16(*hash));
+      } else {
+        std::fprintf(stderr, "axc: run_sweep: session publish failed (%s)\n",
+                     key.c_str());
+      }
+    }
+    if (result.complete) {
+      const std::string key = result_store::format_key(sweep_key);
+      if (const auto hash =
+              store->put("front", key, serialize_front(result.front))) {
+        (void)journal.append("publish front " + key + " " + hex16(*hash));
+        (void)journal.append("done");
+      } else {
+        std::fprintf(stderr, "axc: run_sweep: front publish failed (%s)\n",
+                     key.c_str());
+      }
+    }
+  }
+
+  return result;
 }
 
 sweep_result run_sweep_inprocess(const sweep_spec& spec,

@@ -32,6 +32,26 @@
 // shard_env lets a test hand a poison env to one shard's *first* attempt
 // only — the retry must succeed because the state on disk differs, which
 // is exactly the property the kill-resume tests pin down.
+//
+// PR 7 closes the remaining gap: the *coordinator itself* can now die.
+// run_sweep keeps an append-only journal (`<work_dir>/coordinator.journal`,
+// one self-CRC'd line per record — grammar in src/core/README.md) of every
+// supervision milestone: shard spawns with cumulative attempt numbers,
+// shard completions/failures, store publishes, and a final `done`.  A
+// re-run of the same spec + work_dir replays the journal — completed shards
+// are not respawned, attempt counters continue where the dead coordinator
+// left them (so shard_env first-attempt poison is never re-applied), and
+// surviving shard checkpoints are resumed as usual — then merges and
+// publishes a front bit-identical to an uninterrupted run.  When
+// config.store_dir is set, the merge publishes into a core::result_store:
+// each completed shard checkpoint under kind "session" and, once complete,
+// the serialized front under kind "front", both keyed by store_key()
+// (idempotent: content-addressed puts make re-publishing after a crash a
+// no-op).  Coordinator crash points for the recovery suite:
+// `coord-crash-after-spawn` (SIGKILLs all live workers, then _Exit(43)),
+// `coord-crash-mid-merge` (_Exit(43) between shard merges) and the store's
+// `store-crash-mid-index-append` (_Exit(44) between an object write and
+// its index record).
 #pragma once
 
 #include <chrono>
@@ -73,6 +93,14 @@ struct sweep_spec {
   [[nodiscard]] static std::optional<sweep_spec> read(std::istream& is);
   [[nodiscard]] static std::optional<sweep_spec> read_file(
       const std::string& path);
+
+  /// Stable identity of this sweep for the result store and coordinator
+  /// journal: the component fingerprint (every result-affecting knob,
+  /// incl. the distribution masses bit-for-bit) FNV-folded with the plan
+  /// (target bits + runs_per_target).  Two specs share a key iff they
+  /// produce bit-identical sweep results.  0 when the component is
+  /// unknown to the registry.
+  [[nodiscard]] std::uint64_t store_key() const;
 };
 
 /// One shard of a plan: a contiguous target-major slice, plus the global
@@ -141,6 +169,13 @@ struct shard_runner_config {
   /// the retry runs clean — recovery succeeds because the on-disk state
   /// differs, not because the fault went away by luck.
   std::vector<std::vector<std::string>> shard_env{};
+  /// When non-empty, publish the merge into a core::result_store at this
+  /// root: every completed shard's checkpoint bytes under kind "session"
+  /// (key = format_key of that shard spec's store_key()) and — only when
+  /// the merge is complete — the serialize_front() text under kind "front"
+  /// (key = format_key(spec.store_key())).  Publishing is idempotent, so a
+  /// crashed-and-re-run coordinator converges on the same store contents.
+  std::string store_dir{};
   std::function<void(const shard_event&)> on_event{};
 };
 

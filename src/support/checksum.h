@@ -1,9 +1,13 @@
-// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) and FNV-1a 64 over byte
+// ranges.
 //
-// Used by the "axc-session v2" checkpoint format to give every section a
-// cheap integrity check: a torn or bit-flipped record fails its CRC and the
-// salvage path drops exactly that record instead of the whole file.  The
-// table is built at compile time; checksumming is allocation-free.
+// CRC-32 is the integrity check of the "axc-session v2" checkpoint format
+// and the result-store framing: a torn or bit-flipped record fails its CRC
+// and the salvage path drops exactly that record instead of the whole
+// file.  FNV-1a 64 is the *content address* of the result store — wide
+// enough that distinct artifacts get distinct object names, and cheap
+// enough to hash megabyte checkpoints on every put.  The CRC table is
+// built at compile time; both functions are allocation-free.
 #pragma once
 
 #include <array>
@@ -42,6 +46,18 @@ inline constexpr std::array<std::uint32_t, 256> crc32_table =
         (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
+}
+
+/// FNV-1a 64-bit hash of a byte range.  `seed` chains partial updates the
+/// same way crc32's does (pass a previous result to continue hashing).
+[[nodiscard]] inline std::uint64_t fnv1a64(
+    std::string_view bytes, std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (const char ch : bytes) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 }  // namespace axc::support

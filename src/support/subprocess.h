@@ -12,6 +12,7 @@
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
 #include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -89,12 +90,18 @@ class subprocess {
   [[nodiscard]] bool running() const { return pid_ > 0; }
 
   /// Non-blocking: nullopt while the child runs; its exit_status once it
-  /// finished (the child is reaped; further polls return nullopt).
+  /// finished (the child is reaped; further polls return nullopt).  A
+  /// signal-interrupted waitpid is retried, never misread as an exit — a
+  /// coordinator taking SIGCHLD/SIGTERM bursts must not abandon a live
+  /// child as "exit 127" and leave it to become a zombie.
   [[nodiscard]] std::optional<exit_status> poll() {
 #if AXC_HAS_SUBPROCESS
     if (pid_ <= 0) return std::nullopt;
     int status = 0;
-    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    pid_t r;
+    do {
+      r = ::waitpid(pid_, &status, WNOHANG);
+    } while (r < 0 && errno == EINTR);
     if (r == 0) return std::nullopt;
     pid_ = -1;
     if (r < 0) return exit_status{127, false};
@@ -116,12 +123,19 @@ class subprocess {
   }
 
  private:
+  /// Destructor path: an aborting owner (exception unwind, early return)
+  /// must leave neither a running orphan nor a zombie behind, so kill hard
+  /// and then *block* until the child is actually reaped, retrying the
+  /// interruptible wait.
   void reap_if_running() {
 #if AXC_HAS_SUBPROCESS
     if (pid_ <= 0) return;
     ::kill(pid_, SIGKILL);
     int status = 0;
-    ::waitpid(pid_, &status, 0);
+    pid_t r;
+    do {
+      r = ::waitpid(pid_, &status, 0);
+    } while (r < 0 && errno == EINTR);
     pid_ = -1;
 #endif
   }

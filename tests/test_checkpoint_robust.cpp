@@ -264,6 +264,30 @@ TEST(save_file, injected_failure_never_clobbers_the_good_checkpoint) {
   std::filesystem::remove(path);
 }
 
+TEST(save_file, reports_failure_when_directory_fsync_fails) {
+  // The rename landed but the directory entry never reached stable
+  // storage: a power loss could still resurrect the old file, so the save
+  // must report failure — and a clean retry (the fsync recovers) must
+  // succeed against the same path with the renamed file already in place.
+  const std::string path = temp_path("dirsync");
+  std::filesystem::remove(path);
+  search_session session(make_component(small_config()), seed_netlist(),
+                         small_plan());
+  ASSERT_TRUE(session.save_file(path));
+  const std::string good = slurp(path);
+
+  fault::configure("session-save-dirsync-fail@1");
+  EXPECT_FALSE(session.save_file(path));
+  fault::clear();
+  // The file itself is whole (rename happened; only durability was in
+  // doubt), so a reader still salvages a valid checkpoint...
+  EXPECT_EQ(slurp(path), good);
+  // ...and the retry completes durably.
+  EXPECT_TRUE(session.save_file(path));
+  EXPECT_EQ(slurp(path), good);
+  std::filesystem::remove(path);
+}
+
 TEST(save_file, injected_truncation_is_salvaged_on_resume) {
   const finished_fixture& ref = finished();
   const std::string path = temp_path("truncate");

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdio>
+#include <cstdint>
 #include <numeric>
+#include <sstream>
 #include <vector>
 
 #include "dist/pmf.h"
@@ -156,6 +160,63 @@ TEST(pmf_stddev, uniform_matches_closed_form) {
   const pmf u = pmf::uniform(256);
   // stddev of discrete uniform on 0..n-1: sqrt((n^2-1)/12).
   EXPECT_NEAR(u.stddev(), std::sqrt((256.0 * 256.0 - 1.0) / 12.0), 1e-6);
+}
+
+TEST(pmf_from_masses, adversarial_doubles_survive_verbatim) {
+  // The shard runtime serializes distributions as %.17g text and rebuilds
+  // them with from_masses; the component fingerprint hashes every mass
+  // bit-for-bit, so the whole pipeline collapses if any edge-case double
+  // shifts by an ulp.  Exercise the extremes: the smallest denormal, the
+  // denormal/normal boundary, huge magnitudes, and classic
+  // non-representables whose shortest-decimal forms stress %.17g.
+  const std::vector<double> masses{
+      5e-324,                   // min denormal
+      6.3e-322,                 // mid denormal
+      2.2250738585072014e-308,  // smallest normal
+      2.2250738585072009e-308,  // largest denormal
+      1.7976931348623157e308,   // max double (dominates the sum)
+      0.1,
+      1.0 / 3.0,
+      1e-17,                    // vanishes against the max under naive +=
+      123456789.12345679,
+  };
+  const pmf p = pmf::from_masses(masses);
+  ASSERT_EQ(p.size(), masses.size());
+  for (std::size_t i = 0; i < masses.size(); ++i) {
+    // Bit equality, not EXPECT_DOUBLE_EQ's 4-ulp tolerance.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(p[i]),
+              std::bit_cast<std::uint64_t>(masses[i]))
+        << "mass " << i;
+  }
+  // Round-tripping masses() through from_masses is the identity (no
+  // renormalizing division to drift at the last ulp) — and pmf equality
+  // agrees.
+  const pmf again = pmf::from_masses(
+      std::vector<double>(p.masses().begin(), p.masses().end()));
+  EXPECT_EQ(again, p);
+}
+
+TEST(pmf_from_masses, text_round_trip_is_bit_exact) {
+  // The exact %.17g print -> istream extract path the sweep-spec format
+  // uses, applied to the adversarial masses directly.
+  const std::vector<double> masses{5e-324, 2.2250738585072014e-308,
+                                   1.7976931348623157e308, 0.1, 1.0 / 3.0,
+                                   6.3e-322};
+  std::ostringstream os;
+  for (const double m : masses) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g ", m);
+    os << buf;
+  }
+  std::istringstream is(os.str());
+  std::vector<double> parsed(masses.size());
+  for (double& m : parsed) ASSERT_TRUE(is >> m);
+  const pmf p = pmf::from_masses(parsed);
+  for (std::size_t i = 0; i < masses.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(p[i]),
+              std::bit_cast<std::uint64_t>(masses[i]))
+        << "mass " << i;
+  }
 }
 
 }  // namespace

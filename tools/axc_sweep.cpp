@@ -3,11 +3,19 @@
 //   axc_sweep --spec <file> --worker <axc_worker> [--work-dir D]
 //             [--shards N] [--max-attempts N] [--attempt-timeout-ms N]
 //             [--stall-timeout-ms N] [--autosave-generations N]
+//             [--store D]
 //
 // Splits the sweep described by <file> (sweep_spec::write format) across
 // supervised worker processes, merges the surviving shard checkpoints and
-// prints the Pareto front.  Re-running after any interruption resumes from
-// the shard checkpoints in the work directory.
+// prints the Pareto front.  Re-running after any interruption — a worker
+// crash, or the coordinator itself dying (its supervision journal lives in
+// the work directory) — resumes from the shard checkpoints + journal and
+// converges on the uninterrupted result.  With --store, the merge is
+// published into the core::result_store at D (shard checkpoints under kind
+// "session", the complete front under kind "front"); inspect it with
+// tools/axc_store.  The coordinator arms AXC_FAULT crash points
+// (coord-crash-after-spawn, coord-crash-mid-merge,
+// store-crash-mid-index-append) for the recovery test suite.
 //
 //   axc_sweep --demo --worker <axc_worker> [--work-dir D]
 //
@@ -27,6 +35,7 @@
 #include "core/shard_runner.h"
 #include "dist/pmf.h"
 #include "mult/multipliers.h"
+#include "support/fault.h"
 
 namespace {
 
@@ -34,7 +43,7 @@ constexpr const char* kUsage =
     "usage: axc_sweep --spec <file> --worker <axc_worker> [--work-dir D]\n"
     "                 [--shards N] [--max-attempts N]\n"
     "                 [--attempt-timeout-ms N] [--stall-timeout-ms N]\n"
-    "                 [--autosave-generations N]\n"
+    "                 [--autosave-generations N] [--store D]\n"
     "       axc_sweep --demo --worker <axc_worker> [--work-dir D]\n";
 
 const char* event_name(axc::core::shard_event_kind kind) {
@@ -163,6 +172,9 @@ int run_demo(const std::string& worker, std::string work_dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The recovery suite arms coordinator crash points through the
+  // environment, exactly as workers do.
+  axc::fault::configure_from_env();
   std::string spec_path;
   std::string worker;
   std::string work_dir;
@@ -189,6 +201,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--autosave-generations" && i + 1 < argc) {
       config.worker_autosave_generations =
           std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--store" && i + 1 < argc) {
+      config.store_dir = argv[++i];
     } else if (arg == "--demo") {
       demo = true;
     } else {
