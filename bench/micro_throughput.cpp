@@ -6,12 +6,14 @@
 
 #include <filesystem>
 #include <sstream>
+#include <thread>
 
 #include "cgp/cone_program.h"
 #include "cgp/evolver.h"
 #include "cgp/genotype.h"
 #include "circuit/activity.h"
 #include "circuit/simulator.h"
+#include "core/result_server.h"
 #include "core/result_store.h"
 #include "core/search_session.h"
 #include "core/wmed_approximator.h"
@@ -563,6 +565,98 @@ void bm_store_get(benchmark::State& state) {
   std::filesystem::remove_all(root, ec);
 }
 BENCHMARK(bm_store_get);
+
+/// The spec whose front the serving benches request — small but real, so
+/// store_key() and the request text have production shape.
+core::sweep_spec server_bench_spec() {
+  core::sweep_spec spec;
+  spec.component = "mult";
+  spec.options.width = 8;
+  spec.options.distribution = dist::pmf::half_normal(256, 64.0);
+  spec.options.iterations = 100;
+  spec.options.rng_seed = 5;
+  spec.plan.targets = {1e-4, 1e-2};
+  spec.plan.runs_per_target = 2;
+  spec.options.runs_per_target = 2;
+  spec.seed = mult::unsigned_multiplier(8);
+  return spec;
+}
+
+void bm_server_hit(benchmark::State& state) {
+  // One full served hit: connect to the daemon's socket, send the framed
+  // request, receive the framed front — the latency an axc_client `get`
+  // pays against a warm store.  The server runs in-process on a real
+  // Unix-domain socket with a 32-point front pre-published under the
+  // spec's key.
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "axc-bench-server").string();
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  const core::sweep_spec spec = server_bench_spec();
+  std::vector<core::pareto_point> points;
+  for (std::size_t i = 0; i < 32; ++i) {
+    points.push_back({1e-4 * static_cast<double>(i + 1),
+                      900.0 - 25.0 * static_cast<double>(i), i});
+  }
+  {
+    auto store = core::result_store::open(root + "/store");
+    benchmark::DoNotOptimize(
+        store->put("front", core::result_store::format_key(spec.store_key()),
+                   core::serialize_front(points)));
+  }
+  core::server_config config;
+  config.store_dir = root + "/store";
+  config.work_dir = root + "/work";
+  config.socket_path = root + "/sock";
+  core::result_server server(config);
+  if (!server.start()) {
+    state.SkipWithError("cannot start result_server");
+    return;
+  }
+  std::thread accept_thread([&server] { server.serve(); });
+  core::serve_request request;
+  request.spec = spec;
+  const std::string request_text = core::encode_request(request);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto stream = support::net::unix_stream::connect(config.socket_path);
+    if (!stream || !stream->send(request_text)) {
+      state.SkipWithError("request failed");
+      break;
+    }
+    const auto reply = stream->receive(1u << 20);
+    if (!reply) {
+      state.SkipWithError("no reply");
+      break;
+    }
+    bytes = reply->size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  server.request_stop();
+  accept_thread.join();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  std::filesystem::remove_all(root, ec);
+}
+BENCHMARK(bm_server_hit);
+
+void bm_server_encode(benchmark::State& state) {
+  // Pure protocol cost: request text serialization + CRC frame encode —
+  // the CPU floor under bm_server_hit once the syscalls are taken out.
+  core::serve_request request;
+  request.spec = server_bench_spec();
+  request.budget = 1e-3;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string frame =
+        support::net::encode_frame(core::encode_request(request));
+    bytes = frame.size();
+    benchmark::DoNotOptimize(frame.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(bm_server_encode);
 
 void bm_compiled_table_fill(benchmark::State& state) {
   // Exhaustive characterization through the wide-lane batch path (what the

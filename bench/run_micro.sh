@@ -98,6 +98,7 @@ WATCHED = (
     "bm_checkpoint_resume",
     "bm_store_put",
     "bm_store_get",
+    "bm_server_hit",
 )
 THRESHOLD = 1.25
 

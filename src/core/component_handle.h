@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/wmed_approximator.h"
+#include "metrics/compiled_table.h"
 #include "support/assert.h"
 
 namespace axc::core {
@@ -83,6 +84,15 @@ class component_handle {
     return get().cache_builds();
   }
 
+  /// Exhaustive behavioural characterization of `nl` under this
+  /// component's spec: decoded results for every operand-pattern pair,
+  /// entry[(b << w) | a] (the compiled-table fast path).  What the result
+  /// store publishes under kind "table", keyed by fingerprint().
+  [[nodiscard]] std::vector<std::int64_t> characterize(
+      const circuit::netlist& nl) const {
+    return get().characterize(nl);
+  }
+
   /// Hash of every result-affecting config knob (spec shape, distribution,
   /// search budget, RNG seed, function set, tie-break policy) — NOT of the
   /// bit-identical execution knobs (threads, incremental).  Checkpoints
@@ -125,6 +135,8 @@ class component_handle {
         const circuit::netlist& seed, double target, std::size_t run_index,
         const search_hooks& hooks) const = 0;
     [[nodiscard]] virtual std::size_t cache_builds() const = 0;
+    [[nodiscard]] virtual std::vector<std::int64_t> characterize(
+        const circuit::netlist& nl) const = 0;
     [[nodiscard]] virtual std::uint64_t fingerprint() const = 0;
   };
 
@@ -168,6 +180,11 @@ class component_handle {
     [[nodiscard]] std::size_t cache_builds() const override {
       std::scoped_lock lock(mutex);
       return builds;
+    }
+
+    [[nodiscard]] std::vector<std::int64_t> characterize(
+        const circuit::netlist& nl) const override {
+      return metrics::result_table_wide(nl, config.spec);
     }
 
     [[nodiscard]] std::uint64_t fingerprint() const override {

@@ -1,0 +1,730 @@
+#include "core/result_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/checksum.h"
+#include "support/fault.h"
+#include "support/io.h"
+
+#if AXC_HAS_NET
+#include <poll.h>
+#include <unistd.h>
+#endif
+
+namespace axc::core {
+
+namespace {
+
+constexpr std::string_view kRequestMagic = "axc-serve v1";
+constexpr std::string_view kReplyMagic = "axc-serve-reply v1";
+constexpr std::string_view kJournalMagic = "serve v1";
+
+/// Server crash points _Exit with 45 (42 worker, 43 coordinator, 44 store)
+/// so the recovery tests can tell which injected death they observed.
+constexpr int kServerCrashExit = 45;
+constexpr std::string_view kFaultCrashMidEnqueue = "server-crash-mid-enqueue";
+constexpr std::string_view kFaultCrashBeforeReply =
+    "server-crash-before-reply";
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+/// Same self-CRC'd line shape as the coordinator journal: `<body> crc <8hex>`.
+[[nodiscard]] std::string journal_line(std::string_view body) {
+  std::string line(body);
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", support::crc32(body));
+  line += " crc ";
+  line += buf;
+  line += '\n';
+  return line;
+}
+
+[[nodiscard]] std::optional<std::uint64_t> parse_hex16(const std::string& s) {
+  if (s.empty() || s.size() > 16 ||
+      s.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return std::nullopt;
+  }
+  return std::stoull(s, nullptr, 16);
+}
+
+[[nodiscard]] bool known_status(std::string_view status) {
+  return status == "hit" || status == "miss-enqueued" ||
+         status == "miss-rejected" || status == "queued" ||
+         status == "running" || status == "failed" || status == "unknown" ||
+         status == "malformed" || status == "draining" ||
+         status == "timeout" || status == "error";
+}
+
+}  // namespace
+
+// ---- Protocol text -------------------------------------------------------
+
+std::string encode_request(const serve_request& request) {
+  std::ostringstream os;
+  os << kRequestMagic << "\n";
+  os << "verb " << request.verb << "\n";
+  if (request.budget) os << "budget " << format_double(*request.budget) << "\n";
+  os << "timeout-ms " << request.timeout_ms << "\n";
+  os << "spec\n";
+  request.spec.write(os);
+  return os.str();
+}
+
+std::optional<serve_request> parse_request(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string line;
+  if (!std::getline(is, line) || line != kRequestMagic) return std::nullopt;
+  serve_request request;
+  bool saw_verb = false;
+  while (std::getline(is, line)) {
+    if (line == "spec") {
+      auto spec = sweep_spec::read(is);
+      if (!spec || !saw_verb) return std::nullopt;
+      request.spec = *std::move(spec);
+      return request;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) return std::nullopt;
+    if (tag == "verb") {
+      if (!(ls >> request.verb)) return std::nullopt;
+      if (request.verb != "get" && request.verb != "status" &&
+          request.verb != "wait" && request.verb != "table") {
+        return std::nullopt;
+      }
+      saw_verb = true;
+    } else if (tag == "budget") {
+      double budget = 0.0;
+      if (!(ls >> budget)) return std::nullopt;
+      request.budget = budget;
+    } else if (tag == "timeout-ms") {
+      if (!(ls >> request.timeout_ms) || request.timeout_ms < 0) {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;  // strict: unknown header lines are damage
+    }
+  }
+  return std::nullopt;  // never reached the spec section
+}
+
+std::string encode_reply(const serve_reply& reply) {
+  std::string out(kReplyMagic);
+  out += "\nstatus ";
+  out += reply.status;
+  out += '\n';
+  if (!reply.key.empty()) {
+    out += "key ";
+    out += reply.key;
+    out += '\n';
+  }
+  if (reply.payload) {
+    out += "payload ";
+    out += std::to_string(reply.payload->size());
+    out += '\n';
+    out += *reply.payload;
+  } else {
+    out += "end\n";
+  }
+  return out;
+}
+
+std::optional<serve_reply> parse_reply(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string line;
+  if (!std::getline(is, line) || line != kReplyMagic) return std::nullopt;
+  serve_reply reply;
+  {
+    if (!std::getline(is, line)) return std::nullopt;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> reply.status) || tag != "status" ||
+        !known_status(reply.status)) {
+      return std::nullopt;
+    }
+  }
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) return std::nullopt;
+    if (tag == "key") {
+      if (!(ls >> reply.key)) return std::nullopt;
+    } else if (tag == "end") {
+      return reply;
+    } else if (tag == "payload") {
+      std::size_t size = 0;
+      if (!(ls >> size)) return std::nullopt;
+      std::string payload(size, '\0');
+      is.read(payload.data(), static_cast<std::streamsize>(size));
+      if (static_cast<std::size_t>(is.gcount()) != size) return std::nullopt;
+      reply.payload = std::move(payload);
+      return reply;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;  // missing end/payload terminator
+}
+
+// ---- Server --------------------------------------------------------------
+
+struct result_server::connection {
+  support::net::unix_stream stream{};
+  std::thread thread{};
+  std::atomic<bool> done{false};
+};
+
+result_server::result_server(server_config config)
+    : config_(std::move(config)) {}
+
+result_server::~result_server() {
+  request_stop();
+  {
+    std::scoped_lock lock(jobs_mutex_);
+  }
+  jobs_cv_.notify_all();
+  for (auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  if (worker_.joinable()) worker_.join();
+#if AXC_HAS_NET
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+#endif
+}
+
+std::string result_server::job_spec_path(std::uint64_t key) const {
+  return config_.work_dir + "/jobs/" + result_store::format_key(key) +
+         ".spec";
+}
+
+bool result_server::journal_append(std::string_view body) {
+  std::scoped_lock lock(journal_mutex_);
+  const std::string path = config_.work_dir + "/server.journal";
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    if (!os) return false;
+    const std::string line = journal_line(body);
+    os.write(line.data(), static_cast<std::streamsize>(line.size()));
+    os.flush();
+    if (!os) return false;
+  }
+  return support::fsync_file(path);
+}
+
+void result_server::replay_journal() {
+  const std::string path = config_.work_dir + "/server.journal";
+  std::vector<std::uint64_t> enqueued;
+  std::vector<std::uint64_t> settled;  // done or fail
+  bool valid = false;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::string line;
+    while (is && std::getline(is, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const std::size_t crc_at = line.rfind(" crc ");
+      if (crc_at == std::string::npos) continue;  // damaged: drop, resync
+      const auto stored = parse_hex16(line.substr(crc_at + 5));
+      const std::string body = line.substr(0, crc_at);
+      if (!stored || *stored != support::crc32(body)) continue;
+      std::istringstream ls(body);
+      std::string tag;
+      ls >> tag;
+      if (!valid) {
+        std::string version;
+        if (tag != "serve" || !(ls >> version) ||
+            "serve " + version != kJournalMagic) {
+          // Foreign or pre-header-damaged journal: start fresh below.
+          break;
+        }
+        valid = true;
+        continue;
+      }
+      std::string key_hex;
+      if (!(ls >> key_hex)) continue;
+      const auto key = parse_hex16(key_hex);
+      if (!key) continue;
+      if (tag == "enqueue") {
+        enqueued.push_back(*key);
+      } else if (tag == "done" || tag == "fail") {
+        settled.push_back(*key);
+      }
+    }
+  }
+  if (!valid) {
+    if (!support::write_file_durable(
+            path, journal_line(std::string(kJournalMagic)))) {
+      std::fprintf(stderr, "axc-serve: cannot write journal %s\n",
+                   path.c_str());
+    }
+    return;
+  }
+  // Re-adopt every accepted job no previous life settled.  A job whose
+  // front actually landed (the crash hit between publish and the `done`
+  // record) is recognized from the store and settled retroactively.
+  for (const std::uint64_t key : enqueued) {
+    if (std::find(settled.begin(), settled.end(), key) != settled.end()) {
+      continue;
+    }
+    const std::string key16 = result_store::format_key(key);
+    {
+      std::scoped_lock lock(store_mutex_);
+      if (store_ && store_->contains("front", key16)) {
+        (void)journal_append("done " + key16);
+        settled.push_back(key);
+        continue;
+      }
+    }
+    auto spec = sweep_spec::read_file(job_spec_path(key));
+    if (!spec) {
+      std::fprintf(stderr,
+                   "axc-serve: journaled job %s has no readable spec; "
+                   "dropping it\n",
+                   key16.c_str());
+      (void)journal_append("fail " + key16);
+      settled.push_back(key);
+      continue;
+    }
+    std::scoped_lock lock(jobs_mutex_);
+    auto item = std::make_unique<job>();
+    item->key = key;
+    item->spec = *std::move(spec);
+    item->state = job_state::queued;
+    jobs_.push_back(std::move(item));
+    queue_.push_back(key);
+    settled.push_back(key);  // guard against duplicate enqueue records
+    std::scoped_lock stats_lock(stats_mutex_);
+    ++stats_.jobs_adopted;
+  }
+}
+
+bool result_server::start() {
+  std::error_code ec;
+  std::filesystem::create_directories(config_.work_dir + "/jobs", ec);
+  std::filesystem::create_directories(config_.work_dir + "/sweeps", ec);
+  {
+    std::scoped_lock lock(store_mutex_);
+    store_ = result_store::open(config_.store_dir);
+    if (!store_) {
+      std::fprintf(stderr, "axc-serve: cannot open store %s\n",
+                   config_.store_dir.c_str());
+      return false;
+    }
+  }
+#if AXC_HAS_NET
+  if (::pipe(stop_pipe_) != 0) {
+    std::fprintf(stderr, "axc-serve: cannot create stop pipe\n");
+    return false;
+  }
+#endif
+  replay_journal();
+  worker_ = std::thread([this] { worker_loop(); });
+  if (!config_.socket_path.empty()) {
+    auto listener = support::net::unix_listener::listen_at(
+        config_.socket_path);
+    if (!listener) {
+      std::fprintf(stderr, "axc-serve: cannot listen at %s\n",
+                   config_.socket_path.c_str());
+      request_stop();
+      return false;
+    }
+    listener_ = *std::move(listener);
+  }
+  started_ = true;
+  return true;
+}
+
+void result_server::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  jobs_cv_.notify_all();
+#if AXC_HAS_NET
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 'x';
+    (void)!::write(stop_pipe_[1], &byte, 1);
+  }
+#endif
+}
+
+void result_server::reopen_store() {
+  std::scoped_lock lock(store_mutex_);
+  store_ = result_store::open(config_.store_dir);
+}
+
+serve_stats result_server::stats() const {
+  std::scoped_lock lock(stats_mutex_);
+  return stats_;
+}
+
+// ---- Request handling ----------------------------------------------------
+
+std::string result_server::handle_request(std::string_view request_text) {
+  auto request = parse_request(request_text);
+  if (!request) {
+    {
+      std::scoped_lock lock(stats_mutex_);
+      ++stats_.malformed;
+    }
+    return encode_reply(serve_reply{.status = "malformed"});
+  }
+  return encode_reply(process(*request));
+}
+
+serve_reply result_server::serve_front(std::uint64_t key,
+                                       std::optional<double> budget) {
+  const std::string key16 = result_store::format_key(key);
+  std::optional<std::string> bytes;
+  {
+    std::scoped_lock lock(store_mutex_);
+    if (store_) bytes = store_->get("front", key16);
+  }
+  if (!bytes) return serve_reply{.status = "unknown", .key = key16};
+  serve_reply reply{.status = "hit", .key = key16};
+  if (budget) {
+    // Budget filtering re-serializes, so a budgeted reply is NOT the
+    // stored bytes; unbudgeted hits are, which is the byte-identity the
+    // tests compare against `axc_store get`.
+    const auto points = parse_front(*bytes);
+    if (!points) return serve_reply{.status = "error", .key = key16};
+    std::vector<pareto_point> kept;
+    for (const pareto_point& p : *points) {
+      if (p.x <= *budget) kept.push_back(p);
+    }
+    reply.payload = serialize_front(kept);
+  } else {
+    reply.payload = *std::move(bytes);
+  }
+  std::scoped_lock lock(stats_mutex_);
+  ++stats_.hits;
+  return reply;
+}
+
+serve_reply result_server::serve_table(const serve_request& request) {
+  const component_handle handle = request.spec.make_component();
+  if (!handle) return serve_reply{.status = "error"};
+  // Tables characterize the component alone — the plan (targets, runs)
+  // cannot change a truth table — so the key is the bare fingerprint,
+  // shared by every sweep of the same component config.
+  const std::string key16 =
+      result_store::format_key(handle.fingerprint());
+  {
+    std::scoped_lock lock(store_mutex_);
+    if (store_) {
+      if (auto bytes = store_->get("table", key16)) {
+        serve_reply reply{.status = "hit", .key = key16,
+                          .payload = *std::move(bytes)};
+        std::scoped_lock stats_lock(stats_mutex_);
+        ++stats_.hits;
+        return reply;
+      }
+    }
+  }
+  const std::string payload = serialize_table(
+      handle.width(), handle.characterize(request.spec.seed));
+  std::scoped_lock lock(store_mutex_);
+  if (!store_ || !store_->put("table", key16, payload)) {
+    return serve_reply{.status = "error", .key = key16};
+  }
+  // Serve the store's bytes, not the local buffer: a table hit and the
+  // miss that built it must be byte-identical.
+  auto bytes = store_->get("table", key16);
+  if (!bytes) return serve_reply{.status = "error", .key = key16};
+  {
+    std::scoped_lock stats_lock(stats_mutex_);
+    ++stats_.tables_built;
+    ++stats_.hits;
+  }
+  return serve_reply{.status = "hit", .key = key16,
+                     .payload = *std::move(bytes)};
+}
+
+serve_reply result_server::enqueue_miss(const serve_request& request,
+                                        std::uint64_t key) {
+  const std::string key16 = result_store::format_key(key);
+  // Another process (a coordinator publishing out-of-band) may have landed
+  // this front since our index was loaded: reopen and recheck before
+  // paying for a sweep.
+  reopen_store();
+  {
+    serve_reply again = serve_front(key, request.budget);
+    if (again.status == "hit") return again;
+  }
+  std::unique_lock lock(jobs_mutex_);
+  for (const auto& item : jobs_) {
+    if (item->key != key) continue;
+    // Coalesce: someone else already owns this key's sweep.
+    std::scoped_lock stats_lock(stats_mutex_);
+    switch (item->state) {
+      case job_state::queued:
+        ++stats_.coalesced;
+        return serve_reply{.status = "queued", .key = key16};
+      case job_state::running:
+        ++stats_.coalesced;
+        return serve_reply{.status = "running", .key = key16};
+      case job_state::failed:
+        return serve_reply{.status = "failed", .key = key16};
+      case job_state::done:
+        // Done but not in the store: the sweep's publish failed.
+        return serve_reply{.status = "failed", .key = key16};
+    }
+  }
+  if (stop_.load(std::memory_order_relaxed)) {
+    return serve_reply{.status = "draining", .key = key16};
+  }
+  if (config_.worker_binary.empty() || queue_.size() >= config_.queue_limit) {
+    std::scoped_lock stats_lock(stats_mutex_);
+    ++stats_.rejected;
+    return serve_reply{.status = "miss-rejected", .key = key16};
+  }
+  // Durability order: spec file, then journal record, then the in-memory
+  // queue.  A crash after the journal append leaves exactly the state
+  // replay_journal() re-adopts.
+  {
+    std::ostringstream os;
+    request.spec.write(os);
+    if (!support::write_file_durable(job_spec_path(key), os.str())) {
+      return serve_reply{.status = "error", .key = key16};
+    }
+  }
+  if (!journal_append("enqueue " + key16)) {
+    return serve_reply{.status = "error", .key = key16};
+  }
+  // The mid-enqueue kill window: the job is journaled and its spec is
+  // durable, but no worker thread knows about it and no reply was sent.
+  // _Exit models SIGKILL; the restarted server must re-adopt and run it.
+  if (fault::fire(kFaultCrashMidEnqueue)) std::_Exit(kServerCrashExit);
+  auto item = std::make_unique<job>();
+  item->key = key;
+  item->spec = request.spec;
+  item->state = job_state::queued;
+  jobs_.push_back(std::move(item));
+  queue_.push_back(key);
+  lock.unlock();
+  jobs_cv_.notify_all();
+  std::scoped_lock stats_lock(stats_mutex_);
+  ++stats_.misses_enqueued;
+  return serve_reply{.status = "miss-enqueued", .key = key16};
+}
+
+serve_reply result_server::process(const serve_request& request) {
+  if (request.verb == "table") return serve_table(request);
+  const std::uint64_t key = request.spec.store_key();
+  if (key == 0) return serve_reply{.status = "error"};
+  const std::string key16 = result_store::format_key(key);
+
+  if (request.verb == "status") {
+    {
+      std::scoped_lock lock(store_mutex_);
+      if (store_ && store_->contains("front", key16)) {
+        return serve_reply{.status = "hit", .key = key16};
+      }
+    }
+    std::scoped_lock lock(jobs_mutex_);
+    for (const auto& item : jobs_) {
+      if (item->key != key) continue;
+      switch (item->state) {
+        case job_state::queued:
+          return serve_reply{.status = "queued", .key = key16};
+        case job_state::running:
+          return serve_reply{.status = "running", .key = key16};
+        case job_state::failed:
+          return serve_reply{.status = "failed", .key = key16};
+        case job_state::done:
+          return serve_reply{.status = "failed", .key = key16};
+      }
+    }
+    return serve_reply{.status = "unknown", .key = key16};
+  }
+
+  serve_reply reply = serve_front(key, request.budget);
+  if (reply.status != "hit") reply = enqueue_miss(request, key);
+  if (request.verb == "get" || reply.status == "hit" ||
+      reply.status == "miss-rejected" || reply.status == "failed" ||
+      reply.status == "draining" || reply.status == "error") {
+    return reply;
+  }
+
+  // wait: block until the coalesced job settles, the drain begins, or the
+  // client's deadline passes.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(request.timeout_ms);
+  {
+    std::unique_lock lock(jobs_mutex_);
+    const bool settled = jobs_cv_.wait_until(lock, deadline, [&] {
+      if (stop_.load(std::memory_order_relaxed)) return true;
+      for (const auto& item : jobs_) {
+        if (item->key == key) {
+          return item->state == job_state::done ||
+                 item->state == job_state::failed;
+        }
+      }
+      return true;  // job vanished: settle and re-probe the store
+    });
+    if (stop_.load(std::memory_order_relaxed)) {
+      return serve_reply{.status = "draining", .key = key16};
+    }
+    if (!settled) return serve_reply{.status = "timeout", .key = key16};
+  }
+  serve_reply settled = serve_front(key, request.budget);
+  if (settled.status == "hit") return settled;
+  return serve_reply{.status = "failed", .key = key16};
+}
+
+// ---- Background sweeps ---------------------------------------------------
+
+void result_server::run_job(job& item) {
+  const std::string key16 = result_store::format_key(item.key);
+  shard_runner_config cfg;
+  cfg.shards = config_.shards;
+  cfg.max_attempts = config_.max_attempts;
+  cfg.work_dir = config_.work_dir + "/sweeps/" + key16;
+  cfg.worker_binary = config_.worker_binary;
+  cfg.store_dir = config_.store_dir;
+  cfg.should_stop = [this] { return stopping(); };
+  const sweep_result result = run_sweep(item.spec, cfg);
+  if (result.drained && !result.complete) {
+    // Drain interrupted the sweep: no done/fail record, so the journal
+    // still says `enqueue` and the next life re-adopts the job; the
+    // sweep's own coordinator journal + shard checkpoints make the re-run
+    // resume instead of restart.
+    std::scoped_lock lock(jobs_mutex_);
+    item.state = job_state::queued;
+    return;
+  }
+  reopen_store();
+  bool published = false;
+  {
+    std::scoped_lock lock(store_mutex_);
+    published = result.complete && store_ &&
+                store_->contains("front", key16);
+  }
+  (void)journal_append((published ? "done " : "fail ") + key16);
+  {
+    std::scoped_lock lock(jobs_mutex_);
+    item.state = published ? job_state::done : job_state::failed;
+  }
+  {
+    std::scoped_lock lock(stats_mutex_);
+    if (published) {
+      ++stats_.sweeps_completed;
+    } else {
+      ++stats_.sweeps_failed;
+    }
+  }
+  jobs_cv_.notify_all();
+}
+
+void result_server::worker_loop() {
+  while (true) {
+    job* item = nullptr;
+    {
+      std::unique_lock lock(jobs_mutex_);
+      jobs_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      if (stop_.load(std::memory_order_relaxed)) {
+        // Drain: leave queued jobs journaled for the next life.
+        return;
+      }
+      const std::uint64_t key = queue_.front();
+      queue_.pop_front();
+      for (const auto& candidate : jobs_) {
+        if (candidate->key == key) {
+          item = candidate.get();
+          break;
+        }
+      }
+      if (item) item->state = job_state::running;
+    }
+    if (item) {
+      jobs_cv_.notify_all();  // wake `status`/`wait` observers
+      run_job(*item);
+    }
+  }
+}
+
+// ---- Socket front door ---------------------------------------------------
+
+void result_server::handle_connection(connection& conn) {
+  while (!stopping()) {
+    support::net::frame_error error = support::net::frame_error::none;
+    auto payload = conn.stream.receive(config_.max_frame_bytes, &error);
+    if (!payload) {
+      // Damaged framing poisons only this connection — the listener keeps
+      // accepting.  (io covers receive timeouts; closed is a clean hangup;
+      // neither is client-sent damage.)
+      if (error != support::net::frame_error::closed &&
+          error != support::net::frame_error::io) {
+        std::scoped_lock lock(stats_mutex_);
+        ++stats_.malformed;
+      }
+      break;
+    }
+    const std::string reply = handle_request(*payload);
+    // The before-reply kill window: the request is fully processed (an
+    // enqueue is journaled, a hit was read) but the client never hears.
+    // The restarted server must answer an identical retry consistently.
+    if (fault::fire(kFaultCrashBeforeReply)) std::_Exit(kServerCrashExit);
+    if (!conn.stream.send(reply)) break;
+  }
+  conn.stream.close();
+  conn.done.store(true, std::memory_order_release);
+}
+
+void result_server::serve() {
+#if AXC_HAS_NET
+  if (!listener_.valid()) return;
+  while (!stopping()) {
+    ::pollfd fds[2] = {{listener_.fd(), POLLIN, 0},
+                       {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    // Reap finished connection handlers between accepts so a long-lived
+    // server doesn't accumulate joinable threads.
+    std::erase_if(connections_, [](const std::unique_ptr<connection>& c) {
+      if (!c->done.load(std::memory_order_acquire)) return false;
+      if (c->thread.joinable()) c->thread.join();
+      return true;
+    });
+    if (fds[1].revents & POLLIN) {
+      request_stop();
+      break;
+    }
+    if (!(fds[0].revents & POLLIN)) continue;
+    auto stream = listener_.accept();
+    if (!stream) continue;
+    auto conn = std::make_unique<connection>();
+    conn->stream = *std::move(stream);
+    if (config_.receive_timeout_ms > 0) {
+      (void)conn->stream.set_receive_timeout_ms(config_.receive_timeout_ms);
+    }
+    connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] { handle_connection(*raw); });
+    connections_.push_back(std::move(conn));
+  }
+  // Drain: stop accepting, finish/abort handlers, stop the sweep thread.
+  request_stop();
+  listener_.close();
+  for (auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  connections_.clear();
+  if (worker_.joinable()) worker_.join();
+#endif
+}
+
+}  // namespace axc::core

@@ -23,6 +23,7 @@ namespace {
 constexpr std::string_view kObjectMagic = "axc-object v1";
 constexpr std::string_view kIndexMagic = "axc-store-index v1";
 constexpr std::string_view kFrontMagic = "axc-front v1";
+constexpr std::string_view kTableMagic = "axc-table v1";
 
 // Fault points of the store write path (see result_store.h header comment).
 constexpr std::string_view kFaultPutFail = "store-put-fail";
@@ -451,8 +452,15 @@ std::optional<std::string> result_store::get(std::string_view kind,
   return obj->payload;
 }
 
-std::vector<store_entry> result_store::entries() const {
-  std::vector<store_entry> sorted = index_;
+std::vector<store_entry> result_store::entries(std::string_view kind) const {
+  std::vector<store_entry> sorted;
+  if (kind.empty()) {
+    sorted = index_;
+  } else {
+    for (const store_entry& entry : index_) {
+      if (entry.kind == kind) sorted.push_back(entry);
+    }
+  }
   sort_entries(sorted);
   return sorted;
 }
@@ -586,6 +594,45 @@ std::optional<std::vector<pareto_point>> parse_front(std::string_view text) {
   }
   if (!(is >> tag) || tag != "end") return std::nullopt;
   return points;
+}
+
+std::string serialize_table(unsigned width,
+                            std::span<const std::int64_t> values) {
+  std::string out(kTableMagic);
+  out += "\nwidth ";
+  out += std::to_string(width);
+  out += "\nentries ";
+  out += std::to_string(values.size());
+  out += '\n';
+  // 16 values per line keeps a w=8 table (65536 entries) around a few
+  // hundred KB of grep-able text without degenerate line lengths.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out += std::to_string(values[i]);
+    out += (i + 1 == values.size() || (i + 1) % 16 == 0) ? '\n' : ' ';
+  }
+  out += "end\n";
+  return out;
+}
+
+std::optional<table_payload> parse_table(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string magic_a, magic_b, tag;
+  if (!(is >> magic_a >> magic_b) ||
+      magic_a + " " + magic_b != kTableMagic) {
+    return std::nullopt;
+  }
+  table_payload table;
+  if (!(is >> tag >> table.width) || tag != "width") return std::nullopt;
+  std::size_t count = 0;
+  if (!(is >> tag >> count) || tag != "entries" || count > (1u << 26)) {
+    return std::nullopt;
+  }
+  table.values.resize(count);
+  for (std::int64_t& value : table.values) {
+    if (!(is >> value)) return std::nullopt;
+  }
+  if (!(is >> tag) || tag != "end") return std::nullopt;
+  return table;
 }
 
 }  // namespace axc::core

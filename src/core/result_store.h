@@ -114,7 +114,9 @@ class result_store {
                               std::string_view key) const;
 
   /// Live mappings, sorted by (kind, key) — the `axc_store ls` surface.
-  [[nodiscard]] std::vector<store_entry> entries() const;
+  /// A non-empty `kind` filters to that kind only (`axc_store ls --kind`).
+  [[nodiscard]] std::vector<store_entry> entries(
+      std::string_view kind = {}) const;
 
   /// Verifies every object file (referenced or not) against its CRCs;
   /// corrupt or unparseable objects are renamed into
@@ -154,6 +156,20 @@ class result_store {
 [[nodiscard]] std::string serialize_front(
     std::span<const pareto_point> front);
 [[nodiscard]] std::optional<std::vector<pareto_point>> parse_front(
+    std::string_view text);
+
+/// "axc-table v1" text serialization of a compiled behavioural table (the
+/// store's "table" kind, keyed by component fingerprint): decoded results
+/// for every operand-pattern pair, entry[(b << w) | a], exact integers so
+/// the round trip is trivially bit-exact.  Parsing is strict: a count
+/// mismatch, non-integer token or missing terminator returns nullopt.
+struct table_payload {
+  unsigned width{0};
+  std::vector<std::int64_t> values{};
+};
+[[nodiscard]] std::string serialize_table(
+    unsigned width, std::span<const std::int64_t> values);
+[[nodiscard]] std::optional<table_payload> parse_table(
     std::string_view text);
 
 }  // namespace axc::core

@@ -580,7 +580,22 @@ sweep_result run_sweep(const sweep_spec& spec,
   shard_runner_config cfg = config;
   cfg.max_attempts = max_attempts;
 
+  bool drained = false;
   while (true) {
+    if (cfg.should_stop && cfg.should_stop()) {
+      // Graceful drain: take the live workers down hard (their autosaved
+      // checkpoints are the durable state; a SIGKILL here is exactly the
+      // crash the resume path already survives) and fall through to the
+      // partial merge.  Re-running the same spec + work_dir later resumes.
+      drained = true;
+      for (shard_state& s : states) {
+        if (!s.proc) continue;
+        s.proc->kill_hard();
+        s.proc.reset();  // blocks until the worker is reaped
+        emit(cfg, s, shard_event_kind::drained);
+      }
+      break;
+    }
     const auto now = clock::now();
     bool pending = false;
     for (shard_state& s : states) {
@@ -638,6 +653,7 @@ sweep_result run_sweep(const sweep_spec& spec,
   }
 
   sweep_result result = merge_shards(spec, states);
+  result.drained = drained;
 
   if (!cfg.store_dir.empty()) {
     // Publish into the result store.  Content-addressed puts make this
@@ -664,6 +680,23 @@ sweep_result run_sweep(const sweep_spec& spec,
       }
     }
     if (result.complete) {
+      // Alongside the front, publish the component's compiled behavioural
+      // table (kind "table", keyed by the bare component fingerprint — the
+      // plan can't change a truth table) so the server can hand out
+      // characterization artifacts without re-simulating.  ~2^2w lookups'
+      // worth of work, negligible next to the sweep that just finished.
+      if (const component_handle component = spec.make_component()) {
+        const std::string tkey =
+            result_store::format_key(component.fingerprint());
+        const std::string table = serialize_table(
+            component.width(), component.characterize(spec.seed));
+        if (const auto hash = store->put("table", tkey, table)) {
+          (void)journal.append("publish table " + tkey + " " + hex16(*hash));
+        } else {
+          std::fprintf(stderr, "axc: run_sweep: table publish failed (%s)\n",
+                       tkey.c_str());
+        }
+      }
       const std::string key = result_store::format_key(sweep_key);
       if (const auto hash =
               store->put("front", key, serialize_front(result.front))) {

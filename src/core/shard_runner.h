@@ -125,6 +125,7 @@ enum class shard_event_kind : std::uint8_t {
   retrying,    ///< relaunch scheduled after backoff
   completed,   ///< worker finished its shard cleanly
   failed,      ///< attempts exhausted; shard left to checkpoint salvage
+  drained,     ///< should_stop() asked for a graceful drain; worker killed
 };
 
 /// Supervision progress stream (the process-level analogue of
@@ -177,6 +178,13 @@ struct shard_runner_config {
   /// crashed-and-re-run coordinator converges on the same store contents.
   std::string store_dir{};
   std::function<void(const shard_event&)> on_event{};
+  /// Polled once per supervision tick; returning true drains the sweep:
+  /// live workers are SIGKILLed (their checkpoints stay), the merge runs
+  /// over whatever completed, and the result comes back `drained` (and
+  /// normally incomplete — re-running the same spec + work_dir resumes).
+  /// How axc_sweep's SIGTERM handler and the result server's shutdown
+  /// stop a sweep without orphaning processes or losing durable state.
+  std::function<bool()> should_stop{};
 };
 
 struct shard_outcome {
@@ -195,6 +203,9 @@ struct shard_outcome {
 /// salvaged design and the front over them.
 struct sweep_result {
   bool complete{false};
+  /// True when config.should_stop ended supervision early (graceful
+  /// drain); the merge still covers every salvaged checkpoint.
+  bool drained{false};
   /// Completed designs in plan order (missing jobs omitted), equal to an
   /// uninterrupted search_session::designs() when complete.
   std::vector<evolved_design> designs{};

@@ -122,6 +122,15 @@ class subprocess {
 #endif
   }
 
+  /// SIGTERM — asks for a graceful drain (axc_sweep and axc_serve install
+  /// handlers that stop supervision and flush their journals).  Follow
+  /// with poll(); escalate to kill_hard() if the child ignores it.
+  void terminate() {
+#if AXC_HAS_SUBPROCESS
+    if (pid_ > 0) ::kill(pid_, SIGTERM);
+#endif
+  }
+
  private:
   /// Destructor path: an aborting owner (exception unwind, early return)
   /// must leave neither a running orphan nor a zombie behind, so kill hard

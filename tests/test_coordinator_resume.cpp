@@ -160,7 +160,15 @@ void run_crash_resume_case(const std::string& name,
     ASSERT_TRUE(session.has_value()) << "session " << key;
     EXPECT_EQ(session->rfind("axc-session v2", 0), 0u);
   }
-  EXPECT_EQ(store->entries().size(), 3u);
+  // And the component's compiled table (published alongside the front).
+  if (const component_handle component = spec.make_component()) {
+    const std::string table_key =
+        result_store::format_key(component.fingerprint());
+    const auto table = store->get("table", table_key);
+    ASSERT_TRUE(table.has_value()) << "no table published";
+    EXPECT_EQ(table->rfind("axc-table v1", 0), 0u);
+  }
+  EXPECT_EQ(store->entries().size(), 4u);
   EXPECT_EQ(store->scrub().quarantined, 0u);
 
   std::error_code ec;

@@ -1,0 +1,107 @@
+// Long-lived result-serving daemon (the front door of the sweep runtime).
+//
+//   axc_serve --store D --socket PATH --work-dir D [--worker BIN]
+//             [--queue-limit N] [--shards N] [--max-attempts N]
+//             [--receive-timeout-ms N]
+//
+// Answers "sweep spec (+ optional error budget) -> Pareto front" requests
+// over the Unix-domain socket at PATH, speaking the CRC-framed protocol in
+// support/net.h + core/result_server.h (client: tools/axc_client).  Hits
+// are result_store lookups served in microseconds; misses enqueue a
+// sharded sweep (workers spawned from BIN) on a bounded background queue
+// with in-flight coalescing by store key.  Without --worker every miss is
+// rejected (a read-only serving replica).
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, kill in-flight sweep
+// workers (their checkpoints survive), answer blocked waiters with
+// `draining`, and exit 0 — the CRC'd server journal in the work directory
+// makes the next life re-adopt any unfinished job.  The AXC_FAULT crash
+// points (server-crash-mid-enqueue, server-crash-before-reply, plus the
+// coordinator/store points inside the embedded run_sweep) are armed from
+// the environment for the recovery test suite.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+
+#include "core/result_server.h"
+#include "support/fault.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: axc_serve --store D --socket PATH --work-dir D [--worker BIN]\n"
+    "                 [--queue-limit N] [--shards N] [--max-attempts N]\n"
+    "                 [--receive-timeout-ms N]\n";
+
+// The drain signal only pokes the server's self-pipe — the one
+// async-signal-safe way to wake a poll()-based accept loop.
+volatile sig_atomic_t g_stop_fd = -1;
+
+void on_signal(int) {
+  if (g_stop_fd >= 0) {
+    const char byte = 'x';
+    (void)!::write(static_cast<int>(g_stop_fd), &byte, 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  axc::fault::configure_from_env();
+  axc::core::server_config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--store" && i + 1 < argc) {
+      config.store_dir = argv[++i];
+    } else if (arg == "--socket" && i + 1 < argc) {
+      config.socket_path = argv[++i];
+    } else if (arg == "--work-dir" && i + 1 < argc) {
+      config.work_dir = argv[++i];
+    } else if (arg == "--worker" && i + 1 < argc) {
+      config.worker_binary = argv[++i];
+    } else if (arg == "--queue-limit" && i + 1 < argc) {
+      config.queue_limit = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      config.shards = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-attempts" && i + 1 < argc) {
+      config.max_attempts = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--receive-timeout-ms" && i + 1 < argc) {
+      config.receive_timeout_ms = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+  }
+  if (config.store_dir.empty() || config.socket_path.empty() ||
+      config.work_dir.empty()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+
+  axc::core::result_server server(config);
+  if (!server.start()) return 1;
+  g_stop_fd = server.stop_write_fd();
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::fprintf(stderr, "axc_serve: serving %s at %s\n",
+               config.store_dir.c_str(), config.socket_path.c_str());
+  server.serve();
+
+  const axc::core::serve_stats stats = server.stats();
+  std::fprintf(stderr,
+               "axc_serve: drained (hits %llu, misses %llu, coalesced %llu, "
+               "rejected %llu, malformed %llu, sweeps %llu ok / %llu "
+               "failed, tables %llu, adopted %llu)\n",
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.misses_enqueued),
+               static_cast<unsigned long long>(stats.coalesced),
+               static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.malformed),
+               static_cast<unsigned long long>(stats.sweeps_completed),
+               static_cast<unsigned long long>(stats.sweeps_failed),
+               static_cast<unsigned long long>(stats.tables_built),
+               static_cast<unsigned long long>(stats.jobs_adopted));
+  return 0;
+}

@@ -2,7 +2,7 @@
 //
 //   axc_store --store D put <kind> <key> <file>    store a file's bytes
 //   axc_store --store D get <kind> <key> [--out F] print (or write) bytes
-//   axc_store --store D ls                         list live entries
+//   axc_store --store D ls [--kind K]              list live entries
 //   axc_store --store D scrub                      quarantine corrupt objects
 //   axc_store --store D gc                         drop unreferenced objects
 //
@@ -14,7 +14,8 @@
 // serving.  Exit codes: 0 ok, 1 operation failed (missing key, corrupt
 // object, unwritable store), 2 usage.  `scrub` exits 0 even when it
 // quarantined (the store is healthy *after* scrubbing); `ls` prints
-// `<kind> <key> <hash> <size>` per entry.
+// `<kind> <key> <hash> <size> <payload-crc>` per entry (--kind filters to
+// one kind — the operator's view of a serving store's fronts or tables).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -28,7 +29,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: axc_store --store D put <kind> <key> <file>\n"
     "       axc_store --store D get <kind> <key> [--out F]\n"
-    "       axc_store --store D ls\n"
+    "       axc_store --store D ls [--kind K]\n"
     "       axc_store --store D scrub\n"
     "       axc_store --store D gc\n";
 
@@ -113,12 +114,18 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (cmd == "ls" && args.size() == 1) {
-    for (const auto& entry : store->entries()) {
-      std::printf("%s %s %016llx %llu\n", entry.kind.c_str(),
+  if (cmd == "ls" && (args.size() == 1 || args.size() == 3)) {
+    std::string kind;
+    if (args.size() == 3) {
+      if (args[1] != "--kind") return usage();
+      kind = args[2];
+    }
+    for (const auto& entry : store->entries(kind)) {
+      std::printf("%s %s %016llx %llu %08x\n", entry.kind.c_str(),
                   entry.key.c_str(),
                   static_cast<unsigned long long>(entry.hash),
-                  static_cast<unsigned long long>(entry.size));
+                  static_cast<unsigned long long>(entry.size),
+                  entry.payload_crc);
     }
     return 0;
   }

@@ -25,6 +25,7 @@
 // then verifies that the merged result is bit-identical to an
 // uninterrupted in-process run of the same spec.  Exits 0 only when the
 // crashed-and-retried sweep reproduces the reference exactly.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,7 +45,16 @@ constexpr const char* kUsage =
     "                 [--shards N] [--max-attempts N]\n"
     "                 [--attempt-timeout-ms N] [--stall-timeout-ms N]\n"
     "                 [--autosave-generations N] [--store D]\n"
-    "       axc_sweep --demo --worker <axc_worker> [--work-dir D]\n";
+    "       axc_sweep --demo --worker <axc_worker> [--work-dir D]\n"
+    "       axc_sweep --emit-demo-spec <file>\n";
+
+// SIGTERM/SIGINT request a graceful drain instead of dying
+// mid-supervision: the runner kills its workers (checkpoints survive),
+// merges what completed, and the process exits 130 — re-running the same
+// command resumes from the shard checkpoints + journal.
+volatile std::sig_atomic_t g_drain = 0;
+
+void on_signal(int) { g_drain = 1; }
 
 const char* event_name(axc::core::shard_event_kind kind) {
   using axc::core::shard_event_kind;
@@ -57,6 +67,7 @@ const char* event_name(axc::core::shard_event_kind kind) {
     case shard_event_kind::retrying: return "retrying";
     case shard_event_kind::completed: return "completed";
     case shard_event_kind::failed: return "failed";
+    case shard_event_kind::drained: return "drained";
   }
   return "?";
 }
@@ -178,12 +189,15 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string worker;
   std::string work_dir;
+  std::string emit_spec_path;
   bool demo = false;
   axc::core::shard_runner_config config;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--spec" && i + 1 < argc) {
       spec_path = argv[++i];
+    } else if (arg == "--emit-demo-spec" && i + 1 < argc) {
+      emit_spec_path = argv[++i];
     } else if (arg == "--worker" && i + 1 < argc) {
       worker = argv[++i];
     } else if (arg == "--work-dir" && i + 1 < argc) {
@@ -210,10 +224,23 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (!emit_spec_path.empty()) {
+    // Writes the --demo sweep's spec for out-of-process consumers (the CI
+    // serve smoke feeds it to axc_serve/axc_client).
+    if (!demo_spec().write_file(emit_spec_path)) {
+      std::fprintf(stderr, "axc_sweep: cannot write %s\n",
+                   emit_spec_path.c_str());
+      return 1;
+    }
+    return 0;
+  }
   if (worker.empty()) {
     std::fputs(kUsage, stderr);
     return 2;
   }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  config.should_stop = [] { return g_drain != 0; };
   if (demo) return run_demo(worker, work_dir);
   if (spec_path.empty()) {
     std::fputs(kUsage, stderr);
@@ -227,5 +254,11 @@ int main(int argc, char** argv) {
   config.on_event = log_event;
   const axc::core::sweep_result result = axc::core::run_sweep(*spec, config);
   print_result(result);
+  if (result.drained) {
+    std::fprintf(stderr,
+                 "axc_sweep: drained on signal; checkpoints and journal "
+                 "kept — re-run the same command to resume\n");
+    return 130;
+  }
   return result.complete ? 0 : 1;
 }
