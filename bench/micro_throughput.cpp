@@ -4,7 +4,11 @@
 // quantized inference and the Gaussian filter.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -38,6 +42,24 @@
 namespace {
 
 using namespace axc;
+
+/// Worker/connection counts for the _mt benches: always 2 (the stable
+/// point the regression gate watches) plus the machine's concurrency or
+/// the AXC_BENCH_THREADS override (bench/run_micro.sh --threads N).
+std::size_t bench_threads() {
+  if (const char* env = std::getenv("AXC_BENCH_THREADS")) {
+    const long v = std::atol(env);
+    if (v > 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 2 ? hc : 2;
+}
+
+void mt_args(benchmark::internal::Benchmark* b) {
+  b->Arg(2);
+  const auto t = static_cast<int>(bench_threads());
+  if (t != 2) b->Arg(t);
+}
 
 void bm_simulate_block(benchmark::State& state) {
   const circuit::netlist nl = mult::unsigned_multiplier(8);
@@ -192,6 +214,56 @@ void bm_wmed_evaluate_cgp_candidate_reference(benchmark::State& state) {
 }
 BENCHMARK(bm_wmed_evaluate_cgp_candidate_reference);
 
+void bm_wmed_evaluate_batch(benchmark::State& state) {
+  // Full (abort-free) batched sweep, per candidate: four staged mutants of
+  // the search candidate scored by one evaluate_batch call — read against
+  // bm_wmed_evaluate to see the batch executor's per-step amortization in
+  // isolation (same passes, same scan work, 1/4 the dispatch overhead).
+  const metrics::mult_spec spec{8, false};
+  metrics::wmed_evaluator evaluator(spec, dist::pmf::half_normal(256, 64.0));
+  const cgp::genotype parent = search_candidate();
+  cgp::cone_program cone;
+  cone.bind(parent);
+  rng gen(11);
+  constexpr std::size_t kLambda = 4;
+  std::vector<cgp::genotype> children(kLambda, parent);
+  std::vector<cgp::staged_child> staged(kLambda);
+  std::vector<const cgp::staged_child*> ptrs;
+  std::vector<metrics::batch_candidate> cands;
+  std::vector<std::uint32_t> dirty;
+  for (std::size_t i = 0; i < kLambda; ++i) {
+    // Stage four phenotype-changing mutants once; the timed loop re-scores
+    // the same batch.
+    for (;;) {
+      children[i] = parent;
+      dirty.clear();
+      children[i].mutate(gen, dirty);
+      if (cone.stage_child(parent, children[i], dirty, staged[i]) !=
+          cgp::cone_program::delta::identical) {
+        break;
+      }
+    }
+    ptrs.push_back(&staged[i]);
+    cands.push_back({staged[i].patch_nodes.data(),
+                     staged[i].patch_steps.data(),
+                     staged[i].patch_nodes.size(),
+                     staged[i].out_offsets.data()});
+  }
+  double results[kLambda];
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    evaluator.evaluate_batch(cone.program(), cone.batch_union(ptrs), cands,
+                             std::numeric_limits<double>::infinity(),
+                             {results, kLambda});
+    benchmark::DoNotOptimize(results[0]);
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count() /
+                           static_cast<double>(kLambda));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_wmed_evaluate_batch)->UseManualTime();
+
 void bm_cgp_mutate_decode(benchmark::State& state) {
   cgp::parameters params;
   params.num_inputs = 16;
@@ -228,56 +300,113 @@ void bm_cgp_mutate_decode_cone(benchmark::State& state) {
 }
 BENCHMARK(bm_cgp_mutate_decode_cone);
 
+/// Shared body of the per-offspring generation benches: one (1+lambda)
+/// generation through evaluate_children() — the lambda-batch pipeline
+/// evolver::run_incremental drives — with manual timing divided by lambda,
+/// so the reported number stays *per offspring* and comparable across the
+/// whole trajectory (pr5's solo-patch numbers included).
+void run_generation_bench(benchmark::State& state,
+                          cgp::incremental_evaluator& evaluator,
+                          const cgp::genotype& parent, std::uint64_t seed) {
+  evaluator.evaluate_and_bind(parent);
+  rng gen(seed);
+  constexpr std::size_t kLambda = 4;
+  std::vector<cgp::genotype> children(kLambda, parent);
+  std::vector<std::vector<std::uint32_t>> dirty(kLambda);
+  std::vector<cgp::evaluation> evals(kLambda);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kLambda; ++i) {
+      // O(dirty) resync, as run_incremental does: the slot still differs
+      // from the (never-replaced) parent by its previous mutation only.
+      children[i].copy_genes_from(parent, dirty[i]);
+      dirty[i].clear();
+      children[i].mutate(gen, dirty[i]);
+    }
+    evaluator.evaluate_children(parent, children, dirty, 0, kLambda,
+                                evals.data());
+    benchmark::DoNotOptimize(evals.data());
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count() /
+                           static_cast<double>(kLambda));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 void bm_evolver_generation(benchmark::State& state) {
   // One offspring of one (1+lambda) WMED search generation, through the
-  // genotype-native incremental pipeline (what evolver::run_incremental
-  // executes per mutant): record dirty genes, patch/reuse the parent's
-  // compiled schedule, score with early abort, restore the parent binding.
-  // No netlist, no sim_program recompile, no allocation per mutant.
+  // lambda-batch genotype-native pipeline: record dirty genes, stage every
+  // mutant against the parent's schedule (identical mutants drop out), then
+  // one batched sweep executes and scores all of them — the per-step
+  // dispatch cost that bounds the solo executor is paid once per step, not
+  // once per step per mutant.  No netlist, no recompile, no allocation.
   const metrics::mult_spec spec{8, false};
   const dist::pmf d = dist::pmf::half_normal(256, 64.0);
   const auto& lib = tech::cell_library::nangate45_like();
-  const double target = 1e-4;
   const auto evaluator =
-      core::make_incremental_wmed_evaluator(spec, d, lib, target);
-  const cgp::genotype parent = search_candidate();
-  evaluator->evaluate_and_bind(parent);
-  rng gen(3);
-  std::vector<std::uint32_t> dirty;
-  cgp::genotype child = parent;  // offspring slots reuse storage
-  for (auto _ : state) {
-    child = parent;
-    dirty.clear();
-    child.mutate(gen, dirty);
-    benchmark::DoNotOptimize(evaluator->evaluate_child(parent, child, dirty));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+      core::make_incremental_wmed_evaluator(spec, d, lib, 1e-4);
+  run_generation_bench(state, *evaluator, search_candidate(), 3);
 }
-BENCHMARK(bm_evolver_generation);
+BENCHMARK(bm_evolver_generation)->UseManualTime();
+
+void bm_evolver_generation_solo(benchmark::State& state) {
+  // The same offspring loop with batching off (evaluate_child per mutant,
+  // apply/patch + solo sweep + release) — the pr5..pr8 inner loop, kept as
+  // the baseline the batch path is measured against.
+  const metrics::mult_spec spec{8, false};
+  const dist::pmf d = dist::pmf::half_normal(256, 64.0);
+  const auto& lib = tech::cell_library::nangate45_like();
+  const auto evaluator = core::make_incremental_wmed_evaluator(
+      spec, d, lib, 1e-4, simd::level::automatic, /*batch=*/false);
+  run_generation_bench(state, *evaluator, search_candidate(), 3);
+}
+BENCHMARK(bm_evolver_generation_solo)->UseManualTime();
 
 void bm_evolver_generation_scalar(benchmark::State& state) {
-  // The incremental offspring loop with the whole sweep (step executor +
-  // scan kernel) forced onto the scalar backends.
+  // The batched offspring loop with the whole sweep (batch executor + scan
+  // kernel) forced onto the scalar backends.
   const metrics::mult_spec spec{8, false};
   const dist::pmf d = dist::pmf::half_normal(256, 64.0);
   const auto& lib = tech::cell_library::nangate45_like();
-  const double target = 1e-4;
   const auto evaluator = core::make_incremental_wmed_evaluator(
-      spec, d, lib, target, simd::level::scalar);
-  const cgp::genotype parent = search_candidate();
-  evaluator->evaluate_and_bind(parent);
-  rng gen(3);
-  std::vector<std::uint32_t> dirty;
-  cgp::genotype child = parent;  // offspring slots reuse storage
+      spec, d, lib, 1e-4, simd::level::scalar);
+  run_generation_bench(state, *evaluator, search_candidate(), 3);
+}
+BENCHMARK(bm_evolver_generation_scalar)->UseManualTime();
+
+void bm_evolver_generation_mt(benchmark::State& state) {
+  // A short incremental search driven end to end through
+  // evolver::run_incremental with N worker threads (contiguous lambda
+  // chunks, one staged batch per worker, per-worker evaluators) —
+  // per-offspring wall time, the multi-core scaling trajectory of the
+  // search inner loop.  On a single-core box this records the
+  // synchronization overhead floor, not a speedup.
+  const metrics::mult_spec spec{8, false};
+  const dist::pmf d = dist::pmf::half_normal(256, 64.0);
+  const auto& lib = tech::cell_library::nangate45_like();
+  const auto cache = metrics::wmed_evaluator::make_shared_state(spec, d);
+  const cgp::genotype start = search_candidate();
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  cgp::evolver::options opts;
+  opts.iterations = 64;
+  const cgp::evolver::incremental_factory factory =
+      [&cache, &lib]() -> std::unique_ptr<cgp::incremental_evaluator> {
+    return core::make_incremental_wmed_evaluator<metrics::mult_spec>(
+        cache, lib, 1e-4);
+  };
   for (auto _ : state) {
-    child = parent;
-    dirty.clear();
-    child.mutate(gen, dirty);
-    benchmark::DoNotOptimize(evaluator->evaluate_child(parent, child, dirty));
+    rng gen(3);
+    const auto t0 = std::chrono::steady_clock::now();
+    const cgp::evolver::run_result run =
+        cgp::evolver::run_incremental(start, factory, opts, threads, gen);
+    benchmark::DoNotOptimize(run.evaluations);
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count() /
+                           static_cast<double>(run.evaluations));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(bm_evolver_generation_scalar);
+BENCHMARK(bm_evolver_generation_mt)->Apply(mt_args)->UseManualTime();
 
 void bm_evolver_generation_roundtrip(benchmark::State& state) {
   // The pre-incremental inner loop (PR 1's bm_evolver_generation): mutate,
@@ -356,28 +485,29 @@ void bm_adder_wmed_table(benchmark::State& state) {
 BENCHMARK(bm_adder_wmed_table);
 
 void bm_evolver_generation_adder(benchmark::State& state) {
-  // One adder-search offspring through the incremental pipeline — the
+  // One adder-search offspring through the lambda-batch pipeline — the
   // second component class on the same fast path as the multipliers.
   const metrics::adder_spec spec{8};
   const dist::pmf d = dist::pmf::half_normal(256, 48.0);
   const auto& lib = tech::cell_library::nangate45_like();
-  const double target = 1e-3;
   const auto evaluator =
-      core::make_incremental_wmed_evaluator(spec, d, lib, target);
-  const cgp::genotype parent = adder_search_candidate();
-  evaluator->evaluate_and_bind(parent);
-  rng gen(7);
-  std::vector<std::uint32_t> dirty;
-  cgp::genotype child = parent;  // offspring slots reuse storage
-  for (auto _ : state) {
-    child = parent;
-    dirty.clear();
-    child.mutate(gen, dirty);
-    benchmark::DoNotOptimize(evaluator->evaluate_child(parent, child, dirty));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+      core::make_incremental_wmed_evaluator(spec, d, lib, 1e-3);
+  run_generation_bench(state, *evaluator, adder_search_candidate(), 7);
 }
-BENCHMARK(bm_evolver_generation_adder);
+BENCHMARK(bm_evolver_generation_adder)->UseManualTime();
+
+void bm_evolver_generation_adder_solo(benchmark::State& state) {
+  // Batching off for the adder workload: on small cones the batch path's
+  // fixed staging cost is proportionally heavier, so this pair brackets
+  // where the crossover between the two inner loops sits.
+  const metrics::adder_spec spec{8};
+  const dist::pmf d = dist::pmf::half_normal(256, 48.0);
+  const auto& lib = tech::cell_library::nangate45_like();
+  const auto evaluator = core::make_incremental_wmed_evaluator(
+      spec, d, lib, 1e-3, simd::level::automatic, /*batch=*/false);
+  run_generation_bench(state, *evaluator, adder_search_candidate(), 7);
+}
+BENCHMARK(bm_evolver_generation_adder_solo)->UseManualTime();
 
 void bm_evolver_generation_adder_table(benchmark::State& state) {
   // The pre-port adder inner loop: decode + exhaustive sum table +
@@ -428,6 +558,26 @@ void bm_sweep_session(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
 }
 BENCHMARK(bm_sweep_session);
+
+void bm_sweep_session_mt(benchmark::State& state) {
+  // The session sweep with each job's lambda evaluation spread over N
+  // worker threads (approximation_config::threads) — the orchestration
+  // layer's multi-core trajectory, complementing the per-offspring view of
+  // bm_evolver_generation_mt.
+  core::approximation_config config = sweep_session_config();
+  config.threads = static_cast<std::size_t>(state.range(0));
+  const circuit::netlist seed = mult::unsigned_multiplier(8);
+  core::sweep_plan plan;
+  plan.targets = {1e-4, 1e-2};
+  plan.runs_per_target = config.runs_per_target;
+  for (auto _ : state) {
+    core::search_session session(core::make_component(config), seed, plan);
+    session.run();
+    benchmark::DoNotOptimize(session.front().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
+}
+BENCHMARK(bm_sweep_session_mt)->Apply(mt_args);
 
 void bm_sweep_session_cold_cache(benchmark::State& state) {
   // The pre-session behaviour: every job rebuilds the evaluator tables
@@ -639,6 +789,69 @@ void bm_server_hit(benchmark::State& state) {
   std::filesystem::remove_all(root, ec);
 }
 BENCHMARK(bm_server_hit);
+
+void bm_server_hit_mc(benchmark::State& state) {
+  // bm_server_hit under concurrency: N client threads issue one framed
+  // request each per iteration against the same daemon (its accept loop
+  // serves connections sequentially, so this measures queueing + serve
+  // latency under contention, per request).  Measurement only — not part
+  // of the regression gate.
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "axc-bench-server-mc")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  const core::sweep_spec spec = server_bench_spec();
+  std::vector<core::pareto_point> points;
+  for (std::size_t i = 0; i < 32; ++i) {
+    points.push_back({1e-4 * static_cast<double>(i + 1),
+                      900.0 - 25.0 * static_cast<double>(i), i});
+  }
+  {
+    auto store = core::result_store::open(root + "/store");
+    benchmark::DoNotOptimize(
+        store->put("front", core::result_store::format_key(spec.store_key()),
+                   core::serialize_front(points)));
+  }
+  core::server_config config;
+  config.store_dir = root + "/store";
+  config.work_dir = root + "/work";
+  config.socket_path = root + "/sock";
+  core::result_server server(config);
+  if (!server.start()) {
+    state.SkipWithError("cannot start result_server");
+    return;
+  }
+  std::thread accept_thread([&server] { server.serve(); });
+  core::serve_request request;
+  request.spec = spec;
+  const std::string request_text = core::encode_request(request);
+  const std::size_t conns = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<std::size_t> ok{0};
+    std::vector<std::thread> clients;
+    clients.reserve(conns);
+    for (std::size_t c = 0; c < conns; ++c) {
+      clients.emplace_back([&config, &request_text, &ok] {
+        auto stream = support::net::unix_stream::connect(config.socket_path);
+        if (!stream || !stream->send(request_text)) return;
+        const auto reply = stream->receive(1u << 20);
+        if (reply) ok.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    if (ok.load() != conns) {
+      state.SkipWithError("request failed");
+      break;
+    }
+  }
+  server.request_stop();
+  accept_thread.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(conns));
+  std::filesystem::remove_all(root, ec);
+}
+BENCHMARK(bm_server_hit_mc)->Apply(mt_args);
 
 void bm_server_encode(benchmark::State& state) {
   // Pure protocol cost: request text serialization + CRC frame encode —

@@ -12,13 +12,19 @@
 # benchmark regressed by more than 25% — so perf PRs cannot silently
 # regress the levers the ROADMAP tracks.  Check mode never appends.
 #
-# Usage:  bench/run_micro.sh [build-dir] [--tag name] [benchmark args...]
+# Usage:  bench/run_micro.sh [build-dir] [--tag name] [--threads N] [args...]
 #         bench/run_micro.sh [build-dir] --check [--against tag] [args...]
+#
+# --threads N sets AXC_BENCH_THREADS for the run: the *_mt benches
+# (bm_evolver_generation_mt, bm_sweep_session_mt, bm_server_hit_mc) then
+# measure at N workers/connections instead of their default sweep — the
+# knob for recording a many-core trajectory point on a bigger box.
 #
 # Examples:
 #   bench/run_micro.sh                                  # default build dir
 #   bench/run_micro.sh build-native --tag native        # -march=native pair
 #   bench/run_micro.sh --benchmark_filter=wmed          # forwarded args
+#   bench/run_micro.sh build --tag pr9-mt --threads 8   # 8-worker MT point
 #   bench/run_micro.sh build --check --against pr4      # regression gate
 set -eu
 
@@ -47,6 +53,11 @@ while [ $# -gt 0 ]; do
       ;;
     --against)
       against=$2
+      shift 2
+      ;;
+    --threads)
+      AXC_BENCH_THREADS=$2
+      export AXC_BENCH_THREADS
       shift 2
       ;;
     *)
@@ -90,10 +101,15 @@ import sys
 trajectory_path, run_path, against = sys.argv[1:4]
 
 # The perf levers the ROADMAP tracks; >25% slower than the baseline fails.
+# Names are compared with any "/manual_time" suffix stripped, so baselines
+# recorded before a bench switched to UseManualTime stay comparable.
 WATCHED = (
     "bm_wmed_evaluate",
+    "bm_wmed_evaluate_batch",
     "bm_evolver_generation",
     "bm_evolver_generation_adder",
+    "bm_evolver_generation_mt/2",
+    "bm_sweep_session_mt/2",
     "bm_checkpoint_save",
     "bm_checkpoint_resume",
     "bm_store_put",
@@ -102,8 +118,15 @@ WATCHED = (
 )
 THRESHOLD = 1.25
 
+
+def normalize(name):
+    suffix = "/manual_time"
+    return name[:-len(suffix)] if name.endswith(suffix) else name
+
+
 with open(run_path) as f:
-    fresh = {b["name"]: b for b in json.load(f).get("benchmarks", [])}
+    fresh = {normalize(b["name"]): b
+             for b in json.load(f).get("benchmarks", [])}
 
 try:
     with open(trajectory_path) as f:
@@ -121,7 +144,7 @@ if baseline is None:
     wanted = f"tag {against!r}" if against else "any tagged run"
     sys.exit(f"check: no baseline ({wanted}) in {trajectory_path}")
 
-base = {b["name"]: b for b in baseline.get("benchmarks", [])}
+base = {normalize(b["name"]): b for b in baseline.get("benchmarks", [])}
 print(f"check: baseline tag={baseline.get('tag')} sha={baseline.get('sha')}")
 
 failed = []

@@ -19,14 +19,39 @@ bool not_worse(const evaluation& a, const evaluation& b) {
   return !better(b, a);
 }
 
+void incremental_evaluator::evaluate_children(
+    const genotype& parent, const std::vector<genotype>& children,
+    const std::vector<std::vector<std::uint32_t>>& dirty, std::size_t begin,
+    std::size_t end, evaluation* out) {
+  for (std::size_t k = begin; k < end; ++k) {
+    out[k - begin] = evaluate_child(parent, children[k], dirty[k]);
+  }
+}
+
 namespace {
+
+/// Parallel offspring evaluation writes one slot per worker; padding the
+/// slots to cache lines keeps a worker's store from invalidating its
+/// neighbours' lines (false sharing — measurable on the ~microsecond
+/// per-mutant evaluations of the incremental path).
+struct alignas(64) padded_evaluation {
+  evaluation value;
+};
+static_assert(alignof(padded_evaluation) == 64);
+static_assert(sizeof(padded_evaluation) == 64);
 
 /// One (1 + lambda) run, shared by the netlist-based and incremental
 /// pipelines.  Hooks:
 ///   initial(seed) -> evaluation                     (first parent score)
 ///   mutate_children(parent, children, gen)          (refresh + mutate all)
 ///   evaluate_offspring(parent, parent_eval, children, evals)
-///   on_accept()                                     (parent was replaced)
+///   on_accept(best_k)                               (parent was replaced)
+///
+/// Acceptance *swaps* parent and the winning child instead of moving: the
+/// displaced child slot then holds the old parent, which differs from the
+/// new parent by exactly the winner's dirty genes.  The incremental
+/// pipeline exploits this to refresh children by O(dirty) gene resync
+/// instead of full-genotype copies.
 template <typename init_fn, typename mutate_fn, typename eval_fn,
           typename accept_fn>
 evolver::run_result run_core(const genotype& seed, const init_fn& initial,
@@ -81,9 +106,9 @@ evolver::run_result run_core(const genotype& seed, const init_fn& initial,
 
     if (acceptable(evals[best_k], parent_eval)) {
       const bool improved = better(evals[best_k], parent_eval);
-      parent = std::move(children[best_k]);
+      std::swap(parent, children[best_k]);
       parent_eval = evals[best_k];
-      on_accept();
+      on_accept(best_k);
       if (improved) {
         ++result.improvements;
         if (opts.on_improvement) opts.on_improvement(iter, parent_eval);
@@ -109,7 +134,7 @@ void mutate_plain(const genotype& parent, std::vector<genotype>& children,
   }
 }
 
-constexpr auto no_accept_hook = [] {};
+constexpr auto no_accept_hook = [](std::size_t) {};
 
 }  // namespace
 
@@ -166,13 +191,17 @@ evolver::run_result evolver::run_parallel(const genotype& seed,
   }
 
   thread_pool pool(std::min(threads, lambda));
-  const auto evaluate_offspring = [&evaluators, &pool](
+  std::vector<padded_evaluation> slots(lambda);
+  const auto evaluate_offspring = [&evaluators, &pool, &slots](
                                       const genotype&, const evaluation&,
                                       std::vector<genotype>& children,
                                       std::vector<evaluation>& evals) {
     parallel_for(pool, children.size(), [&](std::size_t k) {
-      evals[k] = evaluators[k](children[k].decode_cone());
+      slots[k].value = evaluators[k](children[k].decode_cone());
     });
+    for (std::size_t k = 0; k < children.size(); ++k) {
+      evals[k] = slots[k].value;
+    }
   };
   return run_core(seed, initial, mutate_plain, evaluate_offspring,
                   no_accept_hook, opts, gen);
@@ -187,12 +216,15 @@ evolver::run_result evolver::run_incremental(const genotype& seed,
 
   const std::size_t lambda = seed.params().lambda;
   const std::size_t workers = std::min(threads, lambda);
+  const bool batch = opts.batch_candidates;
   // Serial: one evaluator serves every slot (one parent compile per
   // acceptance).  Parallel: one evaluator per slot, never shared across
   // workers; each rebinds lazily on its first evaluation after the parent
-  // changed.  Evaluations are pure functions of (parent, child), so both
-  // arrangements — and any worker scheduling — are bit-identical.
-  const std::size_t count = workers == 1 ? 1 : lambda;
+  // changed.  Batch: one evaluator per *worker*, each scoring a contiguous
+  // chunk of the generation through evaluate_children().  Evaluations are
+  // pure functions of (parent, child), so every arrangement — and any
+  // worker scheduling — is bit-identical.
+  const std::size_t count = batch ? workers : (workers == 1 ? 1 : lambda);
   std::vector<std::unique_ptr<incremental_evaluator>> evaluators;
   evaluators.reserve(count);
   for (std::size_t k = 0; k < count; ++k) {
@@ -209,30 +241,98 @@ evolver::run_result evolver::run_incremental(const genotype& seed,
 
   // Mutation with dirty-gene recording; RNG draws are identical to the
   // plain mutate(), so incremental and netlist-based runs share streams.
+  //
+  // Children are refreshed by O(dirty) gene resync instead of whole-genotype
+  // copies (the genotype is ~kilobytes; a generation touches ~h genes).
+  // resync[k] names every gene by which child k may differ from the current
+  // parent: its own last mutation, plus — after an acceptance, where
+  // run_core swaps the winner into the parent slot — the winner's dirty
+  // genes, appended to every other child's list by on_accept below.
   std::vector<std::vector<std::uint32_t>> dirty(lambda);
-  const auto mutate_children = [&dirty](const genotype& parent,
-                                        std::vector<genotype>& children,
-                                        rng& g) {
+  std::vector<std::vector<std::uint32_t>> resync(lambda);
+  const auto mutate_children = [&dirty, &resync](const genotype& parent,
+                                                 std::vector<genotype>& children,
+                                                 rng& g) {
     for (std::size_t k = 0; k < children.size(); ++k) {
-      children[k] = parent;
+      children[k].copy_genes_from(parent, resync[k]);
       dirty[k].clear();
       children[k].mutate(g, dirty[k]);
+      resync[k] = dirty[k];
     }
   };
 
-  const auto eval_one = [&](const genotype& parent,
-                            const evaluation& parent_eval,
-                            std::vector<genotype>& children,
-                            std::vector<evaluation>& evals, std::size_t k) {
-    const std::size_t slot = count == 1 ? 0 : k;
-    incremental_evaluator& ev = *evaluators[slot];
+  const auto bind_slot = [&](std::size_t slot, const genotype& parent,
+                             const evaluation& parent_eval) {
     if (bound_version[slot] != parent_version) {
-      ev.rebind(parent, parent_eval);
+      evaluators[slot]->rebind(parent, parent_eval);
       bound_version[slot] = parent_version;
     }
-    evals[k] = ev.evaluate_child(parent, children[k], dirty[k]);
   };
-  const auto on_accept = [&parent_version] { ++parent_version; };
+  const auto on_accept = [&parent_version, &dirty,
+                          &resync](std::size_t best_k) {
+    ++parent_version;
+    // The swapped-out child (slot best_k) is the old parent: it differs
+    // from the new parent by exactly the accepted dirty genes, which is
+    // already what resync[best_k] holds.  Every other child now also
+    // differs by those genes on top of its own mutation.
+    const std::vector<std::uint32_t>& acc = dirty[best_k];
+    for (std::size_t k = 0; k < resync.size(); ++k) {
+      if (k == best_k) continue;
+      resync[k].insert(resync[k].end(), acc.begin(), acc.end());
+    }
+  };
+
+  if (batch) {
+    if (workers == 1) {
+      const auto evaluate_offspring = [&](const genotype& parent,
+                                          const evaluation& parent_eval,
+                                          std::vector<genotype>& children,
+                                          std::vector<evaluation>& evals) {
+        bind_slot(0, parent, parent_eval);
+        evaluators[0]->evaluate_children(parent, children, dirty, 0,
+                                         children.size(), evals.data());
+      };
+      return run_core(seed, initial, mutate_children, evaluate_offspring,
+                      on_accept, opts, gen);
+    }
+    // Each worker batches a contiguous chunk into its own staging vector
+    // (separate heap blocks — no false sharing on the result stores).
+    thread_pool pool(workers);
+    const std::size_t chunk = (lambda + workers - 1) / workers;
+    std::vector<std::vector<evaluation>> stage(workers);
+    const auto evaluate_offspring = [&](const genotype& parent,
+                                        const evaluation& parent_eval,
+                                        std::vector<genotype>& children,
+                                        std::vector<evaluation>& evals) {
+      parallel_for(pool, workers, [&](std::size_t wk) {
+        const std::size_t begin = wk * chunk;
+        const std::size_t end = std::min(begin + chunk, children.size());
+        if (begin >= end) return;
+        bind_slot(wk, parent, parent_eval);
+        stage[wk].resize(end - begin);
+        evaluators[wk]->evaluate_children(parent, children, dirty, begin, end,
+                                          stage[wk].data());
+      });
+      for (std::size_t wk = 0; wk < workers; ++wk) {
+        const std::size_t begin = wk * chunk;
+        for (std::size_t i = 0; i < stage[wk].size() && begin + i < lambda;
+             ++i) {
+          evals[begin + i] = stage[wk][i];
+        }
+      }
+    };
+    return run_core(seed, initial, mutate_children, evaluate_offspring,
+                    on_accept, opts, gen);
+  }
+
+  const auto eval_one = [&](const genotype& parent,
+                            const evaluation& parent_eval,
+                            std::vector<genotype>& children, std::size_t k,
+                            evaluation& out) {
+    const std::size_t slot = count == 1 ? 0 : k;
+    bind_slot(slot, parent, parent_eval);
+    out = evaluators[slot]->evaluate_child(parent, children[k], dirty[k]);
+  };
 
   if (workers == 1) {
     const auto evaluate_offspring = [&](const genotype& parent,
@@ -240,7 +340,7 @@ evolver::run_result evolver::run_incremental(const genotype& seed,
                                         std::vector<genotype>& children,
                                         std::vector<evaluation>& evals) {
       for (std::size_t k = 0; k < children.size(); ++k) {
-        eval_one(parent, parent_eval, children, evals, k);
+        eval_one(parent, parent_eval, children, k, evals[k]);
       }
     };
     return run_core(seed, initial, mutate_children, evaluate_offspring,
@@ -248,13 +348,17 @@ evolver::run_result evolver::run_incremental(const genotype& seed,
   }
 
   thread_pool pool(workers);
+  std::vector<padded_evaluation> slots(lambda);
   const auto evaluate_offspring = [&](const genotype& parent,
                                       const evaluation& parent_eval,
                                       std::vector<genotype>& children,
                                       std::vector<evaluation>& evals) {
     parallel_for(pool, children.size(), [&](std::size_t k) {
-      eval_one(parent, parent_eval, children, evals, k);
+      eval_one(parent, parent_eval, children, k, slots[k].value);
     });
+    for (std::size_t k = 0; k < children.size(); ++k) {
+      evals[k] = slots[k].value;
+    }
   };
   return run_core(seed, initial, mutate_children, evaluate_offspring,
                   on_accept, opts, gen);

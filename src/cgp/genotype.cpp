@@ -114,6 +114,27 @@ void genotype::mutate_impl(rng& gen, std::vector<std::uint32_t>* dirty) {
   }
 }
 
+void genotype::copy_genes_from(const genotype& src,
+                               std::span<const std::uint32_t> genes) {
+  AXC_EXPECTS(src.nodes_.size() == nodes_.size() &&
+              src.outputs_.size() == outputs_.size());
+  const std::size_t node_gene_count = nodes_.size() * 3;
+  for (const std::uint32_t g : genes) {
+    if (g < node_gene_count) {
+      const std::size_t k = g / 3;
+      switch (g % 3) {
+        case 0: nodes_[k].in0 = src.nodes_[k].in0; break;
+        case 1: nodes_[k].in1 = src.nodes_[k].in1; break;
+        default: nodes_[k].fn = src.nodes_[k].fn;
+      }
+    } else {
+      const std::size_t o = g - node_gene_count;
+      AXC_EXPECTS(o < outputs_.size());
+      outputs_[o] = src.outputs_[o];
+    }
+  }
+}
+
 circuit::netlist genotype::decode() const {
   const parameters& p = params_;
   circuit::netlist nl(p.num_inputs, p.num_outputs);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,16 @@ class genotype {
   /// consumers of the incremental evaluation path filter for effective
   /// change themselves.
   void mutate(rng& gen, std::vector<std::uint32_t>& dirty);
+
+  /// Copies the genes named by `genes` (flat indices in the encoding mutate
+  /// records) from `src`, which must share this genotype's parameters.  The
+  /// O(dirty) child-resync primitive of the (1+lambda) inner loop: a child
+  /// known to differ from `src` in at most those genes becomes
+  /// gene-identical to src without the full-genotype copy (which measures
+  /// as a sizeable slice of a whole incremental generation).  Indices may
+  /// repeat; out-of-range indices are not allowed.
+  void copy_genes_from(const genotype& src,
+                       std::span<const std::uint32_t> genes);
 
   /// The marking phase of decode_cone(): flags[k] = 1 iff node k is in the
   /// transitive fan-in cone of the output genes (honouring functions that

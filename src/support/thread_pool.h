@@ -43,10 +43,10 @@ class thread_pool {
 
   ~thread_pool() {
     {
-      std::unique_lock lock(mutex_);
-      stopping_ = true;
+      std::unique_lock lock(mutex_.m);
+      state_.stopping = true;
     }
-    work_available_.notify_all();
+    work_available_.cv.notify_all();
     for (std::thread& worker : workers_) worker.join();
   }
 
@@ -56,21 +56,21 @@ class thread_pool {
   /// pick-up (no ordering guarantee across workers).
   void submit(std::function<void()> task) {
     {
-      std::unique_lock lock(mutex_);
-      queue_.push_back(std::move(task));
-      ++pending_;
+      std::unique_lock lock(mutex_.m);
+      state_.queue.push_back(std::move(task));
+      ++state_.pending;
     }
-    work_available_.notify_one();
+    work_available_.cv.notify_one();
   }
 
   /// Blocks until every submitted task has completed, then rethrows the
   /// first exception any of them raised (clearing it, so the pool stays
   /// usable for the next batch).
   void wait_idle() {
-    std::unique_lock lock(mutex_);
-    idle_.wait(lock, [this] { return pending_ == 0; });
-    if (first_error_) {
-      std::exception_ptr error = std::exchange(first_error_, nullptr);
+    std::unique_lock lock(mutex_.m);
+    idle_.cv.wait(lock, [this] { return state_.pending == 0; });
+    if (state_.first_error) {
+      std::exception_ptr error = std::exchange(state_.first_error, nullptr);
       lock.unlock();
       std::rethrow_exception(error);
     }
@@ -84,10 +84,10 @@ class thread_pool {
   std::size_t clear_pending() {
     std::deque<std::function<void()>> dropped;
     {
-      std::unique_lock lock(mutex_);
-      dropped.swap(queue_);
-      pending_ -= dropped.size();
-      if (pending_ == 0) idle_.notify_all();
+      std::unique_lock lock(mutex_.m);
+      dropped.swap(state_.queue);
+      state_.pending -= dropped.size();
+      if (state_.pending == 0) idle_.cv.notify_all();
     }
     // Task destructors (captured state) run outside the pool lock.
     return dropped.size();
@@ -98,35 +98,57 @@ class thread_pool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock lock(mutex_);
-        work_available_.wait(lock,
-                             [this] { return stopping_ || !queue_.empty(); });
-        if (queue_.empty()) return;  // stopping_ and drained
-        task = std::move(queue_.front());
-        queue_.pop_front();
+        std::unique_lock lock(mutex_.m);
+        work_available_.cv.wait(lock, [this] {
+          return state_.stopping || !state_.queue.empty();
+        });
+        if (state_.queue.empty()) return;  // stopping and drained
+        task = std::move(state_.queue.front());
+        state_.queue.pop_front();
       }
       try {
         task();
       } catch (...) {
-        std::unique_lock lock(mutex_);
-        if (!first_error_) first_error_ = std::current_exception();
+        std::unique_lock lock(mutex_.m);
+        if (!state_.first_error) state_.first_error = std::current_exception();
       }
       {
-        std::unique_lock lock(mutex_);
-        if (--pending_ == 0) idle_.notify_all();
+        std::unique_lock lock(mutex_.m);
+        if (--state_.pending == 0) idle_.cv.notify_all();
       }
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t pending_{0};
-  /// First exception captured from a task since the last wait_idle();
-  /// discarded (not rethrown) if the pool is destroyed without a join.
-  std::exception_ptr first_error_;
-  bool stopping_{false};
+  /// Every worker hammers the mutex and condition variables; padding each
+  /// to its own cache line keeps a notify/lock on one from invalidating
+  /// the line holding the others (or the queue) on every other core.  The
+  /// queue-state block is line-aligned as a unit: its members are only
+  /// ever touched under the mutex, so separating them from each other buys
+  /// nothing, but separating the block from the synchronization primitives
+  /// does.
+  struct alignas(64) padded_mutex {
+    std::mutex m;
+  };
+  struct alignas(64) padded_condvar {
+    std::condition_variable cv;
+  };
+  struct alignas(64) queue_state {
+    std::deque<std::function<void()>> queue;
+    std::size_t pending{0};
+    /// First exception captured from a task since the last wait_idle();
+    /// discarded (not rethrown) if the pool is destroyed without a join.
+    std::exception_ptr first_error;
+    bool stopping{false};
+  };
+  static_assert(alignof(padded_mutex) == 64 && sizeof(padded_mutex) == 64);
+  static_assert(alignof(padded_condvar) == 64 &&
+                sizeof(padded_condvar) == 64);
+  static_assert(alignof(queue_state) == 64);
+
+  padded_mutex mutex_;
+  padded_condvar work_available_;
+  padded_condvar idle_;
+  queue_state state_;
   std::vector<std::thread> workers_;
 };
 

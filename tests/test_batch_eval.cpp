@@ -1,0 +1,238 @@
+// The lambda-batch candidate evaluation engine (cone_program::stage_child +
+// wmed_evaluator::evaluate_batch, driven by evolver::run_incremental) must
+// be a pure execution optimization: bit-identical to the per-candidate
+// patched path — including the *partial* error accumulators of candidates
+// whose sweep aborts early at the target — at every backend and thread
+// count, for multipliers and adders across fast-path widths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cgp/evolver.h"
+#include "cgp/genotype.h"
+#include "core/wmed_approximator.h"
+#include "dist/pmf.h"
+#include "metrics/adder_metrics.h"
+#include "metrics/mult_spec.h"
+#include "metrics/scan_kernels.h"
+#include "circuit/simulator.h"
+#include "mult/adders.h"
+#include "mult/multipliers.h"
+#include "support/rng.h"
+#include "support/simd.h"
+#include "tech/cell_library.h"
+
+namespace axc {
+namespace {
+
+cgp::parameters grid_params(const circuit::netlist& seed,
+                            std::size_t extra_columns) {
+  cgp::parameters p;
+  p.num_inputs = seed.num_inputs();
+  p.num_outputs = seed.num_outputs();
+  p.columns = seed.num_gates() + extra_columns;
+  p.rows = 1;
+  p.levels_back = p.columns;
+  p.function_set.assign(circuit::default_function_set().begin(),
+                        circuit::default_function_set().end());
+  return p;
+}
+
+/// Both the batch executor and the multi-candidate scan must exist at
+/// `level` for a forced-backend run to actually exercise that backend.
+bool batch_level_available(simd::level level) {
+  return circuit::sim_steps_level_available(level) &&
+         metrics::scan_level_available(level);
+}
+
+/// Drives `generations` of (1+lambda) mutation from an evolved parent
+/// through two evaluators — batch on and off — asserting every offspring
+/// evaluation matches bit-for-bit (EXPECT_EQ on doubles, never NEAR).
+/// Acceptance every few generations exercises rebinding on both sides.
+/// A negative `target` derives one just above the mutated parent's own
+/// error, so feasible (parent-quality) and infeasible (worse, sweep
+/// aborted) offspring both occur by construction.  Returns {feasible,
+/// infeasible} offspring counts so callers can assert the abort-partial
+/// comparison was genuinely hit rather than vacuously passed.
+template <typename Spec>
+std::pair<int, int> check_generation_parity(
+    const Spec& spec, const dist::pmf& d, const circuit::netlist& seed,
+    double target, simd::level level, std::uint64_t seed_value,
+    int generations) {
+  const auto& lib = tech::cell_library::nangate45_like();
+
+  rng gen(seed_value);
+  cgp::genotype parent =
+      cgp::genotype::from_netlist(grid_params(seed, 24), seed, gen);
+  // Walk off the exact seed so the sweeps see real error mass.
+  for (int m = 0; m < 6; ++m) parent.mutate(gen);
+
+  if (target < 0) {
+    metrics::basic_wmed_evaluator<Spec> reference(spec, d);
+    target = std::max(reference.evaluate(parent.decode_cone()) * 1.25, 1e-7);
+  }
+  auto batch = core::make_incremental_wmed_evaluator(spec, d, lib, target,
+                                                     level, /*batch=*/true);
+  auto solo = core::make_incremental_wmed_evaluator(spec, d, lib, target,
+                                                    level, /*batch=*/false);
+
+  const cgp::evaluation pb = batch->evaluate_and_bind(parent);
+  const cgp::evaluation ps = solo->evaluate_and_bind(parent);
+  EXPECT_EQ(pb.error, ps.error);
+  EXPECT_EQ(pb.area, ps.area);
+  EXPECT_EQ(pb.feasible, ps.feasible);
+
+  constexpr std::size_t kLambda = 4;
+  std::vector<cgp::genotype> children(kLambda, parent);
+  std::vector<std::vector<std::uint32_t>> dirty(kLambda);
+  std::vector<cgp::evaluation> eb(kLambda);
+  std::vector<cgp::evaluation> es(kLambda);
+  int feasible = 0;
+  int infeasible = 0;
+  for (int g = 0; g < generations; ++g) {
+    for (std::size_t k = 0; k < kLambda; ++k) {
+      children[k] = parent;
+      dirty[k].clear();
+      children[k].mutate(gen, dirty[k]);
+    }
+    batch->evaluate_children(parent, children, dirty, 0, kLambda, eb.data());
+    solo->evaluate_children(parent, children, dirty, 0, kLambda, es.data());
+    for (std::size_t k = 0; k < kLambda; ++k) {
+      EXPECT_EQ(eb[k].error, es[k].error) << "gen " << g << " child " << k;
+      EXPECT_EQ(eb[k].area, es[k].area) << "gen " << g << " child " << k;
+      EXPECT_EQ(eb[k].feasible, es[k].feasible) << "gen " << g << " child "
+                                                << k;
+      (eb[k].feasible ? feasible : infeasible) += 1;
+    }
+    if (g % 5 == 3) {
+      parent = children[g % kLambda];
+      batch->rebind(parent, eb[g % kLambda]);
+      solo->rebind(parent, es[g % kLambda]);
+    }
+  }
+  return {feasible, infeasible};
+}
+
+TEST(batch_eval, multiplier_generations_match_per_candidate_at_widths_6_7_8) {
+  for (const unsigned w : {6u, 7u, 8u}) {
+    const metrics::mult_spec spec{w, false};
+    const std::size_t n = std::size_t{1} << w;
+    const dist::pmf d = dist::pmf::half_normal(n, n / 4.0);
+    const auto [feasible, infeasible] = check_generation_parity(
+        spec, d, mult::unsigned_multiplier(w), /*target=*/-1.0,
+        simd::level::automatic, /*seed_value=*/11 + w, /*generations=*/40);
+    // Both outcomes must occur, or the abort-partial comparison (partial
+    // accumulators of infeasible candidates) never ran.
+    EXPECT_GT(feasible, 0) << "w=" << w;
+    EXPECT_GT(infeasible, 0) << "w=" << w;
+  }
+}
+
+TEST(batch_eval, adder_generations_match_per_candidate_at_widths_6_7_8) {
+  for (const unsigned w : {6u, 7u, 8u}) {
+    const metrics::adder_spec spec{w};
+    const std::size_t n = std::size_t{1} << w;
+    const dist::pmf d = dist::pmf::half_normal(n, n / 5.0);
+    const auto [feasible, infeasible] = check_generation_parity(
+        spec, d, mult::ripple_adder(w), /*target=*/-1.0,
+        simd::level::automatic, /*seed_value=*/29 + w, /*generations=*/40);
+    EXPECT_GT(feasible, 0) << "w=" << w;
+    EXPECT_GT(infeasible, 0) << "w=" << w;
+  }
+}
+
+TEST(batch_eval, forced_backends_agree_with_per_candidate_path) {
+  // Scalar always exists; AVX2/AVX-512 run where compiled in and supported
+  // (the CI native job forces each through AXC_SIMD and re-runs this).
+  const metrics::mult_spec spec{8, false};
+  const dist::pmf d = dist::pmf::half_normal(256, 64.0);
+  for (const simd::level level :
+       {simd::level::scalar, simd::level::avx2, simd::level::avx512}) {
+    if (!batch_level_available(level)) continue;
+    const auto [feasible, infeasible] = check_generation_parity(
+        spec, d, mult::unsigned_multiplier(8), /*target=*/-1.0, level,
+        /*seed_value=*/5, /*generations=*/25);
+    EXPECT_GT(feasible + infeasible, 0);
+  }
+}
+
+TEST(batch_eval, tight_target_abort_partials_match) {
+  // A target far below the mutated parent's error makes nearly every
+  // candidate abort mid-sweep; the reported errors are then partial
+  // accumulators, which must still agree exactly.
+  const metrics::mult_spec spec{8, false};
+  const dist::pmf d = dist::pmf::half_normal(256, 64.0);
+  const auto [feasible, infeasible] = check_generation_parity(
+      spec, d, mult::unsigned_multiplier(8), /*target=*/1e-5,
+      simd::level::automatic, /*seed_value=*/3, /*generations=*/30);
+  EXPECT_GT(infeasible, feasible);
+}
+
+cgp::evolver::run_result batch_search(const circuit::netlist& seed,
+                                      double target, std::uint64_t seed_value,
+                                      std::size_t threads, bool batch) {
+  const metrics::mult_spec spec{6, false};
+  const dist::pmf d = dist::pmf::half_normal(64, 16.0);
+  const auto& lib = tech::cell_library::nangate45_like();
+  rng gen(seed_value);
+  const cgp::genotype start =
+      cgp::genotype::from_netlist(grid_params(seed, 32), seed, gen);
+  cgp::evolver::options opts;
+  opts.iterations = 150;
+  opts.error_tiebreak = true;
+  opts.batch_candidates = batch;
+  return cgp::evolver::run_incremental(
+      start,
+      [&] {
+        return core::make_incremental_wmed_evaluator(spec, d, lib, target);
+      },
+      opts, threads, gen);
+}
+
+TEST(batch_eval, whole_searches_identical_across_knob_and_thread_counts) {
+  const circuit::netlist seed = mult::unsigned_multiplier(6);
+  for (const std::uint64_t s : {1ull, 23ull}) {
+    const auto reference = batch_search(seed, 0.003, s, 1, /*batch=*/false);
+    for (const std::size_t threads : {1u, 2u, 3u}) {
+      const auto batched = batch_search(seed, 0.003, s, threads, true);
+      EXPECT_EQ(batched.best, reference.best) << "seed " << s << " threads "
+                                              << threads;
+      EXPECT_EQ(batched.best_eval.error, reference.best_eval.error);
+      EXPECT_EQ(batched.best_eval.area, reference.best_eval.area);
+      EXPECT_EQ(batched.evaluations, reference.evaluations);
+      EXPECT_EQ(batched.improvements, reference.improvements);
+      EXPECT_EQ(batched.neutral_moves, reference.neutral_moves);
+    }
+  }
+}
+
+TEST(batch_eval, approximator_knob_changes_nothing) {
+  core::approximation_config config;
+  config.spec = metrics::mult_spec{6, false};
+  config.distribution = dist::pmf::half_normal(64, 16.0);
+  config.iterations = 80;
+  config.extra_columns = 16;
+  config.rng_seed = 33;
+
+  const circuit::netlist seed = mult::unsigned_multiplier(6);
+
+  config.batch_candidates = true;
+  const core::evolved_design on =
+      core::wmed_approximator(config).approximate(seed, 0.004);
+
+  config.batch_candidates = false;
+  const core::evolved_design off =
+      core::wmed_approximator(config).approximate(seed, 0.004);
+
+  EXPECT_EQ(on.netlist, off.netlist);
+  EXPECT_EQ(on.wmed, off.wmed);
+  EXPECT_EQ(on.area_um2, off.area_um2);
+  EXPECT_EQ(on.evaluations, off.evaluations);
+  EXPECT_EQ(on.improvements, off.improvements);
+}
+
+}  // namespace
+}  // namespace axc
