@@ -14,6 +14,11 @@
 #
 # Usage:  bench/run_micro.sh [build-dir] [--tag name] [--threads N] [args...]
 #         bench/run_micro.sh [build-dir] --check [--against tag] [args...]
+#         bench/run_micro.sh --list-runs
+#
+# --list-runs prints one line per recorded run (tag, sha, date, benchmark
+# count) without running anything — the quick answer to "which baselines
+# can --against name?".
 #
 # --threads N sets AXC_BENCH_THREADS for the run: the *_mt benches
 # (bm_evolver_generation_mt, bm_sweep_session_mt, bm_server_hit_mc) then
@@ -41,6 +46,7 @@ fi
 tag=""
 check=0
 against=""
+list_runs=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --tag)
@@ -49,6 +55,10 @@ while [ $# -gt 0 ]; do
       ;;
     --check)
       check=1
+      shift
+      ;;
+    --list-runs)
+      list_runs=1
       shift
       ;;
     --against)
@@ -77,6 +87,42 @@ if [ "$check" = 0 ] && [ -n "$against" ]; then
   exit 2
 fi
 
+# --list-runs needs only the trajectory file, not a built benchmark binary.
+if [ "$list_runs" = 1 ]; then
+  python3 - "$repo_root/BENCH_micro.json" <<'PY'
+import json
+import os
+import sys
+
+path = sys.argv[1]
+if not os.path.exists(path):
+    sys.exit(f"list-runs: {path} not found (record one first: "
+             "bench/run_micro.sh --tag <name>)")
+if os.path.getsize(path) == 0:
+    sys.exit(f"list-runs: {path} is empty — remove it and re-record")
+try:
+    with open(path) as f:
+        trajectory = json.load(f)
+except json.JSONDecodeError as err:
+    sys.exit(f"list-runs: {path} is not valid JSON ({err}) — "
+             "fix or remove it")
+if not isinstance(trajectory, dict):
+    sys.exit(f"list-runs: {path} is not a JSON object — unrecognized layout")
+runs = trajectory.get("runs", [trajectory] if "benchmarks" in trajectory
+                      else [])
+if not runs:
+    sys.exit(f"list-runs: no runs recorded in {path}")
+for i, run in enumerate(runs):
+    tag = run.get("tag") or "-"
+    sha = run.get("sha", "unknown")
+    date = run.get("date") or run.get("context", {}).get("date", "")
+    count = len(run.get("benchmarks", []))
+    print(f"  {i:3d}  tag={tag:16s} sha={sha:12s} "
+          f"{count:3d} benchmarks  {date}")
+PY
+  exit $?
+fi
+
 bin="$build_dir/micro_throughput"
 if [ ! -x "$bin" ]; then
   echo "error: $bin not built (configure with -DAXC_BUILD_MICROBENCH=ON," >&2
@@ -96,6 +142,7 @@ trap 'rm -f "$out"' EXIT INT TERM
 if [ "$check" = 1 ]; then
   python3 - "$repo_root/BENCH_micro.json" "$out" "$against" <<'PY'
 import json
+import os
 import sys
 
 trajectory_path, run_path, against = sys.argv[1:4]
@@ -115,6 +162,7 @@ WATCHED = (
     "bm_store_put",
     "bm_store_get",
     "bm_server_hit",
+    "bm_server_hit_mc/2",
 )
 THRESHOLD = 1.25
 
@@ -128,11 +176,24 @@ with open(run_path) as f:
     fresh = {normalize(b["name"]): b
              for b in json.load(f).get("benchmarks", [])}
 
+# One precise line per failure shape: the gate refusing to run must say
+# exactly why, not stack-trace.
+if not os.path.exists(trajectory_path):
+    sys.exit(f"check: {trajectory_path} not found — record a baseline "
+             "first (bench/run_micro.sh --tag <name>)")
+if os.path.getsize(trajectory_path) == 0:
+    sys.exit(f"check: {trajectory_path} is empty — remove it and "
+             "re-record a baseline")
 try:
     with open(trajectory_path) as f:
         trajectory = json.load(f)
-except (FileNotFoundError, json.JSONDecodeError):
-    sys.exit(f"check: no trajectory at {trajectory_path}")
+except json.JSONDecodeError as err:
+    sys.exit(f"check: {trajectory_path} is not valid JSON ({err}) — "
+             "fix or remove it and re-record a baseline")
+if not isinstance(trajectory, dict) or not isinstance(
+        trajectory.get("runs", []), list):
+    sys.exit(f"check: {trajectory_path} has no 'runs' list — "
+             "unrecognized layout")
 runs = trajectory.get("runs", [])
 
 baseline = None
@@ -177,6 +238,7 @@ fi
 
 python3 - "$repo_root/BENCH_micro.json" "$out" "$sha" "$tag" <<'PY'
 import json
+import os
 import sys
 
 trajectory_path, run_path, sha, tag = sys.argv[1:5]
@@ -184,10 +246,20 @@ trajectory_path, run_path, sha, tag = sys.argv[1:5]
 with open(run_path) as f:
     run = json.load(f)
 
-try:
-    with open(trajectory_path) as f:
-        trajectory = json.load(f)
-except (FileNotFoundError, json.JSONDecodeError):
+# A missing trajectory starts one; a *corrupt* trajectory is an error —
+# silently resetting it would throw away the recorded perf history.
+if os.path.exists(trajectory_path) and os.path.getsize(trajectory_path) > 0:
+    try:
+        with open(trajectory_path) as f:
+            trajectory = json.load(f)
+    except json.JSONDecodeError as err:
+        sys.exit(f"append: {trajectory_path} is not valid JSON ({err}) — "
+                 "refusing to overwrite the perf trajectory; fix or move "
+                 "it aside first")
+    if not isinstance(trajectory, dict):
+        sys.exit(f"append: {trajectory_path} is not a JSON object — "
+                 "refusing to overwrite the perf trajectory")
+else:
     trajectory = {"runs": []}
 # Legacy layout (a single google-benchmark report at top level): keep it as
 # the first run of the trajectory.

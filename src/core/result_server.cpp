@@ -591,6 +591,11 @@ void result_server::run_job(job& item) {
   cfg.work_dir = config_.work_dir + "/sweeps/" + key16;
   cfg.worker_binary = config_.worker_binary;
   cfg.store_dir = config_.store_dir;
+  // The job queue dispatches through the node pool when a fleet is
+  // configured; each sweep gets its own pool (health is cheap to relearn
+  // per job, and a poisoned node cannot wedge the queue across jobs).
+  cfg.nodes = config_.nodes;
+  cfg.speculate_after = config_.speculate_after;
   cfg.should_stop = [this] { return stopping(); };
   const sweep_result result = run_sweep(item.spec, cfg);
   if (result.drained && !result.complete) {

@@ -112,6 +112,10 @@ struct server_config {
   /// Forwarded to the per-job shard_runner_config.
   std::size_t shards{2};
   std::size_t max_attempts{3};
+  /// Multi-node dispatch for miss-path sweeps: nodes parsed from an
+  /// axc-nodes v1 file (axc_serve --nodes).  Empty = local workers.
+  std::vector<node_config> nodes{};
+  std::chrono::milliseconds speculate_after{0};
   /// Largest request frame accepted (a bogus length rejects before any
   /// allocation).
   std::size_t max_frame_bytes{1u << 20};

@@ -32,6 +32,9 @@ constexpr std::string_view kFaultPutDirsync = "store-put-dirsync-fail";
 constexpr std::string_view kFaultIndexAppendFail = "store-index-append-fail";
 constexpr std::string_view kFaultCrashMidAppend =
     "store-crash-mid-index-append";
+// Deletes the object file right after put()'s existence probe — the window
+// a concurrent gc (another process, stale index) wins the race in.
+constexpr std::string_view kFaultPutRacingGc = "store-put-racing-gc";
 
 [[nodiscard]] std::string hex16(std::uint64_t v) {
   char buf[17];
@@ -400,6 +403,13 @@ std::optional<std::uint64_t> result_store::put(std::string_view kind,
     const auto obj = decode_object(*existing);
     have_object = obj && obj->entry.hash == entry.hash;
   }
+  // A gc in another process working from a stale index (one that predates
+  // this entry) can delete the object at any instant up to the index
+  // append making it referenced — including right after the probe above.
+  if (fault::fire(kFaultPutRacingGc)) {
+    std::error_code race_ec;
+    fs::remove(path, race_ec);
+  }
   if (!have_object &&
       !support::write_file_durable(
           path, encode_object(entry, payload),
@@ -413,6 +423,15 @@ std::optional<std::uint64_t> result_store::put(std::string_view kind,
   // put lands the append.
   if (fault::fire(kFaultCrashMidAppend)) std::_Exit(44);
   if (!append_index_record(entry)) return std::nullopt;
+  // Close the gc race: the record is durable, so the object is referenced
+  // from here on — but a concurrent gc replaying a stale index may have
+  // deleted the file between the probe above and this append.  Re-probe
+  // and rewrite; an idempotent put must leave the object present.
+  std::error_code exists_ec;
+  if (!fs::exists(path, exists_ec) &&
+      !support::write_file_durable(path, encode_object(entry, payload))) {
+    return std::nullopt;
+  }
   const std::uint64_t hash = entry.hash;
   upsert(index_, std::move(entry));
   return hash;

@@ -39,11 +39,15 @@
 //
 // Fault injection points (support/fault.h): `store-put-fail` /
 // `store-put-truncate` / `store-put-dirsync-fail` on the object write,
-// `store-index-append-fail` on the journal append, and
+// `store-index-append-fail` on the journal append,
 // `store-crash-mid-index-append` which _Exit(44)s between the object write
 // and its index record — the deterministic stand-in for a coordinator
 // SIGKILLed mid-publish, replayed by tests/test_result_store.cpp and the
-// coordinator-recovery suite.
+// coordinator-recovery suite — and `store-put-racing-gc`, which deletes
+// the object right after put()'s existence probe (a concurrent gc with a
+// stale index winning the race; put re-probes after the index append and
+// rewrites the object, so an idempotent put always leaves it referenced
+// AND present).
 #pragma once
 
 #include <cstdint>

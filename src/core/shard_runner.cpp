@@ -13,10 +13,12 @@
 #include <utility>
 
 #include "circuit/serialize.h"
+#include "core/node_pool.h"
 #include "core/result_store.h"
 #include "support/checksum.h"
 #include "support/fault.h"
 #include "support/io.h"
+#include "support/launcher.h"
 #include "support/subprocess.h"
 
 namespace axc::core {
@@ -68,18 +70,42 @@ std::size_t count_checkpoint_jobs(const std::string& path) {
   return count;
 }
 
+/// One worker process launched for a shard on some node.  A shard normally
+/// has one; a straggler under speculation has two (primary + duplicate),
+/// each writing its own local checkpoint path so they never contend.
+struct shard_launch {
+  std::size_t node{0};
+  bool speculative{false};
+  std::optional<support::subprocess> proc{};
+  /// Where this launch's checkpoint lands on the *coordinator* (for a
+  /// shared-filesystem node the worker writes it here directly).
+  std::string checkpoint_path{};
+  /// Paths on the node ( == the local paths when filesystems are shared).
+  std::string remote_spec{};
+  std::string remote_checkpoint{};
+  clock::time_point started{};
+  clock::time_point last_growth{};
+  clock::time_point last_fetch{};
+  std::size_t last_jobs{0};
+  bool deadline_killed{false};
+  bool node_died{false};  ///< killed by node-dead-midrun, already judged
+};
+
 struct shard_state {
   plan_shard part{};
   std::string spec_path{};
-  std::string checkpoint_path{};
+  std::string checkpoint_path{};  ///< primary path: resume + merge identity
   std::uint64_t store_key{0};  ///< this shard spec's result-store identity
-  std::optional<support::subprocess> proc{};
+  std::vector<shard_launch> launches{};
   std::size_t attempt{0};
-  clock::time_point started{};
   clock::time_point next_spawn{};
-  clock::time_point last_growth{};
-  std::size_t last_jobs{0};
-  bool deadline_killed{false};
+  /// Nodes recent failures ran on — avoided (softly) at the next lease.
+  std::vector<std::size_t> avoid_nodes{};
+  bool speculated{false};  ///< one duplicate per shard, ever
+  bool winner_seen{false};
+  /// Attempts ran out while a speculative duplicate was still running; the
+  /// duplicate's own death settles the shard as failed.
+  bool exhausted{false};
   bool done{false};
   bool failed{false};
   shard_outcome outcome{};
@@ -102,10 +128,19 @@ struct shard_state {
 //   coord v1 key <16hex>          header; key = sweep_spec::store_key()
 //   spawn <shard> <attempt>       worker launched (attempts cumulative
 //                                 across coordinator lives)
-//   complete <shard>              a worker attempt exited 0
+//   lease <shard> <node> <what>   shard leased to a node; <what> is the
+//                                 attempt number or "spec" (duplicate)
+//   fetch <shard> <node> <how>    checkpoint pull: ok / torn / fail
+//   release <shard> <node> <why>  lease ended without winning: exit<code>,
+//                                 torn, dead, superseded, drain, launch
+//   complete <shard>              a CRC-valid completed checkpoint won
 //   fail <shard> <exit>           attempts exhausted in some life
 //   publish <kind> <key> <16hex>  object landed in the result store
 //   done                          front published; sweep fully finished
+//
+// lease/fetch/release are diagnostic truth, not replay state: load_journal
+// ignores unknown tags (which is also what makes adding them replay-safe —
+// a PR-7-era coordinator re-running this journal skips them cleanly).
 //
 // A re-run replays spawn/complete to resume supervision: completed shards
 // are not respawned (their checkpoints merge directly) and attempt
@@ -399,71 +434,204 @@ std::vector<plan_shard> split_plan(const sweep_plan& plan,
 namespace {
 
 void emit(const shard_runner_config& config, const shard_state& s,
-          shard_event_kind kind, int exit_code = 0) {
+          shard_event_kind kind, int exit_code = 0, std::size_t jobs = 0,
+          const std::string& node = {}) {
   if (!config.on_event) return;
   shard_event event;
   event.kind = kind;
   event.shard = s.outcome.shard;
   event.attempt = s.attempt;
-  event.jobs_done = s.last_jobs;
+  event.jobs_done = jobs;
   event.jobs_total = s.part.plan.job_count();
   event.exit_code = exit_code;
+  event.node = node;
   config.on_event(event);
 }
 
-void spawn_attempt(const shard_runner_config& config, shard_state& s) {
-  ++s.attempt;
-  s.outcome.attempts = s.attempt;
-  s.deadline_killed = false;
-  std::vector<std::string> argv = {config.worker_binary, "--spec",
-                                   s.spec_path, "--checkpoint",
-                                   s.checkpoint_path};
+std::string basename_of(const std::string& path) {
+  return std::filesystem::path(path).filename().string();
+}
+
+std::optional<std::string> read_file_text(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+/// A checkpoint is a valid *win* for a shard only when the v2 salvage path
+/// accepts every section and recovers every job of the shard's plan — the
+/// same gate merge_shards applies, run early so a torn fetch or truncated
+/// file turns into a retry instead of a partial merge.
+bool checkpoint_complete(const std::string& path,
+                         const component_handle& component,
+                         std::size_t expected_jobs) {
+  resume_report report;
+  auto session = search_session::resume_file(path, component, {}, &report);
+  return session && report.jobs_dropped == 0 &&
+         report.jobs_recovered == expected_jobs;
+}
+
+std::string reason_exit(int code) { return "exit" + std::to_string(code); }
+
+/// Starts one worker launch for `s` on `node_idx` (a lease the caller
+/// already acquired).  Returns false when the launch could not start —
+/// push failure, injected node-launch-fail, spawn failure — with nothing
+/// running; the caller settles the lease.
+bool start_launch(const shard_runner_config& config, node_pool& pool,
+                  shard_state& s, std::size_t node_idx, bool speculative,
+                  coord_journal& journal) {
+  const node_config& node = pool.config(node_idx);
+  shard_launch l;
+  l.node = node_idx;
+  l.speculative = speculative;
+  l.checkpoint_path =
+      speculative ? s.checkpoint_path + ".dup" : s.checkpoint_path;
+  if (speculative) {
+    // The duplicate starts from scratch on its own path (determinism makes
+    // the re-execution free); a stale dup from an earlier life would fake
+    // heartbeats.
+    std::error_code ec;
+    std::filesystem::remove(l.checkpoint_path, ec);
+  }
+  if (node.shares_filesystem()) {
+    l.remote_spec = s.spec_path;
+    l.remote_checkpoint = l.checkpoint_path;
+  } else {
+    l.remote_spec = node.workdir + "/" + basename_of(s.spec_path);
+    l.remote_checkpoint = node.workdir + "/" + basename_of(l.checkpoint_path);
+  }
+
+  if (auto victim = fault::fire(fault::points::node_launch_fail);
+      victim && *victim == node_idx) {
+    (void)journal.append("release " + std::to_string(s.outcome.shard) + " " +
+                         node.name + " launch");
+    return false;
+  }
+
+  const support::worker_launcher launcher = node.launcher();
+  if (!node.shares_filesystem()) {
+    if (!launcher.push_file(s.spec_path, l.remote_spec)) {
+      (void)journal.append("release " + std::to_string(s.outcome.shard) +
+                           " " + node.name + " launch");
+      return false;
+    }
+    // Reassignment rides the checkpoint contract: push the shard's current
+    // primary checkpoint so the new node *resumes* the dead node's
+    // progress instead of recomputing it.
+    std::error_code ec;
+    if (!speculative && std::filesystem::exists(s.checkpoint_path, ec)) {
+      if (!launcher.push_file(s.checkpoint_path, l.remote_checkpoint)) {
+        (void)journal.append("release " + std::to_string(s.outcome.shard) +
+                             " " + node.name + " launch");
+        return false;
+      }
+    }
+  }
+
+  std::vector<std::string> argv = {
+      node.worker.empty() ? config.worker_binary : node.worker, "--spec",
+      l.remote_spec, "--checkpoint", l.remote_checkpoint};
   if (config.worker_autosave_generations > 0) {
     argv.push_back("--autosave-generations");
     argv.push_back(std::to_string(config.worker_autosave_generations));
   }
   std::vector<std::string> env = config.worker_env;
-  if (s.attempt == 1 && s.outcome.shard < config.shard_env.size()) {
+  if (!speculative && s.attempt == 1 &&
+      s.outcome.shard < config.shard_env.size()) {
     const auto& extra = config.shard_env[s.outcome.shard];
     env.insert(env.end(), extra.begin(), extra.end());
   }
-  s.proc = support::subprocess::spawn(argv, env);
-  s.started = clock::now();
-  s.last_growth = s.started;
-  if (!s.proc) {
-    // No process support (or fork failed) — nothing to retry against.
-    s.failed = true;
-    emit(config, s, shard_event_kind::failed, 127);
-    return;
+  l.proc = launcher.launch(argv, env);
+  l.started = clock::now();
+  l.last_growth = l.started;
+  l.last_fetch = l.started;
+  if (!l.proc) {
+    (void)journal.append("release " + std::to_string(s.outcome.shard) + " " +
+                         node.name + " launch");
+    return false;
   }
-  emit(config, s, shard_event_kind::spawned);
+  (void)journal.append(
+      "lease " + std::to_string(s.outcome.shard) + " " + node.name + " " +
+      (speculative ? std::string("spec") : std::to_string(s.attempt)));
+  if (!speculative) {
+    (void)journal.append("spawn " + std::to_string(s.outcome.shard) + " " +
+                         std::to_string(s.attempt));
+  }
+  emit(config, s,
+       speculative ? shard_event_kind::speculated : shard_event_kind::spawned,
+       0, l.last_jobs, node.name);
+  s.launches.push_back(std::move(l));
+  return true;
 }
 
-void handle_exit(const shard_runner_config& config, coord_journal& journal,
-                 shard_state& s, support::exit_status status) {
-  s.proc.reset();
-  s.outcome.last_exit_code = status.code;
-  if (status.success()) {
-    s.done = true;
-    s.outcome.completed = true;
-    (void)journal.append("complete " + std::to_string(s.outcome.shard));
-    emit(config, s, shard_event_kind::completed);
-    return;
+/// Brings a successful launch's checkpoint to the coordinator and CRC-
+/// validates it.  Shared filesystem: validate in place.  Remote: fetch to
+/// a scratch path, inject node-fetch-torn, validate, and only then durably
+/// land the bytes on the launch's local path.  Retries torn/failed fetches
+/// (the window a flaky transport gets before the lease is judged failed).
+bool retrieve_valid_checkpoint(const shard_runner_config& config,
+                               const node_config& node, shard_state& s,
+                               shard_launch& l,
+                               const component_handle& component,
+                               coord_journal& journal) {
+  const std::size_t expected = s.part.plan.job_count();
+  const std::string shard_str = std::to_string(s.outcome.shard);
+  if (node.shares_filesystem()) {
+    if (checkpoint_complete(l.checkpoint_path, component, expected)) {
+      return true;
+    }
+    (void)journal.append("fetch " + shard_str + " " + node.name + " torn");
+    emit(config, s, shard_event_kind::fetch_torn, 0, l.last_jobs, node.name);
+    return false;
   }
-  emit(config, s, shard_event_kind::exited, status.code);
-  if (s.attempt >= config.max_attempts) {
-    s.failed = true;
-    (void)journal.append("fail " + std::to_string(s.outcome.shard) + " " +
-                         std::to_string(status.code));
-    emit(config, s, shard_event_kind::failed, status.code);
-    return;
+  const support::worker_launcher launcher = node.launcher();
+  const std::string scratch = l.checkpoint_path + ".fetch";
+  std::error_code ec;
+  for (std::size_t i = 0; i <= config.fetch_retries; ++i) {
+    if (!launcher.fetch_file(l.remote_checkpoint, scratch)) {
+      (void)journal.append("fetch " + shard_str + " " + node.name + " fail");
+      continue;
+    }
+    if (auto cut = fault::fire(fault::points::node_fetch_torn)) {
+      const auto size = std::filesystem::file_size(scratch, ec);
+      if (!ec && *cut < size) std::filesystem::resize_file(scratch, *cut, ec);
+    }
+    if (checkpoint_complete(scratch, component, expected)) {
+      const auto bytes = read_file_text(scratch);
+      if (bytes && support::write_file_durable(l.checkpoint_path, *bytes)) {
+        std::filesystem::remove(scratch, ec);
+        (void)journal.append("fetch " + shard_str + " " + node.name + " ok");
+        return true;
+      }
+    }
+    (void)journal.append("fetch " + shard_str + " " + node.name + " torn");
+    emit(config, s, shard_event_kind::fetch_torn, 0, l.last_jobs, node.name);
   }
-  double scale = 1.0;
-  for (std::size_t a = 1; a < s.attempt; ++a) scale *= config.backoff_factor;
-  const auto delay = std::chrono::milliseconds(
-      static_cast<std::int64_t>(config.backoff.count() * scale));
-  s.next_spawn = clock::now() + delay;
-  emit(config, s, shard_event_kind::retrying, status.code);
+  std::filesystem::remove(scratch, ec);
+  return false;
+}
+
+/// Best-effort partial salvage from a remote node after an unsuccessful
+/// exit: pull whatever checkpoint the node autosaved and adopt it as the
+/// shard's primary when it knows *more* jobs — so a retry on another node
+/// resumes the dead lease's progress and a failed shard still merges it.
+void salvage_remote_partial(const node_config& node, shard_state& s,
+                            shard_launch& l) {
+  if (node.shares_filesystem()) return;
+  const support::worker_launcher launcher = node.launcher();
+  const std::string scratch = l.checkpoint_path + ".salvage";
+  std::error_code ec;
+  if (launcher.fetch_file(l.remote_checkpoint, scratch)) {
+    if (count_checkpoint_jobs(scratch) >
+        count_checkpoint_jobs(s.checkpoint_path)) {
+      if (const auto bytes = read_file_text(scratch)) {
+        (void)support::write_file_durable(s.checkpoint_path, *bytes);
+      }
+    }
+  }
+  std::filesystem::remove(scratch, ec);
 }
 
 sweep_result merge_shards(const sweep_spec& spec,
@@ -569,9 +737,10 @@ sweep_result run_sweep(const sweep_spec& spec,
     if (replay.completed[i] &&
         std::filesystem::exists(s.checkpoint_path, ec)) {
       s.done = true;
+      s.winner_seen = true;
       s.outcome.completed = true;
-      s.last_jobs = count_checkpoint_jobs(s.checkpoint_path);
-      emit(config, s, shard_event_kind::completed);
+      emit(config, s, shard_event_kind::completed, 0,
+           count_checkpoint_jobs(s.checkpoint_path));
     }
     states.push_back(std::move(s));
   }
@@ -579,6 +748,27 @@ sweep_result run_sweep(const sweep_spec& spec,
   const std::size_t max_attempts = std::max<std::size_t>(config.max_attempts, 1);
   shard_runner_config cfg = config;
   cfg.max_attempts = max_attempts;
+
+  // The node fleet.  No nodes configured = one implicit local node with a
+  // slot per shard (plus one for a speculative duplicate) — the single-box
+  // behavior of the pre-multi-node runtime, launch for launch.
+  const bool implicit_local = cfg.nodes.empty();
+  std::vector<node_config> fleet = cfg.nodes;
+  if (implicit_local) {
+    node_config local;
+    local.name = "local";
+    local.slots = parts.size() + 1;
+    fleet.push_back(std::move(local));
+  }
+  node_pool pool(fleet, cfg.nodes_policy);
+  const component_handle component = spec.make_component();
+
+  const auto backoff_delay = [&cfg](std::size_t attempt) {
+    double scale = 1.0;
+    for (std::size_t a = 1; a < attempt; ++a) scale *= cfg.backoff_factor;
+    return std::chrono::milliseconds(
+        static_cast<std::int64_t>(cfg.backoff.count() * scale));
+  };
 
   bool drained = false;
   while (true) {
@@ -589,64 +779,256 @@ sweep_result run_sweep(const sweep_spec& spec,
       // partial merge.  Re-running the same spec + work_dir later resumes.
       drained = true;
       for (shard_state& s : states) {
-        if (!s.proc) continue;
-        s.proc->kill_hard();
-        s.proc.reset();  // blocks until the worker is reaped
-        emit(cfg, s, shard_event_kind::drained);
+        for (shard_launch& l : s.launches) {
+          if (!l.proc) continue;
+          l.proc->kill_hard();
+          l.proc.reset();  // blocks until the worker is reaped
+          pool.release(l.node);
+          (void)journal.append("release " + std::to_string(s.outcome.shard) +
+                               " " + pool.config(l.node).name + " drain");
+          emit(cfg, s, shard_event_kind::drained, 0, l.last_jobs,
+               pool.config(l.node).name);
+        }
+        s.launches.clear();
       }
       break;
     }
     const auto now = clock::now();
-    bool pending = false;
-    for (shard_state& s : states) {
-      if (s.done || s.failed) continue;
-      if (!s.proc) {
-        if (now >= s.next_spawn) {
-          spawn_attempt(cfg, s);
-          if (s.proc) {
-            (void)journal.append("spawn " +
-                                 std::to_string(s.outcome.shard) + " " +
-                                 std::to_string(s.attempt));
-            // The after-spawn kill window: the journal says this attempt
-            // exists, nothing has finished.  Take the workers down with
-            // the coordinator (a real SIGKILL of the process group does
-            // the same) so the re-run supervises from checkpoints alone.
-            if (fault::fire(kFaultCrashAfterSpawn)) {
-              for (shard_state& victim : states) {
-                if (victim.proc) victim.proc->kill_hard();
-              }
-              std::_Exit(kCoordCrashExit);
+
+    // Injected node death (fault::points::node_dead_midrun, payload = node
+    // index): every launch on the victim dies and the node is quarantined
+    // at once — the deterministic stand-in for a host losing power.
+    if (fault::active()) {
+      if (const auto victim = fault::fire(fault::points::node_dead_midrun);
+          victim && *victim < pool.size()) {
+        pool.mark_dead(*victim, now);
+        for (shard_state& s : states) {
+          for (shard_launch& l : s.launches) {
+            if (l.node == *victim && l.proc) {
+              l.proc->kill_hard();
+              l.node_died = true;
             }
           }
         }
-        if (s.done || s.failed) continue;
-        pending = true;
-        continue;
       }
-      pending = true;
-      if (auto status = s.proc->poll()) {
-        if (s.deadline_killed) s.outcome.timed_out = true;
-        handle_exit(cfg, journal, s, *status);
-        continue;
+    }
+
+    bool pending = false;
+    for (shard_state& s : states) {
+      if (s.done || s.failed) continue;
+
+      // Reap finished launches; supervise the rest.
+      for (std::size_t li = 0; li < s.launches.size();) {
+        shard_launch& l = s.launches[li];
+        const node_config& node = pool.config(l.node);
+        const auto status = l.proc->poll();
+        if (!status) {
+          // Heartbeat: checkpoint growth is the worker's progress signal.
+          // Shared filesystem reads the file directly; remote launches
+          // pull a copy every fetch_interval.  node-heartbeat-stall
+          // suppresses the observation, making a healthy worker look
+          // stalled — the supervision must then kill and retry it.
+          std::size_t jobs = l.last_jobs;
+          bool observed = false;
+          if (node.shares_filesystem()) {
+            if (!fault::fire(fault::points::node_heartbeat_stall)) {
+              jobs = count_checkpoint_jobs(l.checkpoint_path);
+              observed = true;
+            }
+          } else if (now - l.last_fetch >= cfg.fetch_interval) {
+            l.last_fetch = now;
+            if (!fault::fire(fault::points::node_heartbeat_stall)) {
+              const std::string hb = l.checkpoint_path + ".hb";
+              if (node.launcher().fetch_file(l.remote_checkpoint, hb)) {
+                jobs = count_checkpoint_jobs(hb);
+                observed = true;
+              }
+              std::error_code hb_ec;
+              std::filesystem::remove(hb, hb_ec);
+            }
+          }
+          if (observed && jobs > l.last_jobs) {
+            l.last_jobs = jobs;
+            l.last_growth = now;
+            emit(cfg, s, shard_event_kind::heartbeat, 0, jobs, node.name);
+          }
+          if (!l.deadline_killed && cfg.attempt_timeout.count() > 0 &&
+              now - l.started > cfg.attempt_timeout) {
+            l.deadline_killed = true;
+            emit(cfg, s, shard_event_kind::timed_out, 0, l.last_jobs,
+                 node.name);
+            l.proc->kill_hard();
+          } else if (!l.deadline_killed && cfg.stall_timeout.count() > 0 &&
+                     now - l.last_growth > cfg.stall_timeout) {
+            l.deadline_killed = true;
+            emit(cfg, s, shard_event_kind::stalled, 0, l.last_jobs,
+                 node.name);
+            l.proc->kill_hard();
+          }
+          ++li;
+          continue;
+        }
+
+        // The launch finished.  A clean exit only *wins* the shard once
+        // its checkpoint is fetched and CRC-valid; anything else is a
+        // failed lease.
+        l.proc.reset();
+        if (l.deadline_killed) s.outcome.timed_out = true;
+        const bool was_speculative = l.speculative;
+        if (status->success() &&
+            retrieve_valid_checkpoint(cfg, node, s, l, component, journal)) {
+          pool.release_success(l.node);
+          if (!s.winner_seen) {
+            s.winner_seen = true;
+            s.outcome.completed = true;
+            s.outcome.last_exit_code = 0;
+            s.outcome.node = node.name;
+            s.outcome.speculative_win = l.speculative;
+            // Stop the losers BEFORE touching the primary path — a loser
+            // on a shared filesystem is still writing it.
+            if (!cfg.speculation_keep_losers) {
+              for (std::size_t lj = 0; lj < s.launches.size(); ++lj) {
+                if (lj == li) continue;
+                shard_launch& other = s.launches[lj];
+                if (other.proc) {
+                  other.proc->kill_hard();
+                  other.proc.reset();
+                }
+                pool.release(other.node);
+                (void)journal.append(
+                    "release " + std::to_string(s.outcome.shard) + " " +
+                    pool.config(other.node).name + " superseded");
+              }
+              shard_launch winner = std::move(s.launches[li]);
+              s.launches.clear();
+              s.launches.push_back(std::move(winner));
+              li = 0;
+            }
+            // Land the winning bytes on the primary path (merge identity).
+            // A keep_losers primary completing later rewrites it with the
+            // same bytes — determinism makes the overlap benign.
+            shard_launch& w = s.launches[li];
+            if (w.checkpoint_path != s.checkpoint_path) {
+              if (const auto bytes = read_file_text(w.checkpoint_path)) {
+                (void)support::write_file_durable(s.checkpoint_path, *bytes);
+              }
+            }
+            (void)journal.append("complete " +
+                                 std::to_string(s.outcome.shard));
+            emit(cfg, s, shard_event_kind::completed, 0, w.last_jobs,
+                 node.name);
+          }
+          // A keep_losers loser just leaves its checkpoint on disk for
+          // inspection (the byte-equality assertion reads it).
+          s.launches.erase(s.launches.begin() + li);
+          continue;
+        }
+
+        // Failed lease: judge the node, salvage partial progress, and let
+        // the reconcile step below decide retry vs. exhaustion.
+        if (l.node_died) {
+          pool.release(l.node);  // already judged by mark_dead
+        } else {
+          pool.release_failure(l.node, now);
+        }
+        s.outcome.last_exit_code = status->code;
+        const std::string reason = l.node_died ? std::string("dead")
+                                   : status->success()
+                                       ? std::string("torn")
+                                       : reason_exit(status->code);
+        (void)journal.append("release " + std::to_string(s.outcome.shard) +
+                             " " + node.name + " " + reason);
+        emit(cfg, s, shard_event_kind::exited, status->code, l.last_jobs,
+             node.name);
+        if (!was_speculative) salvage_remote_partial(node, s, l);
+        s.avoid_nodes.assign(1, l.node);
+        s.launches.erase(s.launches.begin() + li);
+        if (!was_speculative && !s.winner_seen) {
+          if (s.attempt >= cfg.max_attempts) {
+            if (s.launches.empty()) {
+              s.failed = true;
+              (void)journal.append("fail " +
+                                   std::to_string(s.outcome.shard) + " " +
+                                   std::to_string(status->code));
+              emit(cfg, s, shard_event_kind::failed, status->code);
+            } else {
+              // A speculative duplicate still carries the shard; only its
+              // death finishes the verdict (reconcile below).
+              s.exhausted = true;
+            }
+          } else {
+            s.next_spawn = now + backoff_delay(s.attempt);
+            emit(cfg, s, shard_event_kind::retrying, status->code);
+          }
+        }
       }
-      // Heartbeat: checkpoint growth is the worker's progress signal.
-      const std::size_t jobs = count_checkpoint_jobs(s.checkpoint_path);
-      if (jobs > s.last_jobs) {
-        s.last_jobs = jobs;
-        s.last_growth = now;
-        emit(cfg, s, shard_event_kind::heartbeat);
+
+      // Speculation: the shard's single primary launch has been running
+      // past speculate_after — duplicate it on another node (once).  The
+      // first CRC-valid completed checkpoint wins; bit-identity makes the
+      // race harmless.
+      if (cfg.speculate_after.count() > 0 && !s.speculated &&
+          !s.winner_seen && s.launches.size() == 1 &&
+          !s.launches[0].speculative &&
+          now - s.launches[0].started > cfg.speculate_after) {
+        const std::vector<std::size_t> avoid{s.launches[0].node};
+        if (const auto n = pool.acquire(now, avoid)) {
+          s.speculated = true;
+          if (!start_launch(cfg, pool, s, *n, true, journal)) {
+            pool.release_failure(*n, now);
+          }
+        }
       }
-      if (!s.deadline_killed && cfg.attempt_timeout.count() > 0 &&
-          now - s.started > cfg.attempt_timeout) {
-        s.deadline_killed = true;
-        emit(cfg, s, shard_event_kind::timed_out);
-        s.proc->kill_hard();
-      } else if (!s.deadline_killed && cfg.stall_timeout.count() > 0 &&
-                 now - s.last_growth > cfg.stall_timeout) {
-        s.deadline_killed = true;
-        emit(cfg, s, shard_event_kind::stalled);
-        s.proc->kill_hard();
+
+      // Reconcile: finalize a won shard, respawn a dead one, or declare
+      // it failed once attempts are exhausted with nothing running.
+      if (!s.done && !s.failed && s.launches.empty()) {
+        if (s.winner_seen) {
+          s.done = true;
+        } else if (s.exhausted) {
+          s.failed = true;
+          (void)journal.append("fail " + std::to_string(s.outcome.shard) +
+                               " " +
+                               std::to_string(s.outcome.last_exit_code));
+          emit(cfg, s, shard_event_kind::failed, s.outcome.last_exit_code);
+        } else if (now >= s.next_spawn) {
+          if (const auto n = pool.acquire(now, s.avoid_nodes)) {
+            ++s.attempt;
+            s.outcome.attempts = s.attempt;
+            if (start_launch(cfg, pool, s, *n, false, journal)) {
+              // The after-spawn kill window: the journal says this attempt
+              // exists, nothing has finished.  Take the workers down with
+              // the coordinator (a real SIGKILL of the process group does
+              // the same) so the re-run supervises from checkpoints alone.
+              if (fault::fire(kFaultCrashAfterSpawn)) {
+                for (shard_state& victim : states) {
+                  for (shard_launch& vl : victim.launches) {
+                    if (vl.proc) vl.proc->kill_hard();
+                  }
+                }
+                std::_Exit(kCoordCrashExit);
+              }
+            } else {
+              pool.release_failure(*n, now);
+              s.avoid_nodes.assign(1, *n);
+              if (s.attempt >= cfg.max_attempts) {
+                s.failed = true;
+                s.outcome.last_exit_code = 127;
+                (void)journal.append(
+                    "fail " + std::to_string(s.outcome.shard) + " 127");
+                emit(cfg, s, shard_event_kind::failed, 127);
+              } else {
+                s.next_spawn = now + backoff_delay(s.attempt);
+                emit(cfg, s, shard_event_kind::retrying, 127);
+              }
+            }
+          }
+          // No eligible node right now: hold the shard until quarantine /
+          // backoff clocks release one.
+        }
       }
+
+      if (!s.done && !s.failed) pending = true;
     }
     if (!pending) break;
     std::this_thread::sleep_for(cfg.poll_interval);
@@ -654,6 +1036,7 @@ sweep_result run_sweep(const sweep_spec& spec,
 
   sweep_result result = merge_shards(spec, states);
   result.drained = drained;
+  if (!implicit_local) result.nodes = pool.report();
 
   if (!cfg.store_dir.empty()) {
     // Publish into the result store.  Content-addressed puts make this

@@ -52,6 +52,28 @@
 // `coord-crash-mid-merge` (_Exit(43) between shard merges) and the store's
 // `store-crash-mid-index-append` (_Exit(44) between an object write and
 // its index record).
+//
+// PR 10 takes the runtime off-box.  Workers are launched through
+// support::worker_launcher command templates (core/node_pool.h: an empty
+// `run` template is today's local fork/exec; `ssh {host} ...` or the CI
+// fake-ssh script reach other machines), shards are *leased* to nodes from
+// a core::node_pool (consecutive-failure quarantine with timed
+// re-probation, per-node backoff), and a dead node's shards are reassigned
+// to healthy nodes riding the same spec + checkpoint + journal + merge
+// contract — a relaunch on node B resumes the checkpoint fetched from node
+// A.  Remote checkpoints are pulled with the node's `fetch` template and
+// CRC-verified through the axc-session-v2 salvage path before adoption, so
+// a torn transfer is a detected, retried event (`node-fetch-torn`), never
+// silent corruption.  Straggler shards can be speculatively duplicated
+// onto another node (`speculate_after`); because every job is a pure
+// function of (rng_seed, target, run_index) the two copies' results are
+// bit-identical and the first CRC-valid completed checkpoint wins.  The
+// journal grows `lease`/`fetch`/`release` records on the same CRC-per-line
+// grammar (replayed coordinators ignore unknown tags, so the records are
+// crash-safe by construction).  Node-level fault points
+// (fault::points::node_launch_fail / node_dead_midrun / node_fetch_torn /
+// node_heartbeat_stall) make every failure mode a deterministic ctest
+// input.
 #pragma once
 
 #include <chrono>
@@ -64,6 +86,7 @@
 
 #include "circuit/netlist.h"
 #include "core/component_handle.h"
+#include "core/node_pool.h"
 #include "core/pareto.h"
 #include "core/search_session.h"
 
@@ -126,6 +149,8 @@ enum class shard_event_kind : std::uint8_t {
   completed,   ///< worker finished its shard cleanly
   failed,      ///< attempts exhausted; shard left to checkpoint salvage
   drained,     ///< should_stop() asked for a graceful drain; worker killed
+  speculated,  ///< duplicate launch for a straggler shard (another node)
+  fetch_torn,  ///< fetched checkpoint failed CRC validation; refetching
 };
 
 /// Supervision progress stream (the process-level analogue of
@@ -137,6 +162,7 @@ struct shard_event {
   std::size_t jobs_done{0};  ///< completed jobs visible in the checkpoint
   std::size_t jobs_total{0};  ///< jobs in this shard's plan
   int exit_code{0};           ///< exited/retrying/failed only
+  std::string node{};         ///< name of the node the launch ran on
 };
 
 struct shard_runner_config {
@@ -177,6 +203,24 @@ struct shard_runner_config {
   /// (key = format_key(spec.store_key())).  Publishing is idempotent, so a
   /// crashed-and-re-run coordinator converges on the same store contents.
   std::string store_dir{};
+  /// Nodes to lease shard launches to (core/node_pool.h).  Empty = one
+  /// implicit local node with a slot per shard — exactly the single-box
+  /// behavior this config had before multi-node dispatch existed.
+  std::vector<node_config> nodes{};
+  node_policy nodes_policy{};
+  /// Straggler speculation: a shard whose only launch has run this long
+  /// without completing gets ONE duplicate launch on another node (its own
+  /// scratch checkpoint; the first CRC-valid completed checkpoint wins —
+  /// harmless because both are bit-identical).  0 = off.
+  std::chrono::milliseconds speculate_after{0};
+  /// Let speculation losers run to completion instead of killing them when
+  /// the winner lands (the byte-equality test harness knob; production
+  /// wants the default false).
+  bool speculation_keep_losers{false};
+  /// Remote nodes only: how often to pull a checkpoint copy for heartbeat
+  /// observation, and how many attempts a torn final fetch is retried.
+  std::chrono::milliseconds fetch_interval{200};
+  std::size_t fetch_retries{2};
   std::function<void(const shard_event&)> on_event{};
   /// Polled once per supervision tick; returning true drains the sweep:
   /// live workers are SIGKILLed (their checkpoints stay), the merge runs
@@ -196,6 +240,8 @@ struct shard_outcome {
   std::size_t jobs_total{0};
   std::size_t jobs_recovered{0};  ///< salvaged from the shard checkpoint
   std::size_t jobs_dropped{0};    ///< damaged checkpoint records skipped
+  std::string node{};             ///< node whose checkpoint won the shard
+  bool speculative_win{false};    ///< the winner was the duplicate launch
 };
 
 /// The merged sweep.  `complete` means every job of the plan has a design;
@@ -214,6 +260,8 @@ struct sweep_result {
   /// Merged Pareto front; index = global job id.
   std::vector<pareto_point> front{};
   std::vector<shard_outcome> shards{};
+  /// Final node_pool health snapshot (empty for the implicit local node).
+  std::vector<node_status> nodes{};
 };
 
 /// Runs `spec` sharded across supervised worker processes and merges the

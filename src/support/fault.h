@@ -37,6 +37,26 @@
 
 namespace axc::fault {
 
+/// Node-level injection points for the multi-node dispatch layer
+/// (core/node_pool.h, core/shard_runner.cpp).  Declared centrally because
+/// tests, the coordinator, and CI fault plans all refer to them by name;
+/// module-local points (worker-crash-generation, session-save-truncate,
+/// store-crash-mid-index-append, ...) stay string literals at their hooks.
+namespace points {
+/// A launch on a node fails to start.  Payload = node index to afflict.
+inline constexpr std::string_view node_launch_fail = "node-launch-fail";
+/// A whole node dies mid-run: every launch on it is killed and the node is
+/// quarantined.  Payload = node index.  Fired once per supervision tick.
+inline constexpr std::string_view node_dead_midrun = "node-dead-midrun";
+/// A fetched checkpoint arrives torn.  Payload = byte count the fetched
+/// copy is truncated to before CRC validation sees it.
+inline constexpr std::string_view node_fetch_torn = "node-fetch-torn";
+/// Heartbeat observation is suppressed for one supervision tick, so a
+/// healthy worker looks stalled to the coordinator.
+inline constexpr std::string_view node_heartbeat_stall =
+    "node-heartbeat-stall";
+}  // namespace points
+
 namespace detail {
 
 struct directive {

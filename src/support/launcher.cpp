@@ -1,0 +1,75 @@
+#include "support/launcher.h"
+
+#include <filesystem>
+#include <system_error>
+
+namespace axc::support {
+namespace {
+
+void replace_all(std::string& token, const std::string& what,
+                 const std::string& with) {
+  std::size_t pos = 0;
+  while ((pos = token.find(what, pos)) != std::string::npos) {
+    token.replace(pos, what.size(), with);
+    pos += with.size();
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> worker_launcher::expand(
+    const std::vector<std::string>& tpl, const std::string& host,
+    const std::string& src, const std::string& dst) {
+  std::vector<std::string> out;
+  out.reserve(tpl.size());
+  for (const std::string& t : tpl) {
+    std::string token = t;
+    replace_all(token, "{host}", host);
+    replace_all(token, "{src}", src);
+    replace_all(token, "{dst}", dst);
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+std::optional<subprocess> worker_launcher::launch(
+    const std::vector<std::string>& argv,
+    const std::vector<std::string>& extra_env) const {
+  if (tpl_.is_local()) return subprocess::spawn(argv, extra_env);
+  std::vector<std::string> full = expand(tpl_.run, host_, "", "");
+  // The hop command strips our environ; carry the env explicitly.
+  full.emplace_back("/usr/bin/env");
+  for (const std::string& kv : extra_env) full.push_back(kv);
+  for (const std::string& a : argv) full.push_back(a);
+  return subprocess::spawn(full, {});
+}
+
+bool worker_launcher::run_copy(const std::vector<std::string>& tpl,
+                               const std::string& src,
+                               const std::string& dst) const {
+  if (tpl.empty()) {
+    // Shared filesystem: the "copy" is either a no-op (same path) or a
+    // plain local file copy.
+    if (src == dst) return true;
+    std::error_code ec;
+    std::filesystem::copy_file(
+        src, dst, std::filesystem::copy_options::overwrite_existing, ec);
+    return !ec;
+  }
+  auto proc = subprocess::spawn(expand(tpl, host_, src, dst), {});
+  if (!proc) return false;
+  const auto status = proc->wait();
+  return status && status->success();
+}
+
+bool worker_launcher::fetch_file(const std::string& src,
+                                 const std::string& dst) const {
+  return run_copy(tpl_.fetch, src, dst);
+}
+
+bool worker_launcher::push_file(const std::string& src,
+                                const std::string& dst) const {
+  return run_copy(tpl_.push, src, dst);
+}
+
+}  // namespace axc::support

@@ -1,0 +1,103 @@
+// Command-template worker launching: the seam that takes the sharded
+// sweep runtime off-box.
+//
+// core::shard_runner historically fork/exec'd tools/axc_worker directly.
+// worker_launcher generalizes that one step behind argv *templates*: a
+// node is described by a `run` prefix (empty = spawn locally, exactly
+// today's support::subprocess path; non-empty = e.g.
+// `ssh -oBatchMode=yes {host}` or a containerized equivalent) plus
+// optional `fetch` / `push` copy commands ({host}/{src}/{dst}
+// placeholders, e.g. `scp {host}:{src} {dst}`) for moving spec and
+// checkpoint files between the coordinator and a node that does not share
+// its filesystem.  Everything underneath stays plain POSIX process
+// supervision — the template layer only decides WHAT argv to spawn:
+//
+//   local  :  argv                              (extra env via subprocess)
+//   remote :  run-prefix + /usr/bin/env KEY=V.. argv
+//
+// Env rides the command line for templated launches because the prefix
+// command (ssh, a container runner, the CI fake-ssh script) starts the
+// worker on the far side where the coordinator's environ does not reach.
+// Values therefore must not contain whitespace — AXC_FAULT plans and the
+// coordinator's own variables never do.
+//
+// Copy commands run synchronously to completion; exit 0 is success, and
+// an empty template means "shared filesystem" (a plain file copy when the
+// two paths differ).  Integrity of a fetched checkpoint is NOT the
+// launcher's business: callers push fetched bytes through the
+// axc-session-v2 CRC salvage path (search_session::resume_file), which is
+// what turns a torn transfer into a detected, retryable event instead of
+// silent corruption.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/subprocess.h"
+
+namespace axc::support {
+
+/// Argv templates describing how to reach one node.  Tokens may contain
+/// `{host}`, and for fetch/push also `{src}` (remote path) / `{dst}`
+/// (local path) — substituted textually inside each token, so compound
+/// tokens like `{host}:{src}` work.
+struct launch_template {
+  /// Prefix prepended to the worker argv.  Empty = launch locally.
+  std::vector<std::string> run{};
+  /// Command copying a file node → coordinator.  Empty = shared
+  /// filesystem.
+  std::vector<std::string> fetch{};
+  /// Command copying a file coordinator → node.  Empty = shared
+  /// filesystem.
+  std::vector<std::string> push{};
+
+  [[nodiscard]] bool is_local() const { return run.empty(); }
+
+  bool operator==(const launch_template&) const = default;
+};
+
+/// Launches worker processes on one node and moves files to/from it.
+class worker_launcher {
+ public:
+  worker_launcher() = default;
+  worker_launcher(launch_template tpl, std::string host)
+      : tpl_(std::move(tpl)), host_(std::move(host)) {}
+
+  /// Starts `argv` on the node with `extra_env` ("KEY=VALUE" entries)
+  /// visible to it.  Local: plain subprocess::spawn.  Templated: the
+  /// expanded run prefix + `/usr/bin/env KEY=VALUE...` + argv, so the env
+  /// survives the hop.  The returned subprocess is the *local* end (ssh
+  /// client or the worker itself) — poll/kill semantics are identical for
+  /// the supervisor either way.
+  [[nodiscard]] std::optional<subprocess> launch(
+      const std::vector<std::string>& argv,
+      const std::vector<std::string>& extra_env) const;
+
+  /// Copies node:src -> local dst (fetch) or local src -> node:dst (push),
+  /// blocking until the copy command exits.  Returns false when the
+  /// command fails to start or exits non-zero (or, shared-filesystem, when
+  /// the plain copy fails).
+  [[nodiscard]] bool fetch_file(const std::string& src,
+                                const std::string& dst) const;
+  [[nodiscard]] bool push_file(const std::string& src,
+                               const std::string& dst) const;
+
+  [[nodiscard]] const launch_template& tpl() const { return tpl_; }
+  [[nodiscard]] const std::string& host() const { return host_; }
+
+  /// `{host}`/`{src}`/`{dst}` substitution over one template, textual
+  /// within each token.  Exposed for tests.
+  [[nodiscard]] static std::vector<std::string> expand(
+      const std::vector<std::string>& tpl, const std::string& host,
+      const std::string& src, const std::string& dst);
+
+ private:
+  [[nodiscard]] bool run_copy(const std::vector<std::string>& tpl,
+                              const std::string& src,
+                              const std::string& dst) const;
+
+  launch_template tpl_{};
+  std::string host_{};
+};
+
+}  // namespace axc::support

@@ -114,6 +114,28 @@ class subprocess {
 #endif
   }
 
+  /// Blocking: waits for the child to finish and reaps it.  For short
+  /// synchronous helpers (checkpoint fetch/push commands), not for workers —
+  /// the coordinator supervises those with poll() so deadlines stay live.
+  [[nodiscard]] std::optional<exit_status> wait() {
+#if AXC_HAS_SUBPROCESS
+    if (pid_ <= 0) return std::nullopt;
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(pid_, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    pid_ = -1;
+    if (r < 0) return exit_status{127, false};
+    if (WIFSIGNALED(status)) {
+      return exit_status{128 + WTERMSIG(status), true};
+    }
+    return exit_status{WEXITSTATUS(status), false};
+#else
+    return std::nullopt;
+#endif
+  }
+
   /// SIGKILL — deadline enforcement, not a polite shutdown.  The child is
   /// reaped by the next poll() (or the destructor).
   void kill_hard() {

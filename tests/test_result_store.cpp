@@ -143,6 +143,37 @@ TEST(result_store, put_is_idempotent_and_content_addressed) {
   fs::remove_all(dir, ec);
 }
 
+// The put/gc race: a gc in another process replaying a stale index can
+// delete an object between an idempotent re-put's existence probe and its
+// index append (the store-put-racing-gc fault point models exactly that
+// window).  The re-put must notice and land the object again — an
+// idempotent put always leaves its object present and referenced.
+TEST(result_store, put_survives_a_racing_gc_deleting_its_object) {
+  const std::string dir = fresh_store_dir("racing-gc");
+  auto store = result_store::open(dir);
+  ASSERT_TRUE(store.has_value());
+  const auto first = store->put("front", "aa", "raced bytes");
+  ASSERT_TRUE(first.has_value());
+
+  fault::configure("store-put-racing-gc@1");
+  const auto second = store->put("front", "aa", "raced bytes");
+  fault::clear();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, *second);
+  ASSERT_EQ(object_files(dir).size(), 1u);
+  EXPECT_EQ(store->get("front", "aa"), std::optional("raced bytes"s));
+
+  // The object is referenced, so this store's own gc keeps it, and a fresh
+  // open (rebuilding from disk) still serves the exact bytes.
+  EXPECT_EQ(store->gc().objects_removed, 0u);
+  auto reopened = result_store::open(dir);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->get("front", "aa"), std::optional("raced bytes"s));
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
 // Acceptance property (b): corrupt some objects, scrub, and every
 // surviving lookup still returns its exact pre-corruption bytes while the
 // damaged ones are quarantined — renamed aside, never deleted.

@@ -110,6 +110,49 @@ TEST(split_plan, clamps_shards_to_target_count) {
   EXPECT_TRUE(split_plan(sweep_plan{}, 4).empty());
 }
 
+TEST(split_plan, more_shards_than_jobs_gives_one_target_each) {
+  // 3 targets x 1 run = 3 jobs, 8 requested shards: one shard per target,
+  // never an empty shard.
+  sweep_plan plan;
+  plan.targets = {0.1, 0.2, 0.3};
+  plan.runs_per_target = 1;
+  const auto parts = split_plan(plan, 8);
+  ASSERT_EQ(parts.size(), 3u);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i].plan.targets,
+              (std::vector<double>{plan.targets[i]}));
+    EXPECT_EQ(parts[i].plan.job_count(), 1u);
+    EXPECT_EQ(parts[i].job_offset, i);
+  }
+}
+
+TEST(split_plan, empty_plan_yields_no_shards) {
+  EXPECT_TRUE(split_plan(sweep_plan{}, 1).empty());
+  EXPECT_TRUE(split_plan(sweep_plan{}, 0).empty());
+  // Targets without repetitions is still an empty plan job-wise, but the
+  // target split itself is well-defined (shards of zero jobs each).
+  sweep_plan zero_runs;
+  zero_runs.targets = {0.1, 0.2};
+  zero_runs.runs_per_target = 0;
+  const auto parts = split_plan(zero_runs, 2);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].plan.job_count(), 0u);
+  EXPECT_EQ(parts[1].job_offset, 0u);
+}
+
+TEST(split_plan, single_job_plan_is_one_full_shard) {
+  sweep_plan plan;
+  plan.targets = {0.25};
+  plan.runs_per_target = 1;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{7}}) {
+    const auto parts = split_plan(plan, shards);
+    ASSERT_EQ(parts.size(), 1u) << shards;
+    EXPECT_EQ(parts[0].plan.targets, plan.targets);
+    EXPECT_EQ(parts[0].plan.job_count(), 1u);
+    EXPECT_EQ(parts[0].job_offset, 0u);
+  }
+}
+
 TEST(split_plan, offsets_partition_the_full_plan) {
   sweep_plan plan;
   plan.targets = {1, 2, 3, 4, 5, 6, 7};

@@ -2,7 +2,14 @@
 //
 //   axc_client --socket PATH <get|status|wait|table> --spec FILE
 //              [--budget B] [--timeout-ms N] [--out F]
+//              [--retry N] [--retry-delay ms]
 //   axc_client key --spec FILE
+//
+// --retry N retries a refused/missing socket up to N times with bounded
+// exponential backoff starting at --retry-delay ms (default 100, doubling,
+// capped at 5 s per wait) — so scripted clients ride out a server restart
+// window instead of hard-failing on ECONNREFUSED.  Only the *connect* is
+// retried; once a connection is up, a failed exchange is a real error.
 //
 // Sends one request (the sweep_spec in FILE, "axc-sweep-spec v1" text)
 // over the Unix-domain socket and reports the reply: the status line goes
@@ -17,10 +24,13 @@
 //   4  miss-rejected / failed / draining / timeout
 //   1  transport or protocol error
 //   2  usage
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "core/result_server.h"
 #include "core/result_store.h"
@@ -32,6 +42,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: axc_client --socket PATH <get|status|wait|table> --spec FILE\n"
     "                  [--budget B] [--timeout-ms N] [--out F]\n"
+    "                  [--retry N] [--retry-delay ms]\n"
     "       axc_client key --spec FILE\n";
 
 int usage() {
@@ -56,6 +67,8 @@ int status_exit_code(const std::string& status) {
 
 int main(int argc, char** argv) {
   std::string socket_path, verb, spec_path, out_path;
+  std::size_t retries = 0;
+  long long retry_delay_ms = 100;
   axc::core::serve_request request;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -69,6 +82,10 @@ int main(int argc, char** argv) {
       request.timeout_ms = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--retry" && i + 1 < argc) {
+      retries = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--retry-delay" && i + 1 < argc) {
+      retry_delay_ms = std::strtoll(argv[++i], nullptr, 10);
     } else if (!arg.empty() && arg[0] != '-' && verb.empty()) {
       verb = arg;
     } else {
@@ -95,6 +112,19 @@ int main(int argc, char** argv) {
   request.spec = *std::move(spec);
 
   auto stream = axc::support::net::unix_stream::connect(socket_path);
+  // Bounded exponential backoff over the connect only: a restarting server
+  // refuses (or hasn't re-bound) its socket for a window, and a scripted
+  // client should ride that out rather than fail the pipeline.
+  long long delay_ms = std::max(1ll, retry_delay_ms);
+  for (std::size_t attempt = 0; !stream && attempt < retries; ++attempt) {
+    std::fprintf(stderr,
+                 "axc_client: cannot connect to %s; retrying in %lld ms "
+                 "(%zu/%zu)\n",
+                 socket_path.c_str(), delay_ms, attempt + 1, retries);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    delay_ms = std::min(delay_ms * 2, 5000ll);
+    stream = axc::support::net::unix_stream::connect(socket_path);
+  }
   if (!stream) {
     std::fprintf(stderr, "axc_client: cannot connect to %s\n",
                  socket_path.c_str());

@@ -2,7 +2,13 @@
 //
 //   axc_serve --store D --socket PATH --work-dir D [--worker BIN]
 //             [--queue-limit N] [--shards N] [--max-attempts N]
-//             [--receive-timeout-ms N]
+//             [--receive-timeout-ms N] [--nodes FILE]
+//             [--speculate-after-ms N]
+//
+// --nodes points the miss-path job queue at a multi-node fleet (axc-nodes
+// v1 file, core/node_pool.h): sweep workers launch through each node's
+// command templates with quarantine/reassignment handled by the embedded
+// coordinator; --speculate-after-ms duplicates straggler shards.
 //
 // Answers "sweep spec (+ optional error budget) -> Pareto front" requests
 // over the Unix-domain socket at PATH, speaking the CRC-framed protocol in
@@ -33,7 +39,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: axc_serve --store D --socket PATH --work-dir D [--worker BIN]\n"
     "                 [--queue-limit N] [--shards N] [--max-attempts N]\n"
-    "                 [--receive-timeout-ms N]\n";
+    "                 [--receive-timeout-ms N] [--nodes FILE]\n"
+    "                 [--speculate-after-ms N]\n";
 
 // The drain signal only pokes the server's self-pipe — the one
 // async-signal-safe way to wake a poll()-based accept loop.
@@ -69,6 +76,17 @@ int main(int argc, char** argv) {
       config.max_attempts = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--receive-timeout-ms" && i + 1 < argc) {
       config.receive_timeout_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--nodes" && i + 1 < argc) {
+      const char* path = argv[++i];
+      auto nodes = axc::core::parse_nodes_file(path);
+      if (!nodes) {
+        std::fprintf(stderr, "axc_serve: cannot parse nodes file %s\n", path);
+        return 2;
+      }
+      config.nodes = *std::move(nodes);
+    } else if (arg == "--speculate-after-ms" && i + 1 < argc) {
+      config.speculate_after =
+          std::chrono::milliseconds(std::strtoll(argv[++i], nullptr, 10));
     } else {
       std::fputs(kUsage, stderr);
       return 2;

@@ -3,7 +3,14 @@
 //   axc_sweep --spec <file> --worker <axc_worker> [--work-dir D]
 //             [--shards N] [--max-attempts N] [--attempt-timeout-ms N]
 //             [--stall-timeout-ms N] [--autosave-generations N]
-//             [--store D]
+//             [--store D] [--nodes <file>] [--speculate-after-ms N]
+//
+// With --nodes, shards are leased to the fleet described by an axc-nodes
+// v1 file (core/node_pool.h): workers launch through each node's command
+// templates (ssh or anything shaped like it), dead nodes are quarantined
+// and their shards reassigned, remote checkpoints are fetched and
+// CRC-verified before merging, and --speculate-after-ms duplicates
+// straggler shards onto idle nodes (first valid checkpoint wins).
 //
 // Splits the sweep described by <file> (sweep_spec::write format) across
 // supervised worker processes, merges the surviving shard checkpoints and
@@ -45,6 +52,7 @@ constexpr const char* kUsage =
     "                 [--shards N] [--max-attempts N]\n"
     "                 [--attempt-timeout-ms N] [--stall-timeout-ms N]\n"
     "                 [--autosave-generations N] [--store D]\n"
+    "                 [--nodes <file>] [--speculate-after-ms N]\n"
     "       axc_sweep --demo --worker <axc_worker> [--work-dir D]\n"
     "       axc_sweep --emit-demo-spec <file>\n";
 
@@ -68,27 +76,48 @@ const char* event_name(axc::core::shard_event_kind kind) {
     case shard_event_kind::completed: return "completed";
     case shard_event_kind::failed: return "failed";
     case shard_event_kind::drained: return "drained";
+    case shard_event_kind::speculated: return "speculated";
+    case shard_event_kind::fetch_torn: return "fetch-torn";
   }
   return "?";
 }
 
 void log_event(const axc::core::shard_event& event) {
-  std::fprintf(stderr,
-               "axc_sweep: shard %zu attempt %zu: %s (%zu/%zu jobs, exit %d)\n",
-               event.shard, event.attempt, event_name(event.kind),
-               event.jobs_done, event.jobs_total, event.exit_code);
+  std::fprintf(
+      stderr,
+      "axc_sweep: shard %zu attempt %zu: %s (%zu/%zu jobs, exit %d%s%s)\n",
+      event.shard, event.attempt, event_name(event.kind), event.jobs_done,
+      event.jobs_total, event.exit_code,
+      event.node.empty() ? "" : ", node ",
+      event.node.empty() ? "" : event.node.c_str());
 }
 
 void print_result(const axc::core::sweep_result& result) {
   for (const auto& shard : result.shards) {
     std::printf(
         "shard %zu: %s after %zu attempt%s, %zu/%zu jobs recovered"
-        "%s%s\n",
+        "%s%s%s%s%s\n",
         shard.shard, shard.completed ? "completed" : "FAILED",
         shard.attempts, shard.attempts == 1 ? "" : "s",
         shard.jobs_recovered, shard.jobs_total,
         shard.timed_out ? ", hit a deadline" : "",
-        shard.jobs_dropped > 0 ? ", salvaged a damaged checkpoint" : "");
+        shard.jobs_dropped > 0 ? ", salvaged a damaged checkpoint" : "",
+        shard.node.empty() ? "" : ", won by node ",
+        shard.node.empty() ? "" : shard.node.c_str(),
+        shard.speculative_win ? " (speculative duplicate)" : "");
+  }
+  for (const auto& node : result.nodes) {
+    const char* health =
+        node.health == axc::core::node_health::healthy      ? "healthy"
+        : node.health == axc::core::node_health::backing_off ? "backing-off"
+                                                             : "quarantined";
+    std::printf(
+        "node %s: %s, %zu launch%s, %zu failure%s, %zu quarantine%s%s\n",
+        node.name.c_str(), health, node.launches,
+        node.launches == 1 ? "" : "es", node.failures,
+        node.failures == 1 ? "" : "s", node.quarantines,
+        node.quarantines == 1 ? "" : "s",
+        node.probation ? ", on probation" : "");
   }
   std::printf("sweep %s: %zu designs, front of %zu points\n",
               result.complete ? "complete" : "INCOMPLETE",
@@ -217,6 +246,19 @@ int main(int argc, char** argv) {
           std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--store" && i + 1 < argc) {
       config.store_dir = argv[++i];
+    } else if (arg == "--nodes" && i + 1 < argc) {
+      // Lease shards to the fleet described by an axc-nodes v1 file (see
+      // core/node_pool.h) instead of the implicit local node.
+      const char* path = argv[++i];
+      auto nodes = axc::core::parse_nodes_file(path);
+      if (!nodes) {
+        std::fprintf(stderr, "axc_sweep: cannot parse nodes file %s\n", path);
+        return 2;
+      }
+      config.nodes = *std::move(nodes);
+    } else if (arg == "--speculate-after-ms" && i + 1 < argc) {
+      config.speculate_after =
+          std::chrono::milliseconds(std::strtoll(argv[++i], nullptr, 10));
     } else if (arg == "--demo") {
       demo = true;
     } else {
